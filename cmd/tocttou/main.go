@@ -1,0 +1,83 @@
+// Command tocttou runs the paper's experiments on the simulated testbeds.
+//
+// Usage:
+//
+//	tocttou -list
+//	tocttou -experiment fig6 [-rounds N] [-seed S] [-sizes 100,500,1000]
+//	tocttou -experiment all
+//
+// Each experiment renders the corresponding table or figure of
+// "Multiprocessors May Reduce System Dependability under File-Based Race
+// Condition Attacks" (DSN 2007) from freshly simulated campaigns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tocttou/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "tocttou: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fl := flag.NewFlagSet("tocttou", flag.ContinueOnError)
+	list := fl.Bool("list", false, "list available experiments")
+	name := fl.String("experiment", "", "experiment to run (or 'all')")
+	rounds := fl.Int("rounds", 0, "rounds per campaign (0 = experiment default)")
+	seed := fl.Int64("seed", 0, "base seed (0 = fixed default)")
+	sizesArg := fl.String("sizes", "", "comma-separated file sizes in KB, where applicable")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+
+	if *list || *name == "" {
+		fmt.Println("available experiments:")
+		for _, n := range experiments.Names() {
+			desc, _ := experiments.Describe(n)
+			fmt.Printf("  %-9s %s\n", n, desc)
+		}
+		if *name == "" && !*list {
+			return fmt.Errorf("no experiment selected (use -experiment <name> or -experiment all)")
+		}
+		return nil
+	}
+
+	opt := experiments.Options{Rounds: *rounds, Seed: *seed}
+	if *sizesArg != "" {
+		for _, s := range strings.Split(*sizesArg, ",") {
+			kb, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || kb <= 0 {
+				return fmt.Errorf("bad size %q", s)
+			}
+			opt.Sizes = append(opt.Sizes, kb)
+		}
+	}
+
+	names := []string{*name}
+	if *name == "all" {
+		names = experiments.Names()
+	}
+	for _, n := range names {
+		started := time.Now()
+		res, err := experiments.Run(n, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n", n, time.Since(started).Seconds())
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Command traceview runs a single traced attack round and renders its
+// event timeline (in the style of the paper's Figures 8 and 10), with an
+// optional full-event CSV dump for external analysis.
+//
+// Usage:
+//
+//	traceview -machine smp -victim gedit -attacker v1 -size 2 -seed 7
+//	traceview -machine mc -victim gedit -attacker v2 -want success
+//	traceview -machine smp -victim vi -size 100 -csv events.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tocttou/internal/attack"
+	"tocttou/internal/core"
+	"tocttou/internal/machine"
+	"tocttou/internal/prog"
+	"tocttou/internal/trace"
+	"tocttou/internal/victim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fl := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	machineName := fl.String("machine", "smp", "machine profile: up, smp, multicore")
+	victimName := fl.String("victim", "gedit", "victim: vi, gedit, rpm")
+	attackerName := fl.String("attacker", "v1", "attacker: v1, v2, pipelined, idle")
+	sizeKB := fl.Int64("size", 2, "file size in KB")
+	seed := fl.Int64("seed", 7, "round seed")
+	want := fl.String("want", "any", "search seeds for an outcome: any, success, failure")
+	csvPath := fl.String("csv", "", "write the full event trace as CSV to this file")
+	width := fl.Int("width", 100, "timeline width in columns")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+
+	m, ok := machine.ByName(*machineName)
+	if !ok {
+		return fmt.Errorf("unknown machine %q", *machineName)
+	}
+	var vict prog.Program
+	use := "chown"
+	switch *victimName {
+	case "vi":
+		vict = victim.NewVi()
+	case "gedit":
+		vict = victim.NewGedit()
+		use = "chmod"
+	case "rpm":
+		vict = victim.NewAlwaysSuspended()
+	default:
+		return fmt.Errorf("unknown victim %q", *victimName)
+	}
+	var att prog.Program
+	switch *attackerName {
+	case "v1":
+		att = attack.NewV1()
+	case "v2":
+		att = attack.NewV2()
+	case "pipelined":
+		att = attack.NewPipelined()
+	case "idle":
+		att = attack.Idle{}
+	default:
+		return fmt.Errorf("unknown attacker %q", *attackerName)
+	}
+
+	sc := core.Scenario{
+		Machine: m, Victim: vict, Attacker: att,
+		UseSyscall: use, FileSize: *sizeKB << 10, Seed: *seed, Trace: true,
+	}
+
+	round, err := findWanted(sc, *want)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("round: machine=%s victim=%s attacker=%s size=%dKB seed=%d\n",
+		m.Name, vict.Name(), att.Name(), *sizeKB, sc.Seed)
+	fmt.Printf("outcome: success=%v window=%v detected=%v L=%.1fµs D=%.1fµs\n\n",
+		round.Success, round.WindowOK, round.LD.Detected,
+		round.LD.Lmicros(), round.LD.Dmicros())
+
+	log := trace.New(round.Events)
+	lanes := trace.BuildTimeline(log, map[int32]string{
+		round.VictimPID:   vict.Name(),
+		round.AttackerPID: "attacker",
+	})
+	from, to := round.LD.T1.Add(-40*1000), round.LD.T1.Add(120*1000)
+	if !round.LD.WindowFound {
+		from, to = 0, round.End
+	}
+	fmt.Print(trace.RenderASCII(lanes, from, to, *width))
+
+	fmt.Println("\nper-thread activity over the whole round:")
+	fmt.Print(trace.RenderSummaries(trace.Summarize(log), map[int32]string{
+		round.VictimPID:   vict.Name(),
+		round.AttackerPID: "attacker",
+	}))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, round.Events); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d events to %s\n", len(round.Events), *csvPath)
+	}
+	return nil
+}
+
+func findWanted(sc core.Scenario, want string) (core.Round, error) {
+	for i := 0; i < 512; i++ {
+		round, err := core.RunRound(sc)
+		if err != nil {
+			return core.Round{}, err
+		}
+		switch want {
+		case "any":
+			return round, nil
+		case "success":
+			if round.Success {
+				return round, nil
+			}
+		case "failure":
+			if !round.Success && round.LD.Detected {
+				return round, nil
+			}
+		default:
+			return core.Round{}, fmt.Errorf("unknown -want %q", want)
+		}
+		sc.Seed += 7919
+	}
+	return core.Round{}, fmt.Errorf("no %s round found in 512 seeds", want)
+}

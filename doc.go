@@ -1,0 +1,24 @@
+// Package tocttou is a reproduction of "Multiprocessors May Reduce System
+// Dependability under File-Based Race Condition Attacks" (Wei & Pu,
+// DSN 2007) as a Go library.
+//
+// It contains a deterministic virtual-time simulation of the operating
+// system machinery that decides TOCTTOU races — CPUs and a preemptive
+// scheduler, a Unix-style file system with per-inode semaphores, and
+// demand-paged libc stubs — plus syscall-level replicas of the paper's
+// victims (vi, gedit) and attackers (naive, pre-faulted, pipelined), the
+// paper's probabilistic success model, and a harness that regenerates
+// every table and figure in the paper's evaluation.
+//
+// Entry points:
+//
+//   - internal/core: build a Scenario, run rounds and campaigns.
+//   - internal/experiments: one driver per paper table/figure.
+//   - cmd/tocttou: CLI over the experiment registry.
+//   - cmd/traceview: single-round timelines like the paper's Figs. 8/10.
+//   - examples/: six runnable walkthroughs.
+//
+// The benchmark harness in bench_test.go regenerates the evaluation:
+//
+//	go test -bench=. -benchmem
+package tocttou

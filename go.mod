@@ -1,0 +1,3 @@
+module tocttou
+
+go 1.22

@@ -1,0 +1,249 @@
+// Package attack implements the paper's attacker programs: the naive
+// detection loop of Figures 2 and 4 (V1), the pre-faulted variant of
+// Figure 9 (V2) that removes the page-fault trap from the critical path,
+// and the two-thread pipelined attacker of §7 that overlaps the symlink
+// with unlink's truncation phase.
+package attack
+
+import (
+	"errors"
+	"time"
+
+	"tocttou/internal/fs"
+	"tocttou/internal/prog"
+	"tocttou/internal/sim"
+	"tocttou/internal/userland"
+)
+
+// V1 is the attack program of the paper's Figures 2 and 4: spin on
+// stat(target) until the file is root-owned, then unlink it and plant a
+// symlink to /etc/passwd. Its true branch executes for the first time
+// inside the vulnerability window, so the first unlink call takes a
+// page-fault trap — fatal on the multi-core's 3 µs window (§6.2.1).
+type V1 struct {
+	// DetectCompute is the user-space work per loop iteration between
+	// stat returning and the next call, at base (3.2 GHz) speed. The
+	// paper measures ~11 µs of it on the multi-core (Fig. 8).
+	DetectCompute time.Duration
+}
+
+// NewV1 returns the naive attacker with default calibration.
+func NewV1() *V1 { return &V1{DetectCompute: 12 * time.Microsecond} }
+
+var _ prog.Program = (*V1)(nil)
+
+// Name implements prog.Program.
+func (a *V1) Name() string { return "attack-v1" }
+
+// Run implements prog.Program.
+func (a *V1) Run(c *userland.Libc, env prog.Env) error {
+	detect := env.Machine.ScaleCompute(a.DetectCompute)
+	for !c.Task().Killed() {
+		info, err := c.Stat(env.Target)
+		c.Compute(detect)
+		if err == nil && info.UID == 0 && info.GID == 0 {
+			// The window is open: redirect the name. The first unlink
+			// call faults in the cold libc stub page right here.
+			if err := c.Unlink(env.Target); err != nil {
+				return errAttackStep("unlink", err)
+			}
+			if err := c.Symlink(env.Passwd, env.Target); err != nil {
+				return errAttackStep("symlink", err)
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// V2 is the paper's Figure 9 program: it calls unlink and symlink on a
+// dummy file in every iteration, keeping the shared stub page resident
+// and the branch path hot; when the window opens it only has to switch in
+// the real file name.
+type V2 struct {
+	// DetectCompute is the per-iteration user-space work between stat
+	// and unlink, at base speed — 2 µs in the paper's Fig. 10.
+	DetectCompute time.Duration
+}
+
+// NewV2 returns the pre-faulted attacker with default calibration.
+func NewV2() *V2 { return &V2{DetectCompute: 2 * time.Microsecond} }
+
+var _ prog.Program = (*V2)(nil)
+
+// Name implements prog.Program.
+func (a *V2) Name() string { return "attack-v2" }
+
+// Run implements prog.Program.
+func (a *V2) Run(c *userland.Libc, env prog.Env) error {
+	detect := env.Machine.ScaleCompute(a.DetectCompute)
+	for !c.Task().Killed() {
+		info, err := c.Stat(env.Target)
+		c.Compute(detect)
+		fname := env.Dummy
+		detected := err == nil && info.UID == 0 && info.GID == 0
+		if detected {
+			fname = env.Target
+		}
+		// unlink+symlink execute every iteration (Fig. 9 lines 11-12);
+		// on misses they churn the dummy name.
+		uerr := c.Unlink(fname)
+		serr := c.Symlink(env.Passwd, fname)
+		if detected {
+			if uerr != nil {
+				return errAttackStep("unlink", uerr)
+			}
+			if serr != nil {
+				return errAttackStep("symlink", serr)
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// Pipelined is the §7 attacker: thread one runs the detection loop and
+// the unlink; thread two, signaled at detection time, plants the symlink.
+// Because the simulated unlink releases the directory lock after its
+// detach phase, the symlink completes while the unlink is still
+// truncating — the overlap of the paper's Figure 11.
+type Pipelined struct {
+	// DetectCompute is as in V2.
+	DetectCompute time.Duration
+	// SignalCost is the user-space cost of signaling the second thread.
+	SignalCost time.Duration
+}
+
+// NewPipelined returns the two-thread attacker with default calibration.
+func NewPipelined() *Pipelined {
+	return &Pipelined{
+		DetectCompute: 2 * time.Microsecond,
+		SignalCost:    500 * time.Nanosecond,
+	}
+}
+
+var _ prog.Program = (*Pipelined)(nil)
+
+// Name implements prog.Program.
+func (a *Pipelined) Name() string { return "attack-pipelined" }
+
+// Run implements prog.Program.
+func (a *Pipelined) Run(c *userland.Libc, env prog.Env) error {
+	detect := env.Machine.ScaleCompute(a.DetectCompute)
+	detected := sim.NewFlag("pipeline-detected")
+	planted := sim.NewFlag("pipeline-planted")
+	var symErr error
+
+	c.Task().Spawn("symlinker", func(t2 *sim.Task) {
+		c2 := userland.Bind(t2, c.FS(), c.Image())
+		// Warm the shared stub page and the branch before the window.
+		_ = c2.Symlink(env.Passwd, env.Dummy)
+		_ = c2.Unlink(env.Dummy)
+		detected.Wait(t2)
+		// Race the unlink's detach: retry until the name is free. The
+		// directory semaphore serializes us right behind the detach.
+		for i := 0; i < 100000; i++ {
+			err := c2.Symlink(env.Passwd, env.Target)
+			if err == nil {
+				planted.Set(t2)
+				return
+			}
+			if !errors.Is(err, fs.EEXIST) {
+				symErr = errAttackStep("symlink", err)
+				planted.Set(t2)
+				return
+			}
+			c2.Compute(200 * time.Nanosecond)
+		}
+		symErr = errAttackStep("symlink", errors.New("retry budget exhausted"))
+		planted.Set(t2)
+	})
+
+	for !c.Task().Killed() {
+		info, err := c.Stat(env.Target)
+		c.Compute(detect)
+		if err == nil && info.UID == 0 && info.GID == 0 {
+			// Hand the symlink step to the second CPU, then detach.
+			c.Compute(env.Machine.ScaleCompute(a.SignalCost))
+			detected.Set(c.Task())
+			if err := c.Unlink(env.Target); err != nil {
+				return errAttackStep("unlink", err)
+			}
+			planted.Wait(c.Task())
+			return symErr
+		}
+		// Keep the unlink path warm on misses, as V2 does.
+		_ = c.Unlink(env.Dummy)
+	}
+	return nil
+}
+
+// FlipFlop attacks check/use pairs it cannot observe, like the
+// sendmail-style <lstat, open> pair of the paper's introduction: it
+// cannot see the victim's lstat, so it blindly alternates the target
+// between a regular file (so the check passes) and a symlink to the
+// privileged file (so the use follows it). The attack lands when the
+// flip falls inside the victim's check-use gap — which on a uniprocessor
+// essentially never happens while the victim runs.
+type FlipFlop struct {
+	// DwellCompute is how long each state is held before flipping, at
+	// base speed.
+	DwellCompute time.Duration
+}
+
+// NewFlipFlop returns the blind alternating attacker.
+func NewFlipFlop() *FlipFlop {
+	return &FlipFlop{DwellCompute: time.Microsecond}
+}
+
+var _ prog.Program = (*FlipFlop)(nil)
+
+// Name implements prog.Program.
+func (a *FlipFlop) Name() string { return "attack-flipflop" }
+
+// Run implements prog.Program.
+func (a *FlipFlop) Run(c *userland.Libc, env prog.Env) error {
+	dwell := env.Machine.ScaleCompute(a.DwellCompute)
+	for !c.Task().Killed() {
+		// State 1: the mailbox is a symlink to the privileged file.
+		_ = c.Unlink(env.Target)
+		_ = c.Symlink(env.Passwd, env.Target)
+		c.Compute(dwell)
+		// State 2: the mailbox is an ordinary file again.
+		_ = c.Unlink(env.Target)
+		if f, err := c.Open(env.Target, fs.OWrite|fs.OCreate, 0o644); err == nil {
+			_ = c.Close(f)
+		}
+		c.Compute(dwell)
+	}
+	return nil
+}
+
+// Idle is a no-op attacker for baseline rounds (no attack pressure).
+type Idle struct{}
+
+var _ prog.Program = Idle{}
+
+// Name implements prog.Program.
+func (Idle) Name() string { return "idle" }
+
+// Run implements prog.Program.
+func (Idle) Run(*userland.Libc, prog.Env) error { return nil }
+
+// errAttackStep annotates a failed attack step.
+func errAttackStep(step string, err error) error {
+	return &StepError{Step: step, Err: err}
+}
+
+// StepError reports a failed attack step. A lost race typically surfaces
+// as ENOENT/EEXIST here rather than as attack failure detection.
+type StepError struct {
+	Step string
+	Err  error
+}
+
+// Error implements error.
+func (e *StepError) Error() string { return "attack step " + e.Step + ": " + e.Err.Error() }
+
+// Unwrap supports errors.Is.
+func (e *StepError) Unwrap() error { return e.Err }

@@ -1,0 +1,249 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tocttou/internal/fs"
+	"tocttou/internal/machine"
+	"tocttou/internal/prog"
+	"tocttou/internal/sim"
+	"tocttou/internal/userland"
+)
+
+// attackHarness runs an attacker against a scripted window: the "victim"
+// binds the target root-owned at a chosen time, then chowns it back after
+// the window length.
+type attackHarness struct {
+	k        *sim.Kernel
+	f        *fs.FS
+	tr       *sim.SliceTracer
+	env      prog.Env
+	attacker *sim.Process
+}
+
+func newHarness(t *testing.T, m machine.Profile) *attackHarness {
+	t.Helper()
+	tr := &sim.SliceTracer{}
+	k := sim.New(m.SimConfig(11, tr))
+	f := fs.New(fs.Config{Latency: m.Latency})
+	f.MustMkdirAll("/etc", 0o755, 0, 0)
+	f.MustWriteFile("/etc/passwd", 2048, 0o644, 0, 0)
+	f.MustMkdirAll("/home/alice", 0o755, 1000, 1000)
+	f.MustWriteFile("/home/alice/report.txt", 4096, 0o644, 1000, 1000)
+	return &attackHarness{
+		k: k, f: f, tr: tr,
+		env: prog.Env{
+			Target: "/home/alice/report.txt", Backup: "/home/alice/report.txt~",
+			Temp: "/home/alice/.tmp", Passwd: "/etc/passwd", Dummy: "/home/alice/dummy",
+			FileSize: 4096, OwnerUID: 1000, OwnerGID: 1000, Machine: m,
+		},
+	}
+}
+
+// startWindow spawns a root thread that opens a window of the given
+// length at the given time by replacing the target with a root-owned file.
+func (h *attackHarness) startWindow(at, length time.Duration) {
+	root := h.k.NewProcess("victim", 0, 0)
+	img := userland.NewImage(h.env.Machine.TrapCost, true)
+	h.k.Spawn(root, "victim", func(task *sim.Task) {
+		c := userland.Bind(task, h.f, img)
+		task.Sleep(at)
+		_ = c.Rename(h.env.Target, h.env.Backup)
+		fh, err := c.Open(h.env.Target, fs.OWrite|fs.OCreate, 0o644)
+		if err != nil {
+			return
+		}
+		_ = c.Write(fh, h.env.FileSize)
+		_ = c.Close(fh)
+		task.Sleep(length) // hold the window open
+		_ = c.Chown(h.env.Target, h.env.OwnerUID, h.env.OwnerGID)
+	})
+}
+
+// runAttacker executes the attacker and returns its error and the final
+// owner of /etc/passwd.
+func (h *attackHarness) runAttacker(t *testing.T, a prog.Program) (error, int) {
+	t.Helper()
+	h.attacker = h.k.NewProcess(a.Name(), 1000, 1000)
+	img := userland.NewImage(h.env.Machine.TrapCost, false)
+	var attErr error
+	h.k.Spawn(h.attacker, "attacker", func(task *sim.Task) {
+		attErr = a.Run(userland.Bind(task, h.f, img), h.env)
+	})
+	victimProcs := h.k
+	_ = victimProcs
+	h.k.OnProcessExit(func(p *sim.Process) {
+		if p.UID == 0 {
+			h.k.KillProcess(h.attacker)
+		}
+	})
+	if err := h.k.Run(); err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	info, err := h.f.LookupInfo("/etc/passwd")
+	if err != nil {
+		t.Fatalf("passwd vanished: %v", err)
+	}
+	return attErr, info.UID
+}
+
+func TestV1CapturesWideWindow(t *testing.T) {
+	h := newHarness(t, machine.SMP2())
+	h.startWindow(500*time.Microsecond, 5*time.Millisecond)
+	err, uid := h.runAttacker(t, NewV1())
+	if err != nil {
+		t.Fatalf("attack error: %v", err)
+	}
+	if uid != 1000 {
+		t.Errorf("passwd uid = %d, want 1000 (attack must win a 5ms window)", uid)
+	}
+}
+
+func TestV1GivesUpWhenKilled(t *testing.T) {
+	// No window ever opens; the victim exits and the attacker is killed.
+	h := newHarness(t, machine.SMP2())
+	root := h.k.NewProcess("victim", 0, 0)
+	h.k.Spawn(root, "victim", func(task *sim.Task) {
+		task.Compute(2 * time.Millisecond) // no save at all
+	})
+	err, uid := h.runAttacker(t, NewV1())
+	if err != nil {
+		t.Fatalf("attack error: %v", err)
+	}
+	if uid != 0 {
+		t.Errorf("passwd uid = %d, want 0 (no window, no attack)", uid)
+	}
+}
+
+func TestV1TrapsOnFirstUnlink(t *testing.T) {
+	h := newHarness(t, machine.MultiCore())
+	h.startWindow(200*time.Microsecond, 5*time.Millisecond)
+	if err, _ := h.runAttacker(t, NewV1()); err != nil {
+		t.Fatal(err)
+	}
+	traps := 0
+	for _, e := range h.tr.Events {
+		if e.Kind == sim.EvTrap && e.PID == int32(h.attacker.PID) {
+			traps++
+		}
+	}
+	// stat page early, unlink/symlink page inside the window.
+	if traps != 2 {
+		t.Errorf("attacker traps = %d, want 2", traps)
+	}
+}
+
+func TestV2PreFaultsBeforeWindow(t *testing.T) {
+	h := newHarness(t, machine.MultiCore())
+	h.startWindow(300*time.Microsecond, 5*time.Millisecond)
+	if err, uid := h.runAttacker(t, NewV2()); err != nil || uid != 1000 {
+		t.Fatalf("attack err=%v uid=%d", err, uid)
+	}
+	// All traps must precede the window opening: the detection-time
+	// unlink must be trap-free (that is v2's whole point).
+	var bindAt sim.Time
+	for _, e := range h.tr.Events {
+		if e.Kind == sim.EvNameBind && e.Path == h.env.Target && e.Arg == 0 {
+			bindAt = e.T
+			break
+		}
+	}
+	if bindAt == 0 {
+		t.Fatal("window never opened")
+	}
+	for _, e := range h.tr.Events {
+		if e.Kind == sim.EvTrap && e.PID == int32(h.attacker.PID) && e.T >= bindAt {
+			t.Errorf("v2 trapped inside the window at %v", e.T)
+		}
+	}
+}
+
+func TestV2ChurnsDummyOnMisses(t *testing.T) {
+	h := newHarness(t, machine.MultiCore())
+	h.startWindow(400*time.Microsecond, 5*time.Millisecond)
+	if err, _ := h.runAttacker(t, NewV2()); err != nil {
+		t.Fatal(err)
+	}
+	dummyOps := 0
+	for _, e := range h.tr.Events {
+		if e.Kind == sim.EvSyscallEnter && e.Path == h.env.Dummy &&
+			(e.Label == "unlink" || e.Label == "symlink") {
+			dummyOps++
+		}
+	}
+	if dummyOps < 4 {
+		t.Errorf("dummy churn ops = %d, want several (Fig. 9 lines 11-12)", dummyOps)
+	}
+}
+
+func TestPipelinedOverlapsSymlinkWithTruncate(t *testing.T) {
+	h := newHarness(t, machine.MultiCore())
+	// Make the unlinked file big so truncation dominates.
+	h.f.MustWriteFile(h.env.Target, 500<<10, 0o644, 1000, 1000)
+	h.env.FileSize = 500 << 10
+	h.startWindow(300*time.Microsecond, 5*time.Millisecond)
+	err, uid := h.runAttacker(t, NewPipelined())
+	if err != nil {
+		t.Fatalf("attack error: %v", err)
+	}
+	if uid != 1000 {
+		t.Fatalf("attack failed, passwd uid = %d", uid)
+	}
+	// The successful symlink must complete before the unlink returns.
+	var unlinkExit, symlinkOK sim.Time
+	for _, e := range h.tr.Events {
+		if e.PID != int32(h.attacker.PID) || e.Path != h.env.Target {
+			continue
+		}
+		if e.Kind == sim.EvSyscallExit && e.Label == "unlink" && unlinkExit == 0 {
+			unlinkExit = e.T
+		}
+		if e.Kind == sim.EvSyscallExit && e.Label == "symlink" && e.Arg == 0 && symlinkOK == 0 {
+			symlinkOK = e.T
+		}
+	}
+	if unlinkExit == 0 || symlinkOK == 0 {
+		t.Fatal("missing unlink/symlink spans")
+	}
+	if symlinkOK >= unlinkExit {
+		t.Errorf("symlink (%v) must finish before unlink returns (%v) — §7 overlap", symlinkOK, unlinkExit)
+	}
+}
+
+func TestStepErrorUnwraps(t *testing.T) {
+	e := errAttackStep("unlink", fs.ENOENT)
+	if !errors.Is(e, fs.ENOENT) {
+		t.Error("StepError must unwrap to the underlying errno")
+	}
+	var se *StepError
+	if !errors.As(e, &se) || se.Step != "unlink" {
+		t.Errorf("StepError = %+v", se)
+	}
+}
+
+func TestAttackerNames(t *testing.T) {
+	for _, c := range []struct {
+		p    prog.Program
+		want string
+	}{
+		{NewV1(), "attack-v1"},
+		{NewV2(), "attack-v2"},
+		{NewPipelined(), "attack-pipelined"},
+		{Idle{}, "idle"},
+	} {
+		if got := c.p.Name(); got != c.want {
+			t.Errorf("name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestIdleAttackerDoesNothing(t *testing.T) {
+	h := newHarness(t, machine.SMP2())
+	h.startWindow(100*time.Microsecond, time.Millisecond)
+	err, uid := h.runAttacker(t, Idle{})
+	if err != nil || uid != 0 {
+		t.Errorf("idle attacker: err=%v uid=%d, want nil/0", err, uid)
+	}
+}

@@ -1,0 +1,82 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"tocttou/internal/fs"
+	"tocttou/internal/machine"
+	"tocttou/internal/sim"
+	"tocttou/internal/userland"
+)
+
+func TestFlipFlopAlternatesStates(t *testing.T) {
+	h := newHarness(t, machine.SMP2())
+	// No victim window needed — watch the attacker churn until killed.
+	root := h.k.NewProcess("victim", 0, 0)
+	h.k.Spawn(root, "victim", func(task *sim.Task) {
+		task.Compute(2 * time.Millisecond)
+	})
+	if err, _ := h.runAttacker(t, NewFlipFlop()); err != nil {
+		t.Fatalf("attack error: %v", err)
+	}
+	symlinks, files := 0, 0
+	for _, e := range h.tr.Events {
+		if e.Kind != sim.EvNameBind || e.Path != h.env.Target {
+			continue
+		}
+		symlinks++ // every bind by the attacker alternates the state
+		_ = files
+	}
+	if symlinks < 10 {
+		t.Errorf("state flips = %d, want many over 2ms", symlinks)
+	}
+	// The final state must be one of the two attacker states (regular
+	// file or symlink), owned by the attacker.
+	info, err := h.f.LookupLinkInfo(h.env.Target)
+	if err != nil {
+		// Killed mid-flip with the name unbound is also legitimate.
+		return
+	}
+	if info.UID != 1000 {
+		t.Errorf("target uid = %d, want the attacker's", info.UID)
+	}
+}
+
+func TestFlipFlopNeverEscalatesWithoutVictim(t *testing.T) {
+	h := newHarness(t, machine.MultiCore())
+	root := h.k.NewProcess("victim", 0, 0)
+	h.k.Spawn(root, "victim", func(task *sim.Task) {
+		task.Compute(time.Millisecond)
+	})
+	_, uid := h.runAttacker(t, NewFlipFlop())
+	if uid != 0 {
+		t.Errorf("passwd uid = %d; flip-flopping alone must not escalate", uid)
+	}
+	pw, err := h.f.LookupInfo("/etc/passwd")
+	if err != nil || pw.Size != 2048 {
+		t.Errorf("passwd size = %d, err=%v; must be untouched", pw.Size, err)
+	}
+}
+
+func TestFlipFlopRespectsStickyTmp(t *testing.T) {
+	// A flip-flopper in a sticky directory cannot touch files it does
+	// not own — the fs permission model bounds the attack surface.
+	m := machine.SMP2()
+	k := sim.New(m.SimConfig(5, nil))
+	f := fs.New(fs.Config{Latency: m.Latency})
+	f.MustMkdirAll("/tmp", 0o777|fs.ModeSticky, 0, 0)
+	f.MustWriteFile("/tmp/rootfile", 64, 0o644, 0, 0)
+	p := k.NewProcess("attacker", 1000, 1000)
+	var unlinkErr error
+	k.Spawn(p, "try", func(task *sim.Task) {
+		c := userland.Bind(task, f, userland.NewImage(m.TrapCost, false))
+		unlinkErr = c.Unlink("/tmp/rootfile")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if unlinkErr == nil {
+		t.Error("unlink of another user's file in sticky /tmp must fail")
+	}
+}

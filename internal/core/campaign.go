@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tocttou/internal/stats"
+)
+
+// seedStride decorrelates per-round RNG streams.
+const seedStride = 1_000_003
+
+// CampaignResult aggregates many rounds of one scenario.
+type CampaignResult struct {
+	// Rounds is the number of completed rounds.
+	Rounds int
+	// Successes counts rounds where the attacker captured the
+	// privileged file.
+	Successes int
+	// Detected counts rounds where the attacker launched its attack
+	// (only meaningful when the scenario traces).
+	Detected int
+	// AttackErrors counts rounds whose attack step failed outright.
+	AttackErrors int
+	// L and D summarize the paper's §3.4 quantities in microseconds,
+	// over rounds where both were measurable.
+	L stats.Summary
+	D stats.Summary
+	// Window summarizes the vulnerability window length in microseconds.
+	Window stats.Summary
+	// WindowRounds counts rounds whose window was observed (traced), and
+	// SuspendedRounds those where the victim lost its CPU inside it —
+	// together they estimate Equation 1's P(victim suspended).
+	WindowRounds    int
+	SuspendedRounds int
+}
+
+// PSuspended returns the measured P(victim suspended within the window),
+// or 0 when no windows were observed.
+func (r CampaignResult) PSuspended() float64 {
+	if r.WindowRounds == 0 {
+		return 0
+	}
+	return float64(r.SuspendedRounds) / float64(r.WindowRounds)
+}
+
+// Rate returns the observed success rate in [0, 1].
+func (r CampaignResult) Rate() float64 { return r.Proportion().Rate() }
+
+// Proportion returns successes/rounds for interval computation.
+func (r CampaignResult) Proportion() stats.Proportion {
+	return stats.Proportion{Successes: r.Successes, Trials: r.Rounds}
+}
+
+// String renders a one-line summary.
+func (r CampaignResult) String() string {
+	return fmt.Sprintf("success %d/%d (%.1f%%), L=%.1f±%.1fµs D=%.1f±%.1fµs",
+		r.Successes, r.Rounds, r.Rate()*100,
+		r.L.Mean(), r.L.Stdev(), r.D.Mean(), r.D.Stdev())
+}
+
+// RunCampaign executes rounds of the scenario with derived per-round
+// seeds, in parallel across host CPUs. Results are deterministic for a
+// given scenario seed regardless of the degree of parallelism.
+func RunCampaign(sc Scenario, rounds int) (CampaignResult, error) {
+	res, _, err := RunCampaignRounds(sc, rounds, false)
+	return res, err
+}
+
+// RunCampaignRounds is RunCampaign, optionally returning the per-round
+// outcomes (with event traces stripped to keep memory flat) for callers
+// that need distributions rather than summaries.
+func RunCampaignRounds(sc Scenario, rounds int, keep bool) (CampaignResult, []Round, error) {
+	if rounds <= 0 {
+		return CampaignResult{}, nil, fmt.Errorf("core: campaign needs rounds > 0, got %d", rounds)
+	}
+	results := make([]Round, rounds)
+	errs := make([]error, rounds)
+
+	workers := runtime.NumCPU()
+	if workers > rounds {
+		workers = rounds
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rsc := sc
+				rsc.Seed = sc.Seed + int64(i+1)*seedStride
+				results[i], errs[i] = RunRound(rsc)
+				results[i].Events = nil // traces would dominate memory
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var out CampaignResult
+	for i := 0; i < rounds; i++ {
+		if errs[i] != nil {
+			return CampaignResult{}, nil, fmt.Errorf("core: round %d: %w", i, errs[i])
+		}
+		r := results[i]
+		out.Rounds++
+		if r.Success {
+			out.Successes++
+		}
+		if r.LD.Detected {
+			out.Detected++
+			if r.LD.WindowFound && r.LD.T3 > 0 {
+				out.L.Add(r.LD.Lmicros())
+				out.D.Add(r.LD.Dmicros())
+			}
+		}
+		if r.AttackerErr != nil {
+			out.AttackErrors++
+		}
+		if r.WindowOK {
+			out.Window.Add(float64(r.Window) / 1e3)
+			out.WindowRounds++
+			if r.VictimSuspended {
+				out.SuspendedRounds++
+			}
+		}
+	}
+	if !keep {
+		results = nil
+	}
+	return out, results, nil
+}

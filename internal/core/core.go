@@ -1,0 +1,275 @@
+// Package core orchestrates TOCTTOU attack experiments: it assembles a
+// simulated machine, file system, victim, and attacker into a round,
+// runs rounds into campaigns, and measures the paper's quantities
+// (success rate, L, D, window length) from the traces.
+//
+// This is the library's primary entry point: construct a Scenario, then
+// call RunRound for a single traced race or RunCampaign for statistics.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tocttou/internal/fs"
+	"tocttou/internal/machine"
+	"tocttou/internal/prog"
+	"tocttou/internal/sim"
+	"tocttou/internal/stats"
+	"tocttou/internal/trace"
+	"tocttou/internal/userland"
+)
+
+// Paths is the round's file-system fixture layout.
+type Paths struct {
+	// Home is the attacker's home directory (attacker-owned, mode 0755).
+	Home string
+	// Target is the contested file the victim edits (attacker-owned).
+	Target string
+	// Backup is the victim's backup name for the original.
+	Backup string
+	// Temp is gedit's scratch file.
+	Temp string
+	// Passwd is the privileged file (root-owned); a round succeeds when
+	// its owner becomes the attacker.
+	Passwd string
+	// Dummy is attacker v2's warm-up path.
+	Dummy string
+	// PasswdSize is the privileged file's size.
+	PasswdSize int64
+}
+
+// DefaultPaths returns the standard fixture.
+func DefaultPaths() Paths {
+	return Paths{
+		Home:       "/home/alice",
+		Target:     "/home/alice/report.txt",
+		Backup:     "/home/alice/report.txt~",
+		Temp:       "/home/alice/.goutputstream-report",
+		Passwd:     "/etc/passwd",
+		Dummy:      "/home/alice/dummy",
+		PasswdSize: 2048,
+	}
+}
+
+// Scenario fully describes an experiment configuration.
+type Scenario struct {
+	// Machine is the calibrated hardware/OS profile.
+	Machine machine.Profile
+	// Victim runs as root; Attacker runs as the normal user.
+	Victim   prog.Program
+	Attacker prog.Program
+	// UseSyscall names the victim call that closes the race for L/D
+	// analysis: "chown" for vi's pair, "chmod" for gedit's (§6.1).
+	UseSyscall string
+	// FileSize is the edited document's size in bytes.
+	FileSize int64
+	// VictimStartupMax bounds the uniform pre-save delay modeling editor
+	// activity before the save. Zero selects a default: one quantum on a
+	// uniprocessor (uniform window phase), 2ms on multiprocessors.
+	VictimStartupMax time.Duration
+	// AttackerUID and AttackerGID identify the normal user (default
+	// 1000/1000 when zero).
+	AttackerUID int
+	AttackerGID int
+	// Seed makes the round deterministic.
+	Seed int64
+	// Trace enables event collection (needed for L/D and timelines).
+	Trace bool
+	// TrackContent stores file bytes in the simulated FS.
+	TrackContent bool
+	// UnsynchronizedLookups forwards the fs ablation knob of the same
+	// name (DESIGN.md decision 3); for ablation benchmarks only.
+	UnsynchronizedLookups bool
+	// LoadThreads spawns that many CPU-bound background threads,
+	// modeling system load: on a loaded machine the attacker competes
+	// for the CPU freed by a suspended victim — Equation 1's
+	// P(attack scheduled | victim suspended) term.
+	LoadThreads int
+	// AttackerNice sets the attacker thread's scheduling priority
+	// (lower wins). The paper's §3.2 notes priority as one of the
+	// factors behind P(attack scheduled).
+	AttackerNice int
+	// SuccessCheck overrides the success criterion. The default reports
+	// success when the privileged file's owner became the attacker; the
+	// sendmail-style append attack instead checks for injected content.
+	SuccessCheck func(f *fs.FS, p Paths, attackerUID int) bool
+	// NewGuard optionally builds a kernel defense for each round (see
+	// internal/defense). A fresh guard per round keeps campaign rounds
+	// independent and parallel-safe.
+	NewGuard func() fs.Guard
+	// Paths overrides the fixture layout when non-zero.
+	Paths *Paths
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.AttackerUID == 0 {
+		sc.AttackerUID = 1000
+	}
+	if sc.AttackerGID == 0 {
+		sc.AttackerGID = 1000
+	}
+	if sc.UseSyscall == "" {
+		sc.UseSyscall = "chown"
+	}
+	if sc.VictimStartupMax == 0 {
+		if sc.Machine.CPUs == 1 {
+			sc.VictimStartupMax = sc.Machine.Quantum
+		} else {
+			sc.VictimStartupMax = 2 * time.Millisecond
+		}
+	}
+	if sc.Paths == nil {
+		p := DefaultPaths()
+		sc.Paths = &p
+	}
+	return sc
+}
+
+// Round is the outcome of one simulated race.
+type Round struct {
+	// Success reports whether the victim's chown landed on the
+	// privileged file — the attacker owns /etc/passwd.
+	Success bool
+	// LD carries the L/D measurement (zero unless the scenario traced).
+	LD trace.LDResult
+	// Window is the vulnerability window length, if observed.
+	Window time.Duration
+	// WindowOK reports whether the window was observed (requires Trace).
+	WindowOK bool
+	// VictimSuspended reports whether the victim lost its CPU inside the
+	// vulnerability window — Equation 1's P(victim suspended) event,
+	// measured (requires Trace and an observed window).
+	VictimSuspended bool
+	// VictimErr and AttackerErr record program-level errors (a victim's
+	// chown failing because the attacker raced poorly, etc.). They do
+	// not invalidate the round.
+	VictimErr   error
+	AttackerErr error
+	// Events is the raw trace when tracing was enabled.
+	Events []sim.Event
+	// VictimPID and AttackerPID identify the processes in the trace.
+	VictimPID   int32
+	AttackerPID int32
+	// End is the virtual time at which the round completed.
+	End sim.Time
+}
+
+// RunRound executes one seeded race and reports its outcome.
+func RunRound(sc Scenario) (Round, error) {
+	sc = sc.withDefaults()
+	if sc.Victim == nil || sc.Attacker == nil {
+		return Round{}, fmt.Errorf("core: scenario requires a victim and an attacker")
+	}
+	var tracer *sim.SliceTracer
+	var simTracer sim.Tracer
+	if sc.Trace {
+		tracer = &sim.SliceTracer{}
+		simTracer = tracer
+	}
+	k := sim.New(sc.Machine.SimConfig(sc.Seed, simTracer))
+	f := fs.New(fs.Config{
+		Latency:               sc.Machine.Latency,
+		TrackContent:          sc.TrackContent,
+		UnsynchronizedLookups: sc.UnsynchronizedLookups,
+	})
+	if sc.NewGuard != nil {
+		f.SetGuard(sc.NewGuard())
+	}
+	p := *sc.Paths
+	buildFixture(f, p, sc)
+
+	env := prog.Env{
+		Target:   p.Target,
+		Backup:   p.Backup,
+		Temp:     p.Temp,
+		Passwd:   p.Passwd,
+		Dummy:    p.Dummy,
+		FileSize: sc.FileSize,
+		OwnerUID: sc.AttackerUID,
+		OwnerGID: sc.AttackerGID,
+		Machine:  sc.Machine,
+	}
+
+	victimProc := k.NewProcess(sc.Victim.Name(), 0, 0)
+	attackerProc := k.NewProcess(sc.Attacker.Name(), sc.AttackerUID, sc.AttackerGID)
+	victimImg := userland.NewImage(sc.Machine.TrapCost, true)
+	attackerImg := userland.NewImage(sc.Machine.TrapCost, false)
+
+	startup := stats.UniformDuration(k.RNG(), 0, sc.VictimStartupMax)
+	var victimErr, attackerErr error
+	k.Spawn(victimProc, "victim", func(t *sim.Task) {
+		// Editor activity before the save: randomizes the window's phase
+		// relative to scheduler quanta.
+		t.Compute(startup)
+		victimErr = sc.Victim.Run(userland.Bind(t, f, victimImg), env)
+	})
+	attackerThread := k.Spawn(attackerProc, "attacker", func(t *sim.Task) {
+		attackerErr = sc.Attacker.Run(userland.Bind(t, f, attackerImg), env)
+	})
+	attackerThread.SetNice(sc.AttackerNice)
+	var loadProc *sim.Process
+	if sc.LoadThreads > 0 {
+		loadProc = k.NewProcess("load", 2000, 2000)
+		for i := 0; i < sc.LoadThreads; i++ {
+			k.Spawn(loadProc, fmt.Sprintf("hog%d", i), func(t *sim.Task) {
+				for !t.Killed() {
+					t.Compute(200 * time.Microsecond)
+				}
+			})
+		}
+	}
+	k.OnProcessExit(func(proc *sim.Process) {
+		if proc == victimProc {
+			// The save completed; the window (if any) is closed.
+			k.KillProcess(attackerProc)
+			if loadProc != nil {
+				k.KillProcess(loadProc)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		return Round{}, fmt.Errorf("core: round simulation: %w", err)
+	}
+
+	round := Round{
+		VictimErr:   victimErr,
+		AttackerErr: attackerErr,
+		VictimPID:   int32(victimProc.PID),
+		AttackerPID: int32(attackerProc.PID),
+		End:         k.Now(),
+	}
+	if sc.SuccessCheck != nil {
+		round.Success = sc.SuccessCheck(f, p, sc.AttackerUID)
+	} else {
+		info, err := f.LookupInfo(p.Passwd)
+		if err != nil {
+			return Round{}, fmt.Errorf("core: fixture corrupted, %s vanished: %w", p.Passwd, err)
+		}
+		round.Success = info.UID == sc.AttackerUID
+	}
+	if tracer != nil {
+		round.Events = tracer.Events
+		log := trace.New(tracer.Events)
+		round.LD = trace.MeasureLD(log, trace.LDParams{
+			VictimPID:   round.VictimPID,
+			AttackerPID: round.AttackerPID,
+			Target:      p.Target,
+			UseSyscall:  sc.UseSyscall,
+		})
+		round.Window, round.WindowOK = log.WindowDuration(round.VictimPID, p.Target, sc.UseSyscall)
+		if round.LD.WindowFound && round.LD.T3 > 0 {
+			round.VictimSuspended = log.SuspendedInWindow(round.VictimPID, round.LD.T1, round.LD.T3)
+		}
+	}
+	return round, nil
+}
+
+// buildFixture populates the file system for a round.
+func buildFixture(f *fs.FS, p Paths, sc Scenario) {
+	f.MustMkdirAll("/etc", 0o755, 0, 0)
+	f.MustWriteFile(p.Passwd, p.PasswdSize, 0o644, 0, 0)
+	f.MustMkdirAll(p.Home, 0o755, sc.AttackerUID, sc.AttackerGID)
+	f.MustWriteFile(p.Target, sc.FileSize, 0o644, sc.AttackerUID, sc.AttackerGID)
+	f.MustMkdirAll("/tmp", 0o777|fs.ModeSticky, 0, 0)
+}

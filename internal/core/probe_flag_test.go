@@ -1,0 +1,11 @@
+package core
+
+import "flag"
+
+// probeEnabled gates the calibration probe, which is a tuning aid rather
+// than a correctness test.
+var probeEnabled bool
+
+func init() {
+	flag.BoolVar(&probeEnabled, "probe", false, "run the calibration probe")
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"tocttou/internal/attack"
+	"tocttou/internal/machine"
+	"tocttou/internal/sim"
+	"tocttou/internal/victim"
+)
+
+// TestTraceProbe dumps the interesting part of one gedit round for
+// calibration. Run: go test ./internal/core/ -run TraceProbe -v -probe
+func TestTraceProbe(t *testing.T) {
+	if !probeEnabled {
+		t.Skip("probe disabled")
+	}
+	sc := Scenario{
+		Machine: machine.MultiCore(), Victim: victim.NewGedit(), Attacker: attack.NewV2(),
+		UseSyscall: "chmod", FileSize: 2 << 10, Seed: 53, Trace: true,
+	}
+	r, err := RunRound(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("success=%v LD=%+v", r.Success, r.LD)
+	if !r.LD.WindowFound {
+		t.Fatal("no window")
+	}
+	from := r.LD.T1.Add(-40 * 1000)
+	to := r.LD.T1.Add(60 * 1000)
+	for _, e := range r.Events {
+		if e.T < from || e.T > to {
+			continue
+		}
+		if e.Kind == sim.EvTick || e.Kind == sim.EvNoise {
+			continue
+		}
+		t.Logf("%s", e.String())
+	}
+}

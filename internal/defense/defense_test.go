@@ -1,0 +1,231 @@
+package defense
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tocttou/internal/fs"
+	"tocttou/internal/sim"
+)
+
+// guardHarness runs two threads (root victim, normal-user attacker)
+// against a guarded FS.
+func guardHarness(t *testing.T, g *EDGI, victimFn, attackerFn func(*sim.Task, *fs.FS)) *fs.FS {
+	t.Helper()
+	k := sim.New(sim.Config{CPUs: 2, Quantum: 50 * time.Millisecond, Seed: 3})
+	f := fs.New(fs.Config{Latency: fs.DefaultProfile()})
+	f.SetGuard(g)
+	f.MustMkdirAll("/home/alice", 0o777, 1000, 1000)
+	f.MustWriteFile("/home/alice/f", 1024, 0o644, 1000, 1000)
+	f.MustMkdirAll("/etc", 0o755, 0, 0)
+	f.MustWriteFile("/etc/passwd", 1024, 0o644, 0, 0)
+	root := k.NewProcess("victim", 0, 0)
+	user := k.NewProcess("attacker", 1000, 1000)
+	k.Spawn(root, "victim", func(task *sim.Task) { victimFn(task, f) })
+	k.Spawn(user, "attacker", func(task *sim.Task) { attackerFn(task, f) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEnforceDeniesAttackInsideWindow(t *testing.T) {
+	g := New(Enforce)
+	var unlinkErr error
+	guardHarness(t, g,
+		func(task *sim.Task, f *fs.FS) {
+			// Check: the invariant is established...
+			if _, err := f.Stat(task, "/home/alice/f"); err != nil {
+				t.Errorf("victim stat: %v", err)
+			}
+			task.Compute(50 * time.Microsecond) // the window
+			// ...use: the window closes.
+			if err := f.Chown(task, "/home/alice/f", 1000, 1000); err != nil {
+				t.Errorf("victim chown: %v", err)
+			}
+		},
+		func(task *sim.Task, f *fs.FS) {
+			task.Compute(10 * time.Microsecond) // inside the window
+			unlinkErr = f.Unlink(task, "/home/alice/f")
+		})
+	if !errors.Is(unlinkErr, fs.EACCES) {
+		t.Errorf("attacker unlink err = %v, want EACCES", unlinkErr)
+	}
+	if g.Violations != 1 || g.Denied != 1 {
+		t.Errorf("violations/denied = %d/%d, want 1/1", g.Violations, g.Denied)
+	}
+}
+
+func TestMonitorCountsButAllows(t *testing.T) {
+	g := New(Monitor)
+	var unlinkErr error
+	guardHarness(t, g,
+		func(task *sim.Task, f *fs.FS) {
+			_, _ = f.Stat(task, "/home/alice/f")
+			task.Compute(50 * time.Microsecond)
+			_ = f.Chown(task, "/home/alice/f", 1000, 1000)
+		},
+		func(task *sim.Task, f *fs.FS) {
+			task.Compute(10 * time.Microsecond)
+			unlinkErr = f.Unlink(task, "/home/alice/f")
+		})
+	if unlinkErr != nil {
+		t.Errorf("monitor mode must not deny: %v", unlinkErr)
+	}
+	if g.Violations != 1 || g.Denied != 0 {
+		t.Errorf("violations/denied = %d/%d, want 1/0", g.Violations, g.Denied)
+	}
+}
+
+func TestUseReleasesGuard(t *testing.T) {
+	g := New(Enforce)
+	var afterErr error
+	guardHarness(t, g,
+		func(task *sim.Task, f *fs.FS) {
+			_, _ = f.Stat(task, "/home/alice/f")
+			_ = f.Chown(task, "/home/alice/f", 1000, 1000) // closes the window
+		},
+		func(task *sim.Task, f *fs.FS) {
+			task.Compute(200 * time.Microsecond) // after the window
+			afterErr = f.Unlink(task, "/home/alice/f")
+		})
+	if afterErr != nil {
+		t.Errorf("post-window unlink must succeed: %v", afterErr)
+	}
+}
+
+func TestRenameMovesGuardToNewName(t *testing.T) {
+	g := New(Enforce)
+	var unlinkErr error
+	guardHarness(t, g,
+		func(task *sim.Task, f *fs.FS) {
+			f.MustWriteFile("/home/alice/.tmp", 64, 0o600, 0, 0)
+			if err := f.Rename(task, "/home/alice/.tmp", "/home/alice/f"); err != nil {
+				t.Errorf("rename: %v", err)
+			}
+			task.Compute(50 * time.Microsecond)
+			_ = f.Chown(task, "/home/alice/f", 1000, 1000)
+		},
+		func(task *sim.Task, f *fs.FS) {
+			// Wait until the rename syscall (and its After hook, which
+			// installs the guard) has completed.
+			task.Compute(45 * time.Microsecond)
+			unlinkErr = f.Unlink(task, "/home/alice/f")
+		})
+	if !errors.Is(unlinkErr, fs.EACCES) {
+		t.Errorf("unlink of renamed-to name err = %v, want EACCES (gedit's pair)", unlinkErr)
+	}
+}
+
+func TestNonRootChecksDoNotEstablishGuards(t *testing.T) {
+	// The attacker's own stat loop must not let it guard paths against
+	// root — that would be a DoS primitive.
+	g := New(Enforce)
+	guardHarness(t, g,
+		func(task *sim.Task, f *fs.FS) {
+			task.Compute(20 * time.Microsecond)
+		},
+		func(task *sim.Task, f *fs.FS) {
+			_, _ = f.Stat(task, "/home/alice/f") // attacker "check"
+		})
+	if g.Established != 0 {
+		t.Errorf("established = %d, want 0 (non-root checks ignored)", g.Established)
+	}
+}
+
+func TestSameProcessMutationAllowed(t *testing.T) {
+	g := New(Enforce)
+	guardHarness(t, g,
+		func(task *sim.Task, f *fs.FS) {
+			_, _ = f.Stat(task, "/home/alice/f")
+			// The checker itself may modify the binding.
+			if err := f.Rename(task, "/home/alice/f", "/home/alice/f2"); err != nil {
+				t.Errorf("self rename: %v", err)
+			}
+		},
+		func(task *sim.Task, f *fs.FS) {})
+	if g.Denied != 0 {
+		t.Errorf("denied = %d, want 0", g.Denied)
+	}
+}
+
+func TestGuardExpiresAfterTTL(t *testing.T) {
+	g := New(Enforce)
+	g.ttl = 10 * time.Microsecond
+	var unlinkErr error
+	guardHarness(t, g,
+		func(task *sim.Task, f *fs.FS) {
+			_, _ = f.Stat(task, "/home/alice/f")
+			task.Compute(5 * time.Millisecond) // never issues the use call promptly
+			_ = f.Chown(task, "/home/alice/f", 1000, 1000)
+		},
+		func(task *sim.Task, f *fs.FS) {
+			task.Compute(time.Millisecond) // long after the TTL
+			unlinkErr = f.Unlink(task, "/home/alice/f")
+		})
+	if unlinkErr != nil {
+		t.Errorf("expired guard must not deny: %v", unlinkErr)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Monitor.String() != "monitor" || Enforce.String() != "enforce" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestDelayModeSerializesAfterWindow(t *testing.T) {
+	g := New(Delay)
+	var unlinkErr error
+	var unlinkDone, chownDone sim.Time
+	guardHarness(t, g,
+		func(task *sim.Task, f *fs.FS) {
+			_, _ = f.Stat(task, "/home/alice/f")
+			task.Compute(60 * time.Microsecond) // the window
+			_ = f.Chown(task, "/home/alice/f", 1000, 1000)
+			chownDone = task.Now()
+		},
+		func(task *sim.Task, f *fs.FS) {
+			task.Compute(15 * time.Microsecond) // inside the window
+			unlinkErr = f.Unlink(task, "/home/alice/f")
+			unlinkDone = task.Now()
+		})
+	if unlinkErr != nil {
+		t.Errorf("delay mode must not refuse: %v", unlinkErr)
+	}
+	if unlinkDone <= chownDone {
+		t.Errorf("delayed unlink (%v) must complete after the use (%v)", unlinkDone, chownDone)
+	}
+	if g.Delayed != 1 || g.Denied != 0 {
+		t.Errorf("delayed/denied = %d/%d, want 1/0", g.Delayed, g.Denied)
+	}
+	if g.DelayedTotal <= 0 {
+		t.Error("delay accounting missing")
+	}
+}
+
+func TestDelayModeRespectsTTL(t *testing.T) {
+	g := New(Delay)
+	g.ttl = 30 * time.Microsecond
+	var unlinkErr error
+	var waited sim.Time
+	guardHarness(t, g,
+		func(task *sim.Task, f *fs.FS) {
+			_, _ = f.Stat(task, "/home/alice/f")
+			task.Compute(5 * time.Millisecond) // never issues the use promptly
+			_ = f.Chown(task, "/home/alice/f", 1000, 1000)
+		},
+		func(task *sim.Task, f *fs.FS) {
+			task.Compute(10 * time.Microsecond)
+			start := task.Now()
+			unlinkErr = f.Unlink(task, "/home/alice/f")
+			waited = sim.Time(task.Now() - start)
+		})
+	if unlinkErr != nil {
+		t.Errorf("unlink after TTL expiry: %v", unlinkErr)
+	}
+	if time.Duration(waited) > 200*time.Microsecond {
+		t.Errorf("delay must be bounded by the TTL, waited %v", time.Duration(waited))
+	}
+}

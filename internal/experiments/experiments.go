@@ -1,0 +1,103 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation, plus the headline comparisons and a model-validation
+// sweep. Each driver runs simulated campaigns via internal/core and
+// renders its result in the shape the paper reports, so the CLI
+// (cmd/tocttou), the benchmark harness (bench_test.go), and EXPERIMENTS.md
+// all share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Rounds overrides the experiment's default round count (0 = default).
+	Rounds int
+	// Seed is the base RNG seed (0 = a fixed default, for reproducibility).
+	Seed int64
+	// Sizes overrides the experiment's swept file sizes in KB, where
+	// applicable (nil = default sweep).
+	Sizes []int
+}
+
+func (o Options) rounds(def int) int {
+	if o.Rounds > 0 {
+		return o.Rounds
+	}
+	return def
+}
+
+func (o Options) seed(def int64) int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return def
+}
+
+// Result is a renderable experiment outcome.
+type Result interface {
+	// Name returns the experiment's identifier (e.g. "fig6").
+	Name() string
+	// Render writes the human-readable result.
+	Render(w io.Writer) error
+}
+
+// Runner executes one experiment.
+type Runner func(opt Options) (Result, error)
+
+// registry maps experiment names to runners and descriptions.
+var registry = map[string]struct {
+	run  Runner
+	desc string
+}{
+	"fig6":     {Fig6, "vi attack success rate vs file size on a uniprocessor (paper Fig. 6)"},
+	"vismp":    {ViSMPSweep, "vi attack success on the SMP across 20KB-1MB (paper §5: 100%)"},
+	"fig7":     {Fig7, "L and D vs file size for vi SMP attacks (paper Fig. 7)"},
+	"table1":   {Table1, "vi SMP attack with 1-byte files: L, D, success (paper Table 1)"},
+	"table2":   {Table2, "gedit SMP attack: L, D, predicted vs observed (paper Table 2)"},
+	"geditup":  {GeditUniprocessor, "gedit attack on a uniprocessor (paper §4.2: ~0%)"},
+	"fig8":     {Fig8, "failed gedit attack v1 timeline on the multi-core (paper Fig. 8)"},
+	"geditmc1": {GeditMulticoreV1, "gedit attack v1 campaign on the multi-core (paper §6.2.1: ~0%)"},
+	"fig10":    {Fig10, "successful gedit attack v2 timeline on the multi-core (paper Fig. 10)"},
+	"geditmc2": {GeditMulticoreV2, "gedit attack v2 campaign on the multi-core (paper §6.2.2)"},
+	"fig11":    {Fig11, "pipelined vs sequential attack timing (paper Fig. 11)"},
+	"model":    {ModelValidation, "Equation 1 / formula (1) predictions vs simulated rates"},
+	"headline": {Headline, "uniprocessor vs multiprocessor success rates for all scenarios"},
+	"sendmail": {Sendmail, "blind flip-flop attack on a sendmail-style <lstat, open> pair (paper §1, extension)"},
+	"eq1":      {Eq1, "Equation 1 term study: suspension, load, and attacker priority (extension)"},
+	"session":  {SessionStudy, "per-session risk over repeated saves: 1-(1-p)^k (extension)"},
+	"gapsweep": {GapSweep, "gedit v2 success vs rename→chmod gap width (extension)"},
+	"patched":  {Patched, "fd-based fchown/fchmod application fix vs the same attacks (extension)"},
+	"defense":  {DefenseEvaluation, "attack success with the EDGI-style defense enabled (extension)"},
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(name string) (string, bool) {
+	e, ok := registry[name]
+	if !ok {
+		return "", false
+	}
+	return e.desc, true
+}
+
+// Run executes a registered experiment by name.
+func Run(name string, opt Options) (Result, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.run(opt)
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSendmailContrastAcrossMachines(t *testing.T) {
+	res, err := Sendmail(Options{Rounds: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := res.(*SendmailResult)
+	if len(sm.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 machines", len(sm.Rows))
+	}
+	var up, smp SendmailRow
+	for _, row := range sm.Rows {
+		if strings.Contains(row.Machine, "uniprocessor") {
+			up = row
+		}
+		if strings.Contains(row.Machine, "smp") {
+			smp = row
+		}
+	}
+	if up.Result.Rate() > 0.02 {
+		t.Errorf("uniprocessor capture rate = %.1f%%, want ~0", up.Result.Rate()*100)
+	}
+	if smp.Result.Rate() < 0.05 {
+		t.Errorf("SMP capture rate = %.1f%%, want a real foothold", smp.Result.Rate()*100)
+	}
+	if smp.Refused == 0 {
+		t.Error("the symlink check should catch some flips on the SMP")
+	}
+	total := smp.Result.Successes + smp.Refused
+	if total > smp.Result.Rounds {
+		t.Errorf("outcome accounting broken: %d captured + %d refused > %d rounds",
+			smp.Result.Successes, smp.Refused, smp.Result.Rounds)
+	}
+	if !strings.Contains(render(t, sm), "passwd captured") {
+		t.Error("rendering missing outcome columns")
+	}
+}
+
+func TestEq1TermStudy(t *testing.T) {
+	res, err := Eq1(Options{Rounds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := res.(*Eq1Result)
+	if len(eq.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(eq.Rows))
+	}
+	up, noLoad, loaded, prio := eq.Rows[0], eq.Rows[1], eq.Rows[2], eq.Rows[3]
+	// First term: UP success tracks measured suspension probability.
+	if diff := up.Observed - up.PSuspended; diff < -0.06 || diff > 0.12 {
+		t.Errorf("UP: observed %.2f vs P(susp) %.2f should track", up.Observed, up.PSuspended)
+	}
+	// Second term: near-certain unloaded, degraded by hogs, restored by
+	// priority.
+	if noLoad.Observed < 0.90 {
+		t.Errorf("no-load SMP observed = %.2f, want ~0.96", noLoad.Observed)
+	}
+	if loaded.Observed > noLoad.Observed-0.25 {
+		t.Errorf("load should hurt: %.2f vs %.2f", loaded.Observed, noLoad.Observed)
+	}
+	if prio.Observed < loaded.Observed+0.2 {
+		t.Errorf("priority should restore: %.2f vs %.2f", prio.Observed, loaded.Observed)
+	}
+	if !strings.Contains(render(t, eq), "P(susp)") {
+		t.Error("rendering missing the term columns")
+	}
+}

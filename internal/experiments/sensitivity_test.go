@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSessionStudyCompounds(t *testing.T) {
+	res, err := SessionStudy(Options{Rounds: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.(*SessionResult)
+	if len(s.Rows) != 5 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	if s.PerSave <= 0 || s.PerSave > 0.15 {
+		t.Errorf("per-save rate = %.3f, want low single digits", s.PerSave)
+	}
+	first, last := s.Rows[0], s.Rows[len(s.Rows)-1]
+	if last.Observed <= first.Observed {
+		t.Errorf("risk must compound: %.2f -> %.2f", first.Observed, last.Observed)
+	}
+	if last.Observed < 0.25 {
+		t.Errorf("20-save session success = %.2f, want substantial", last.Observed)
+	}
+	// The geometric model must track observation (binomial noise allowed).
+	if s.MaxAbsGap > 0.18 {
+		t.Errorf("max |observed - geometric| = %.2f, want close tracking", s.MaxAbsGap)
+	}
+	if !strings.Contains(render(t, s), "1-(1-p)^k") {
+		t.Error("rendering missing the geometric column")
+	}
+}
+
+func TestGapSweepCrossover(t *testing.T) {
+	res, err := GapSweep(Options{Rounds: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.(*GapSweepResult)
+	if len(g.Rows) < 5 {
+		t.Fatalf("rows = %d", len(g.Rows))
+	}
+	byGap := map[float64]float64{}
+	for _, row := range g.Rows {
+		byGap[row.GapMicros] = row.Observed
+	}
+	// Zero gap: chmod is issued immediately after rename; the attacker
+	// cannot beat it.
+	if byGap[0] > 0.05 {
+		t.Errorf("gap=0 rate = %.2f, want ~0", byGap[0])
+	}
+	// Wide gap: the attacker wins essentially always.
+	if byGap[24] < 0.9 {
+		t.Errorf("gap=24µs rate = %.2f, want ~1", byGap[24])
+	}
+	// Monotone (within noise) through the crossover.
+	if byGap[8] < byGap[1] {
+		t.Errorf("rates must rise through the crossover: %v", byGap)
+	}
+	// The paper's multi-core sits at 3µs — on the steep part.
+	if byGap[3] < 0.2 || byGap[3] > 0.999 {
+		t.Errorf("gap=3µs rate = %.2f, want mid-curve", byGap[3])
+	}
+}
+
+func TestDefenseReportsBenignOverhead(t *testing.T) {
+	res, err := DefenseEvaluation(Options{Rounds: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.(*DefenseResult)
+	if d.BenignBaseUs <= 0 || d.BenignGuardedUs <= 0 {
+		t.Fatal("benign latencies not measured")
+	}
+	oh := d.OverheadPct()
+	if oh < 0 || oh > 5 {
+		t.Errorf("benign overhead = %.2f%%, want small but non-negative", oh)
+	}
+	if !strings.Contains(render(t, d), "benign-workload cost") {
+		t.Error("rendering missing the overhead line")
+	}
+}
+
+func TestPatchedVictimsAreImmune(t *testing.T) {
+	res, err := Patched(Options{Rounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.(*PatchedResult)
+	if len(p.Rows) != 2 {
+		t.Fatalf("rows = %d", len(p.Rows))
+	}
+	for _, row := range p.Rows {
+		if row.Vulnerable < 0.5 {
+			t.Errorf("%s: vulnerable baseline = %.1f%%, expected potent", row.Scenario, row.Vulnerable*100)
+		}
+		if row.Patched > 0.01 {
+			t.Errorf("%s: patched rate = %.1f%%, want 0", row.Scenario, row.Patched*100)
+		}
+	}
+	// The patched gedit closes the window entirely; patched vi leaves a
+	// visible (but harmless) window.
+	if p.Rows[1].PatchedDetected != 0 {
+		t.Errorf("patched gedit detections = %d, want 0 (no root-owned binding)", p.Rows[1].PatchedDetected)
+	}
+	if p.Rows[0].PatchedDetected == 0 {
+		t.Error("patched vi should still show a (harmless) window")
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+var probeExperiments = flag.Bool("probe", false, "run the experiment smoke probe")
+
+// TestExperimentProbe renders every experiment at reduced scale; a tuning
+// and inspection aid.
+func TestExperimentProbe(t *testing.T) {
+	if !*probeExperiments {
+		t.Skip("probe disabled")
+	}
+	only := os.Getenv("PROBE_ONLY")
+	opt := Options{Rounds: 60}
+	for _, name := range Names() {
+		if only != "" && only != name {
+			continue
+		}
+		res, err := Run(name, opt)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		t.Logf("=== %s ===", name)
+		if err := res.Render(testWriter{t}); err != nil {
+			t.Errorf("%s render: %v", name, err)
+		}
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

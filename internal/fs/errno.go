@@ -1,0 +1,81 @@
+// Package fs implements the simulated Unix-style file system the TOCTTOU
+// experiments run against: an inode table with per-inode semaphores,
+// hierarchical directories with permission checks, symbolic links, and a
+// syscall surface (open/stat/rename/unlink/symlink/chmod/chown/...) whose
+// latencies and locking behavior are modeled after the kernels the DSN'07
+// paper measured.
+//
+// Every operation takes a *sim.Task and charges virtual CPU time from a
+// calibrated LatencyProfile; namespace-modifying operations contend on the
+// same simulated semaphores that decide the paper's races. The filesystem
+// is purely in-memory and in virtual time — nothing touches the host.
+package fs
+
+import "fmt"
+
+// Errno is a Unix-style error number. It implements error so the fs layer
+// can return sentinel errors that carry the familiar names.
+type Errno int
+
+// The subset of errno values the simulated syscalls can produce.
+const (
+	EPERM     Errno = 1
+	ENOENT    Errno = 2
+	EACCES    Errno = 13
+	EEXIST    Errno = 17
+	EXDEV     Errno = 18
+	ENOTDIR   Errno = 20
+	EISDIR    Errno = 21
+	EINVAL    Errno = 22
+	EMFILE    Errno = 24
+	ENOTEMPTY Errno = 39
+	ELOOP     Errno = 40
+	EBADF     Errno = 9
+)
+
+var errnoNames = map[Errno]string{
+	EPERM: "EPERM", ENOENT: "ENOENT", EACCES: "EACCES", EEXIST: "EEXIST",
+	EXDEV: "EXDEV", ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", EINVAL: "EINVAL",
+	EMFILE: "EMFILE", ENOTEMPTY: "ENOTEMPTY", ELOOP: "ELOOP", EBADF: "EBADF",
+}
+
+// Error implements error.
+func (e Errno) Error() string {
+	if s, ok := errnoNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// PathError records an operation, the path it was applied to, and the
+// underlying errno, mirroring os.PathError.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+// Error implements error.
+func (e *PathError) Error() string { return e.Op + " " + e.Path + ": " + e.Err.Error() }
+
+// Unwrap supports errors.Is against the Errno sentinels.
+func (e *PathError) Unwrap() error { return e.Err }
+
+func pathErr(op, path string, errno Errno) error {
+	return &PathError{Op: op, Path: path, Err: errno}
+}
+
+// ErrnoOf extracts the Errno from err, or 0 if none is present.
+func ErrnoOf(err error) Errno {
+	for err != nil {
+		if e, ok := err.(Errno); ok {
+			return e
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return 0
+		}
+		err = u.Unwrap()
+	}
+	return 0
+}

@@ -1,0 +1,63 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrnoNames(t *testing.T) {
+	cases := map[Errno]string{
+		EPERM: "EPERM", ENOENT: "ENOENT", EACCES: "EACCES", EEXIST: "EEXIST",
+		ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", EINVAL: "EINVAL",
+		ENOTEMPTY: "ENOTEMPTY", ELOOP: "ELOOP", EBADF: "EBADF",
+	}
+	for e, want := range cases {
+		if e.Error() != want {
+			t.Errorf("%d.Error() = %q, want %q", int(e), e.Error(), want)
+		}
+	}
+	if Errno(999).Error() != "errno(999)" {
+		t.Errorf("unknown errno = %q", Errno(999).Error())
+	}
+}
+
+func TestPathError(t *testing.T) {
+	err := pathErr("unlink", "/x/y", ENOENT)
+	if !errors.Is(err, ENOENT) {
+		t.Error("PathError must unwrap to its errno")
+	}
+	if got := err.Error(); got != "unlink /x/y: ENOENT" {
+		t.Errorf("message = %q", got)
+	}
+}
+
+func TestErrnoOf(t *testing.T) {
+	if got := ErrnoOf(pathErr("x", "/p", EACCES)); got != EACCES {
+		t.Errorf("ErrnoOf(PathError) = %v", got)
+	}
+	if got := ErrnoOf(fmt.Errorf("wrapped: %w", pathErr("x", "/p", ELOOP))); got != ELOOP {
+		t.Errorf("ErrnoOf(wrapped) = %v", got)
+	}
+	if got := ErrnoOf(errors.New("plain")); got != 0 {
+		t.Errorf("ErrnoOf(plain) = %v, want 0", got)
+	}
+	if got := ErrnoOf(nil); got != 0 {
+		t.Errorf("ErrnoOf(nil) = %v, want 0", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TypeRegular.String() != "file" || TypeDir.String() != "dir" || TypeSymlink.String() != "symlink" {
+		t.Error("FileType names wrong")
+	}
+	if FileType(9).String() != "type(9)" {
+		t.Errorf("unknown type = %q", FileType(9).String())
+	}
+	if OpUnlink.String() != "unlink" || OpAccess.String() != "access" || OpReadDir.String() != "readdir" {
+		t.Error("Op names wrong")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Errorf("unknown op = %q", Op(99).String())
+	}
+}

@@ -1,0 +1,349 @@
+package fs
+
+import (
+	"tocttou/internal/stats"
+
+	"tocttou/internal/sim"
+)
+
+// OpenFlag selects open(2) behavior.
+type OpenFlag uint16
+
+const (
+	// ORead requests read access.
+	ORead OpenFlag = 1 << iota
+	// OWrite requests write access.
+	OWrite
+	// OCreate creates the file if it does not exist.
+	OCreate
+	// OTrunc truncates an existing regular file to zero length.
+	OTrunc
+	// OExcl makes OCreate fail if the file already exists.
+	OExcl
+	// OAppend opens for appending. Writes in this simulation always
+	// append, so the flag is informational, but it documents intent at
+	// call sites like the sendmail-style mailbox delivery.
+	OAppend
+)
+
+// File is an open file description.
+type File struct {
+	fs     *FS
+	node   *inode
+	path   string
+	flags  OpenFlag
+	offset int64
+	closed bool
+}
+
+// Path returns the path the file was opened with.
+func (fl *File) Path() string { return fl.path }
+
+// Open opens (and with OCreate possibly creates) a file. Creation inserts
+// the new dentry while holding the parent directory's semaphore; the new
+// file is owned by the calling process's credential — which is how vi,
+// running as root, creates a root-owned file and opens its <open, chown>
+// vulnerability window (paper §2.1).
+func (f *FS) Open(t *sim.Task, path string, flags OpenFlag, mode Mode) (*File, error) {
+	w := f.walkerFor(t)
+	f.enter(t, OpOpen, path)
+	file, err := f.openLocked(t, w, path, flags, mode)
+	f.exit(t, OpOpen, path, err)
+	f.guardAfter(t, OpOpen, path, "", w.cred, err)
+	return file, err
+}
+
+func (f *FS) openLocked(t *sim.Task, w *walker, path string, flags OpenFlag, mode Mode) (*File, error) {
+	if err := f.guardBefore(t, OpOpen, path, "", w.cred); err != nil {
+		return nil, err
+	}
+	if flags&(ORead|OWrite) == 0 {
+		return nil, pathErr("open", path, EINVAL)
+	}
+	w.charge(f.cfg.Latency.SyscallEntry)
+	res, err := w.resolve("open", path, true, 0)
+	if err != nil {
+		w.flush()
+		return nil, err
+	}
+	if res.node == nil {
+		if flags&OCreate == 0 {
+			w.flush()
+			return nil, pathErr("open", path, ENOENT)
+		}
+		if res.parent == nil || !res.parent.permOK(w.cred, permWrite|permExec) {
+			w.flush()
+			return nil, pathErr("open", path, EACCES)
+		}
+		w.flush()
+		res.parent.sem.Acquire(t)
+		// Re-check under the lock; a concurrent creator may have won.
+		if existing := res.parent.children[res.name]; existing != nil {
+			res.parent.sem.Release(t)
+			return f.openExisting(t, w, path, existing, flags)
+		}
+		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Create))
+		n := f.newInode(TypeRegular, mode, w.cred.UID, w.cred.GID)
+		res.parent.children[res.name] = n
+		t.Trace(sim.Event{Kind: sim.EvNameBind, Path: path, Arg: int64(n.uid)})
+		res.parent.sem.Release(t)
+		n.openCount++
+		return &File{fs: f, node: n, path: path, flags: flags}, nil
+	}
+	if flags&(OCreate|OExcl) == OCreate|OExcl {
+		w.flush()
+		return nil, pathErr("open", path, EEXIST)
+	}
+	return f.openExisting(t, w, path, res.node, flags)
+}
+
+func (f *FS) openExisting(t *sim.Task, w *walker, path string, node *inode, flags OpenFlag) (*File, error) {
+	if node.typ == TypeDir && flags&OWrite != 0 {
+		w.flush()
+		return nil, pathErr("open", path, EISDIR)
+	}
+	var want Mode
+	if flags&ORead != 0 {
+		want |= permRead
+	}
+	if flags&OWrite != 0 {
+		want |= permWrite
+	}
+	if !node.permOK(w.cred, want) {
+		w.flush()
+		return nil, pathErr("open", path, EACCES)
+	}
+	w.charge(f.cfg.Latency.OpenExisting)
+	w.flush()
+	if flags&OTrunc != 0 && flags&OWrite != 0 && node.typ == TypeRegular && node.size > 0 {
+		node.sem.Acquire(t)
+		f.truncateLocked(t, node)
+		node.sem.Release(t)
+	}
+	node.openCount++
+	return &File{fs: f, node: node, path: path, flags: flags}, nil
+}
+
+// Write appends n bytes of synthetic content (sizes only). It holds the
+// inode semaphore for the duration of the copy, and may stall on storage
+// per the profile's dirty-throttling model — on a uniprocessor such a
+// stall suspends the victim mid-window.
+func (fl *File) Write(t *sim.Task, n int64) error {
+	return fl.writeCommon(t, n, nil)
+}
+
+// WriteBytes appends real bytes (stored only when the FS tracks content).
+func (fl *File) WriteBytes(t *sim.Task, b []byte) error {
+	return fl.writeCommon(t, int64(len(b)), b)
+}
+
+func (fl *File) writeCommon(t *sim.Task, n int64, b []byte) error {
+	f := fl.fs
+	f.enter(t, OpWrite, fl.path)
+	err := func() error {
+		cred := credOf(t)
+		if err := f.guardBefore(t, OpWrite, fl.path, "", cred); err != nil {
+			return err
+		}
+		if fl.closed {
+			return pathErr("write", fl.path, EBADF)
+		}
+		if fl.flags&OWrite == 0 {
+			return pathErr("write", fl.path, EBADF)
+		}
+		if n < 0 {
+			return pathErr("write", fl.path, EINVAL)
+		}
+		node := fl.node
+		node.sem.Acquire(t)
+		cost := f.cfg.Latency.WriteBase + perKB(f.cfg.Latency.WritePerKB, n)
+		t.Compute(t.Kernel().JitterDuration(cost))
+		if p := f.cfg.Latency.WriteStallProbPerKB * float64(n) / 1024.0; p > 0 && stats.Bernoulli(t.RNG(), p) {
+			stall := stats.LogNormal(t.RNG(), f.cfg.Latency.StallMedian, 0.7)
+			t.BlockIO(stall)
+		}
+		if f.cfg.TrackContent {
+			if b != nil {
+				node.data = append(node.data, b...)
+			} else {
+				node.data = append(node.data, make([]byte, n)...)
+			}
+		}
+		node.size += n
+		fl.offset += n
+		node.sem.Release(t)
+		return nil
+	}()
+	f.exit(t, OpWrite, fl.path, err)
+	f.guardAfter(t, OpWrite, fl.path, "", credOf(t), err)
+	return err
+}
+
+// Read consumes up to n bytes from the current offset and returns how many
+// were available.
+func (fl *File) Read(t *sim.Task, n int64) (int64, error) {
+	f := fl.fs
+	f.enter(t, OpRead, fl.path)
+	var got int64
+	err := func() error {
+		cred := credOf(t)
+		if err := f.guardBefore(t, OpRead, fl.path, "", cred); err != nil {
+			return err
+		}
+		if fl.closed {
+			return pathErr("read", fl.path, EBADF)
+		}
+		if fl.flags&ORead == 0 {
+			return pathErr("read", fl.path, EBADF)
+		}
+		if n < 0 {
+			return pathErr("read", fl.path, EINVAL)
+		}
+		avail := fl.node.size - fl.offset
+		if avail < 0 {
+			avail = 0
+		}
+		got = n
+		if got > avail {
+			got = avail
+		}
+		cost := f.cfg.Latency.ReadBase + perKB(f.cfg.Latency.ReadPerKB, got)
+		t.Compute(t.Kernel().JitterDuration(cost))
+		fl.offset += got
+		return nil
+	}()
+	f.exit(t, OpRead, fl.path, err)
+	f.guardAfter(t, OpRead, fl.path, "", credOf(t), err)
+	return got, err
+}
+
+// FStat returns the open file's attributes without path resolution.
+func (fl *File) FStat(t *sim.Task) (FileInfo, error) {
+	f := fl.fs
+	f.enter(t, OpStat, fl.path)
+	var info FileInfo
+	err := func() error {
+		if fl.closed {
+			return pathErr("fstat", fl.path, EBADF)
+		}
+		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.SyscallEntry + f.cfg.Latency.StatAttr))
+		info = fl.node.info()
+		return nil
+	}()
+	f.exit(t, OpStat, fl.path, err)
+	return info, err
+}
+
+// Chown changes the open file's ownership by descriptor (fchown(2)).
+// Because no path is resolved, a concurrent rebinding of the name cannot
+// redirect it — this is the canonical application-level fix for the
+// paper's <open, chown> and <rename, chown> pairs.
+func (fl *File) Chown(t *sim.Task, uid, gid int) error {
+	f := fl.fs
+	f.enter(t, OpChown, fl.path)
+	err := func() error {
+		cred := credOf(t)
+		if err := f.guardBefore(t, OpChown, fl.path, "", cred); err != nil {
+			return err
+		}
+		if fl.closed {
+			return pathErr("fchown", fl.path, EBADF)
+		}
+		if !cred.Root() {
+			return pathErr("fchown", fl.path, EPERM)
+		}
+		fl.node.sem.Acquire(t)
+		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chown))
+		fl.node.uid = uid
+		fl.node.gid = gid
+		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "fchown", Path: fl.path, Arg: int64(uid)})
+		fl.node.sem.Release(t)
+		return nil
+	}()
+	f.exit(t, OpChown, fl.path, err)
+	f.guardAfter(t, OpChown, fl.path, "", credOf(t), err)
+	return err
+}
+
+// Chmod changes the open file's permission bits by descriptor (fchmod(2)).
+func (fl *File) Chmod(t *sim.Task, mode Mode) error {
+	f := fl.fs
+	f.enter(t, OpChmod, fl.path)
+	err := func() error {
+		cred := credOf(t)
+		if err := f.guardBefore(t, OpChmod, fl.path, "", cred); err != nil {
+			return err
+		}
+		if fl.closed {
+			return pathErr("fchmod", fl.path, EBADF)
+		}
+		if !cred.Root() && cred.UID != fl.node.uid {
+			return pathErr("fchmod", fl.path, EPERM)
+		}
+		fl.node.sem.Acquire(t)
+		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chmod))
+		fl.node.mode = mode
+		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "fchmod", Path: fl.path, Arg: int64(mode)})
+		fl.node.sem.Release(t)
+		return nil
+	}()
+	f.exit(t, OpChmod, fl.path, err)
+	f.guardAfter(t, OpChmod, fl.path, "", credOf(t), err)
+	return err
+}
+
+// Sync flushes the file's dirty pages to storage, always blocking on I/O
+// for a sampled service time. It does not hold the inode semaphore while
+// waiting, so other namespace operations can proceed — which is exactly
+// what makes an fsync-ing victim easy prey on a uniprocessor.
+func (fl *File) Sync(t *sim.Task) error {
+	f := fl.fs
+	f.enter(t, OpWrite, fl.path)
+	err := func() error {
+		if fl.closed {
+			return pathErr("fsync", fl.path, EBADF)
+		}
+		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.SyscallEntry))
+		stall := stats.LogNormal(t.RNG(), f.cfg.Latency.StallMedian, 0.5)
+		t.BlockIO(stall)
+		return nil
+	}()
+	f.exit(t, OpWrite, fl.path, err)
+	return err
+}
+
+// Close releases the file description. If the file was unlinked while
+// open, the deferred physical truncation is paid here, while holding the
+// inode semaphore — as the final iput does in a real kernel.
+func (fl *File) Close(t *sim.Task) error {
+	f := fl.fs
+	f.enter(t, OpClose, fl.path)
+	err := func() error {
+		cred := credOf(t)
+		if err := f.guardBefore(t, OpClose, fl.path, "", cred); err != nil {
+			return err
+		}
+		if fl.closed {
+			return pathErr("close", fl.path, EBADF)
+		}
+		fl.closed = true
+		node := fl.node
+		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Close))
+		node.openCount--
+		if node.openCount == 0 && node.nlink == 0 && node.unlinked {
+			node.sem.Acquire(t)
+			f.truncateLocked(t, node)
+			f.freeInode(node)
+			node.sem.Release(t)
+		}
+		return nil
+	}()
+	f.exit(t, OpClose, fl.path, err)
+	f.guardAfter(t, OpClose, fl.path, "", credOf(t), err)
+	return err
+}
+
+func credOf(t *sim.Task) Cred {
+	p := t.Process()
+	return Cred{UID: p.UID, GID: p.GID}
+}

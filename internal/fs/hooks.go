@@ -1,0 +1,86 @@
+package fs
+
+import (
+	"fmt"
+
+	"tocttou/internal/sim"
+)
+
+// Op identifies a file-system operation for Guard hooks and tracing.
+type Op uint8
+
+// The operations the simulated kernel exposes.
+const (
+	OpStat Op = iota + 1
+	OpLstat
+	OpOpen
+	OpCreate
+	OpRead
+	OpWrite
+	OpClose
+	OpUnlink
+	OpSymlink
+	OpLink
+	OpRename
+	OpChmod
+	OpChown
+	OpMkdir
+	OpRmdir
+	OpReadlink
+	OpAccess
+	OpReadDir
+)
+
+var opNames = map[Op]string{
+	OpStat: "stat", OpLstat: "lstat", OpOpen: "open", OpCreate: "creat",
+	OpRead: "read", OpWrite: "write", OpClose: "close", OpUnlink: "unlink",
+	OpSymlink: "symlink", OpLink: "link", OpRename: "rename",
+	OpChmod: "chmod", OpChown: "chown", OpMkdir: "mkdir", OpRmdir: "rmdir",
+	OpReadlink: "readlink", OpAccess: "access", OpReadDir: "readdir",
+}
+
+// String returns the syscall name.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Guard is a kernel-level interposition point consulted around every
+// operation. The defense package uses it to implement EDGI-style
+// invariant guarding and RaceGuard-style protections; tests use it for
+// fault injection.
+//
+// Path2 is the second path for two-path operations (rename newpath,
+// symlink target); otherwise empty.
+type Guard interface {
+	// Before may veto the operation by returning a non-nil error, which
+	// is returned to the caller unchanged.
+	Before(t *sim.Task, op Op, path, path2 string, cred Cred) error
+	// After observes the operation's outcome.
+	After(t *sim.Task, op Op, path, path2 string, cred Cred, err error)
+}
+
+func (f *FS) guardBefore(t *sim.Task, op Op, path, path2 string, cred Cred) error {
+	if f.guard == nil {
+		return nil
+	}
+	return f.guard.Before(t, op, path, path2, cred)
+}
+
+func (f *FS) guardAfter(t *sim.Task, op Op, path, path2 string, cred Cred, err error) {
+	if f.guard != nil {
+		f.guard.After(t, op, path, path2, cred, err)
+	}
+}
+
+// enter emits the syscall-entry trace event.
+func (f *FS) enter(t *sim.Task, op Op, path string) {
+	t.Trace(sim.Event{Kind: sim.EvSyscallEnter, Label: op.String(), Path: path})
+}
+
+// exit emits the syscall-exit trace event carrying the errno.
+func (f *FS) exit(t *sim.Task, op Op, path string, err error) {
+	t.Trace(sim.Event{Kind: sim.EvSyscallExit, Label: op.String(), Path: path, Arg: int64(ErrnoOf(err))})
+}

@@ -1,0 +1,354 @@
+package fs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tocttou/internal/sim"
+)
+
+// Ino is an inode number.
+type Ino int64
+
+// FileType distinguishes the inode kinds the experiments need.
+type FileType uint8
+
+const (
+	// TypeRegular is an ordinary file.
+	TypeRegular FileType = iota + 1
+	// TypeDir is a directory.
+	TypeDir
+	// TypeSymlink is a symbolic link.
+	TypeSymlink
+)
+
+// String returns a short name for the type.
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Mode holds Unix permission bits plus the sticky bit (0o1000).
+type Mode uint16
+
+// ModeSticky is the sticky bit: in a sticky directory only the file owner
+// (or the directory owner, or root) may unlink or rename entries.
+const ModeSticky Mode = 0o1000
+
+// Cred is the credential an operation runs under.
+type Cred struct {
+	UID int
+	GID int
+}
+
+// Root reports whether the credential is the superuser.
+func (c Cred) Root() bool { return c.UID == 0 }
+
+// FileInfo is the result of Stat/Lstat.
+type FileInfo struct {
+	Ino   Ino
+	Type  FileType
+	Mode  Mode
+	UID   int
+	GID   int
+	Size  int64
+	Nlink int
+	// Target is the link target for symlinks.
+	Target string
+}
+
+// inode is the in-core representation of a file-system object.
+type inode struct {
+	ino   Ino
+	typ   FileType
+	mode  Mode
+	uid   int
+	gid   int
+	size  int64
+	nlink int
+	data  []byte // content when the FS tracks content
+	// target is the symlink destination.
+	target string
+	// children maps names to inodes for directories.
+	children map[string]*inode
+	// sem is the inode semaphore (i_sem): namespace and attribute
+	// modifications of this object serialize on it.
+	sem *sim.Sem
+	// dcache is the dentry-level lock of a directory: rename's dentry
+	// swap holds it, and concurrent lookups of names in the directory
+	// stall behind it (the "stat lengthened" effect of the paper's
+	// Fig. 10). Plain unlink/create/symlink do NOT hold it across their
+	// work — cached lookups do not block on a directory's i_sem.
+	dcache *sim.Sem
+	// openCount is the number of open file descriptions; unlinked files
+	// are truncated only when the last one closes.
+	openCount int
+	// unlinked marks an inode whose last name was removed.
+	unlinked bool
+}
+
+// Config parameterizes a simulated file system.
+type Config struct {
+	// Latency is the operation cost calibration.
+	Latency LatencyProfile
+	// TrackContent stores file bytes; experiments usually track only
+	// sizes to keep memory flat across thousands of rounds.
+	TrackContent bool
+	// UnsynchronizedLookups disables lookup blocking behind rename's
+	// dentry swap. Ablation only: it removes the mechanism that
+	// synchronizes the attacker's detection with the opening of the
+	// gedit window (DESIGN.md decision 3).
+	UnsynchronizedLookups bool
+}
+
+// FS is a simulated Unix-style file system.
+type FS struct {
+	cfg     Config
+	root    *inode
+	nextIno Ino
+	guard   Guard
+	// inodeCount tracks live inodes for leak assertions in tests.
+	inodeCount int
+}
+
+// New creates an empty file system with a root directory owned by root.
+func New(cfg Config) *FS {
+	f := &FS{cfg: cfg}
+	f.root = f.newInode(TypeDir, 0o755, 0, 0)
+	f.root.nlink = 2
+	return f
+}
+
+// Latency returns the profile the file system charges from.
+func (f *FS) Latency() LatencyProfile { return f.cfg.Latency }
+
+// SetGuard installs a Guard consulted before and after every operation.
+// Pass nil to remove.
+func (f *FS) SetGuard(g Guard) { f.guard = g }
+
+func (f *FS) newInode(typ FileType, mode Mode, uid, gid int) *inode {
+	f.nextIno++
+	f.inodeCount++
+	ino := &inode{
+		ino:   f.nextIno,
+		typ:   typ,
+		mode:  mode,
+		uid:   uid,
+		gid:   gid,
+		nlink: 1,
+		sem:   sim.NewSem(fmt.Sprintf("ino:%d", f.nextIno)),
+	}
+	if typ == TypeDir {
+		ino.children = make(map[string]*inode)
+		ino.dcache = sim.NewSem(fmt.Sprintf("dcache:%d", f.nextIno))
+	}
+	return ino
+}
+
+func (f *FS) freeInode(n *inode) {
+	f.inodeCount--
+	n.data = nil
+}
+
+// InodeCount returns the number of live inodes (for leak checks in tests).
+func (f *FS) InodeCount() int { return f.inodeCount }
+
+func (n *inode) info() FileInfo {
+	return FileInfo{
+		Ino: n.ino, Type: n.typ, Mode: n.mode, UID: n.uid, GID: n.gid,
+		Size: n.size, Nlink: n.nlink, Target: n.target,
+	}
+}
+
+// permBits selects the permission triplet that applies to cred.
+func (n *inode) permOK(cred Cred, want Mode) bool {
+	if cred.Root() {
+		return true
+	}
+	var bits Mode
+	switch {
+	case cred.UID == n.uid:
+		bits = (n.mode >> 6) & 7
+	case cred.GID == n.gid:
+		bits = (n.mode >> 3) & 7
+	default:
+		bits = n.mode & 7
+	}
+	return bits&want == want
+}
+
+const (
+	permRead  Mode = 4
+	permWrite Mode = 2
+	permExec  Mode = 1
+)
+
+// stickyDenies implements the sticky-bit unlink/rename restriction.
+func stickyDenies(parent, node *inode, cred Cred) bool {
+	if cred.Root() || parent.mode&ModeSticky == 0 {
+		return false
+	}
+	return cred.UID != node.uid && cred.UID != parent.uid
+}
+
+// splitPath normalizes an absolute path into components. It rejects
+// relative paths: the simulated processes always use absolute names.
+func splitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, EINVAL
+	}
+	raw := strings.Split(path, "/")
+	comps := make([]string, 0, len(raw))
+	for _, c := range raw {
+		switch c {
+		case "", ".":
+			continue
+		case "..":
+			if len(comps) > 0 {
+				comps = comps[:len(comps)-1]
+			}
+		default:
+			comps = append(comps, c)
+		}
+	}
+	return comps, nil
+}
+
+// --- Fixture helpers -----------------------------------------------------
+//
+// The Must* methods build or inspect the tree directly, bypassing timing,
+// locking, and permission checks. They are for experiment setup and
+// post-run assertions only and must not be called while the kernel runs.
+
+// MustMkdirAll creates a directory path (and missing parents).
+func (f *FS) MustMkdirAll(path string, mode Mode, uid, gid int) {
+	comps, err := splitPath(path)
+	if err != nil {
+		panic(fmt.Sprintf("fs: MustMkdirAll %q: %v", path, err))
+	}
+	cur := f.root
+	for _, c := range comps {
+		next, ok := cur.children[c]
+		if !ok {
+			next = f.newInode(TypeDir, mode, uid, gid)
+			next.nlink = 2
+			cur.children[c] = next
+			cur.nlink++
+		}
+		if next.typ != TypeDir {
+			panic(fmt.Sprintf("fs: MustMkdirAll %q: %q is not a directory", path, c))
+		}
+		cur = next
+	}
+}
+
+// MustWriteFile creates (or replaces) a regular file of the given size.
+func (f *FS) MustWriteFile(path string, size int64, mode Mode, uid, gid int) {
+	parent, name := f.mustParent(path)
+	n := f.newInode(TypeRegular, mode, uid, gid)
+	n.size = size
+	if f.cfg.TrackContent {
+		n.data = make([]byte, size)
+	}
+	if old, ok := parent.children[name]; ok {
+		f.freeInode(old)
+	}
+	parent.children[name] = n
+}
+
+// MustSymlink creates a symbolic link.
+func (f *FS) MustSymlink(target, linkpath string, uid, gid int) {
+	parent, name := f.mustParent(linkpath)
+	n := f.newInode(TypeSymlink, 0o777, uid, gid)
+	n.target = target
+	n.size = int64(len(target))
+	parent.children[name] = n
+}
+
+func (f *FS) mustParent(path string) (*inode, string) {
+	comps, err := splitPath(path)
+	if err != nil || len(comps) == 0 {
+		panic(fmt.Sprintf("fs: bad fixture path %q", path))
+	}
+	cur := f.root
+	for _, c := range comps[:len(comps)-1] {
+		next, ok := cur.children[c]
+		if !ok || next.typ != TypeDir {
+			panic(fmt.Sprintf("fs: fixture parent missing for %q", path))
+		}
+		cur = next
+	}
+	return cur, comps[len(comps)-1]
+}
+
+// LookupInfo inspects a path without timing or locking, following symlinks.
+// For post-run assertions (e.g. "who owns /etc/passwd now?").
+func (f *FS) LookupInfo(path string) (FileInfo, error) {
+	n, err := f.lookupNoCharge(path, true, 0)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return n.info(), nil
+}
+
+// LookupLinkInfo is LookupInfo without following a final symlink.
+func (f *FS) LookupLinkInfo(path string) (FileInfo, error) {
+	n, err := f.lookupNoCharge(path, false, 0)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return n.info(), nil
+}
+
+func (f *FS) lookupNoCharge(path string, follow bool, depth int) (*inode, error) {
+	if depth > maxSymlinkDepth {
+		return nil, pathErr("lookup", path, ELOOP)
+	}
+	comps, err := splitPath(path)
+	if err != nil {
+		return nil, pathErr("lookup", path, EINVAL)
+	}
+	cur := f.root
+	for i, c := range comps {
+		if cur.typ != TypeDir {
+			return nil, pathErr("lookup", path, ENOTDIR)
+		}
+		next, ok := cur.children[c]
+		if !ok {
+			return nil, pathErr("lookup", path, ENOENT)
+		}
+		last := i == len(comps)-1
+		if next.typ == TypeSymlink && (!last || follow) {
+			return f.lookupNoCharge(expandLink(comps[:i], next.target, comps[i+1:]), follow, depth+1)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// List returns the sorted names in a directory, bypassing timing. For
+// tests and debugging.
+func (f *FS) List(path string) ([]string, error) {
+	n, err := f.lookupNoCharge(path, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	if n.typ != TypeDir {
+		return nil, pathErr("list", path, ENOTDIR)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,146 @@
+package fs
+
+import (
+	"strings"
+	"time"
+
+	"tocttou/internal/sim"
+)
+
+// maxSymlinkDepth bounds symlink expansion during resolution (ELOOP).
+const maxSymlinkDepth = 40
+
+// walker accumulates lookup costs during path resolution and charges them
+// lazily, so an uncontended resolution costs a single Compute. When a
+// directory semaphore is held by another thread the walker flushes and
+// blocks — this is the per-component dentry contention that "lengthens" the
+// attacker's stat in the paper's Fig. 10 and synchronizes detection with
+// the victim's rename.
+type walker struct {
+	f       *FS
+	t       *sim.Task
+	cred    Cred
+	pending time.Duration
+}
+
+func (f *FS) walkerFor(t *sim.Task) *walker {
+	p := t.Process()
+	return &walker{f: f, t: t, cred: Cred{UID: p.UID, GID: p.GID}}
+}
+
+// charge defers d of CPU cost until the next flush.
+func (w *walker) charge(d time.Duration) { w.pending += d }
+
+// flush charges the accumulated cost (with machine jitter) as one segment.
+func (w *walker) flush() {
+	if w.pending > 0 {
+		w.t.Compute(w.t.Kernel().JitterDuration(w.pending))
+		w.pending = 0
+	}
+}
+
+// touchDir models the dentry lookup of one component inside dir: free
+// directories cost only the lookup latency; a directory whose dentries are
+// being moved by a rename blocks the walker until the swap completes, and
+// the walker then observes the post-swap binding — the mechanism that
+// synchronizes the attacker's detection with the opening of the gedit
+// window (§6).
+func (w *walker) touchDir(dir *inode) {
+	if w.f.cfg.UnsynchronizedLookups {
+		w.charge(w.f.cfg.Latency.Lookup)
+		return
+	}
+	if owner := dir.dcache.Owner(); owner != nil && owner != w.t.Thread() {
+		w.flush()
+		dir.dcache.Acquire(w.t)
+		w.t.Compute(w.t.Kernel().JitterDuration(w.f.cfg.Latency.Lookup))
+		dir.dcache.Release(w.t)
+		return
+	}
+	w.charge(w.f.cfg.Latency.Lookup)
+}
+
+// resolution is the outcome of a timed path walk.
+type resolution struct {
+	parent *inode // directory containing the final component (nil for "/")
+	name   string // final component name ("" for "/")
+	node   *inode // resolved inode, nil if the final component is absent
+}
+
+// resolve walks path, charging lookup costs and honoring search permissions.
+// If follow is true a symlink in the final position is expanded. A missing
+// FINAL component is not an error (node == nil) so creating operations can
+// share the walk; a missing intermediate component is ENOENT.
+func (w *walker) resolve(op, path string, follow bool, depth int) (resolution, error) {
+	if depth > maxSymlinkDepth {
+		return resolution{}, pathErr(op, path, ELOOP)
+	}
+	comps, err := splitPath(path)
+	if err != nil {
+		return resolution{}, pathErr(op, path, EINVAL)
+	}
+	if len(comps) == 0 {
+		return resolution{node: w.f.root}, nil
+	}
+	cur := w.f.root
+	for i, c := range comps {
+		if cur.typ != TypeDir {
+			return resolution{}, pathErr(op, path, ENOTDIR)
+		}
+		if !cur.permOK(w.cred, permExec) {
+			return resolution{}, pathErr(op, path, EACCES)
+		}
+		w.touchDir(cur)
+		next := cur.children[c]
+		last := i == len(comps)-1
+		if last {
+			if next != nil && next.typ == TypeSymlink && follow {
+				w.charge(w.f.cfg.Latency.Readlink)
+				return w.resolve(op, expandLink(comps[:i], next.target, nil), follow, depth+1)
+			}
+			return resolution{parent: cur, name: c, node: next}, nil
+		}
+		if next == nil {
+			return resolution{}, pathErr(op, path, ENOENT)
+		}
+		if next.typ == TypeSymlink {
+			w.charge(w.f.cfg.Latency.Readlink)
+			return w.resolve(op, expandLink(comps[:i], next.target, comps[i+1:]), follow, depth+1)
+		}
+		cur = next
+	}
+	return resolution{}, pathErr(op, path, EINVAL) // unreachable
+}
+
+// expandLink builds the path to continue resolution at after following a
+// symlink: an absolute target replaces the walked prefix; a relative
+// target is interpreted relative to the directory containing the link
+// (dirComps). rest is the remaining unresolved components, if any.
+func expandLink(dirComps []string, target string, rest []string) string {
+	var b strings.Builder
+	if strings.HasPrefix(target, "/") {
+		b.WriteString(target)
+	} else {
+		b.WriteByte('/')
+		b.WriteString(strings.Join(dirComps, "/"))
+		b.WriteByte('/')
+		b.WriteString(target)
+	}
+	if len(rest) > 0 {
+		b.WriteByte('/')
+		b.WriteString(strings.Join(rest, "/"))
+	}
+	return b.String()
+}
+
+// resolveExisting resolves a path that must exist.
+func (w *walker) resolveExisting(op, path string, follow bool) (resolution, error) {
+	res, err := w.resolve(op, path, follow, 0)
+	if err != nil {
+		return resolution{}, err
+	}
+	if res.node == nil {
+		return resolution{}, pathErr(op, path, ENOENT)
+	}
+	return res, nil
+}

@@ -1,0 +1,142 @@
+// Package machine defines calibrated profiles of the paper's three
+// testbeds: the uniprocessor baseline of §4, the 2-way Xeon SMP of §5-6.1,
+// and the Pentium-D multi-core of §6.2. A profile bundles a scheduler
+// configuration, a file-system latency profile, and the victim/attacker
+// timing parameters the paper reports (page-fault trap cost, gedit's
+// rename→chmod compute gap).
+//
+// Calibration philosophy: the absolute microsecond values are inputs taken
+// from the paper's own measurements; everything else — who wins each race,
+// success rates, L and D distributions — is emergent from the simulation.
+package machine
+
+import (
+	"time"
+
+	"tocttou/internal/fs"
+	"tocttou/internal/sim"
+)
+
+// Profile describes one simulated machine.
+type Profile struct {
+	// Name identifies the machine in reports.
+	Name string
+	// CPUs is the processor count.
+	CPUs int
+	// SpeedFactor scales CPU-bound latencies relative to the 3.2 GHz
+	// base calibration (1.88 for the 1.7 GHz Xeons).
+	SpeedFactor float64
+	// Quantum is the scheduler time slice.
+	Quantum time.Duration
+	// CtxSwitch is the context-switch/dispatch latency.
+	CtxSwitch time.Duration
+	// TickPeriod and TickCost model the timer interrupt.
+	TickPeriod time.Duration
+	TickCost   time.Duration
+	// Noise models background kernel activity per CPU.
+	Noise sim.NoiseConfig
+	// Jitter is the relative latency noise applied to modeled costs.
+	Jitter float64
+	// TrapCost is the page-fault service time for a cold libc stub page
+	// (6 µs on the multi-core per §6.2.1).
+	TrapCost time.Duration
+	// GeditRenameChmodGap is gedit's user-space computation between
+	// rename returning and chmod being issued: 43 µs on the SMP (§6.1)
+	// vs 3 µs on the multi-core (§6.2.1) — the paper's key asymmetry.
+	GeditRenameChmodGap time.Duration
+	// Latency is the file-system cost calibration.
+	Latency fs.LatencyProfile
+}
+
+// SimConfig derives the kernel configuration (callers fill Seed/Tracer).
+func (p Profile) SimConfig(seed int64, tracer sim.Tracer) sim.Config {
+	return sim.Config{
+		CPUs:       p.CPUs,
+		Quantum:    p.Quantum,
+		CtxSwitch:  p.CtxSwitch,
+		TickPeriod: p.TickPeriod,
+		TickCost:   p.TickCost,
+		Noise:      p.Noise,
+		Jitter:     p.Jitter,
+		Seed:       seed,
+		Tracer:     tracer,
+	}
+}
+
+// ScaleCompute scales a base (3.2 GHz) user-space compute cost to this
+// machine's speed.
+func (p Profile) ScaleCompute(base time.Duration) time.Duration {
+	return time.Duration(float64(base) * p.SpeedFactor)
+}
+
+// MultiCore models the Dell Precision 380 of §6.2: Pentium D 3.2 GHz
+// dual-core with Hyper-Threading (4 logical CPUs).
+func MultiCore() Profile {
+	return Profile{
+		Name:        "multicore-3.2GHz-4way",
+		CPUs:        4,
+		SpeedFactor: 1.0,
+		Quantum:     100 * time.Millisecond,
+		CtxSwitch:   1500 * time.Nanosecond,
+		TickPeriod:  time.Millisecond,
+		TickCost:    1200 * time.Nanosecond,
+		Noise: sim.NoiseConfig{
+			MeanInterval: 2500 * time.Microsecond,
+			MeanDuration: 20 * time.Microsecond,
+		},
+		Jitter:              0.06,
+		TrapCost:            6 * time.Microsecond,
+		GeditRenameChmodGap: 3 * time.Microsecond,
+		Latency:             fs.DefaultProfile(),
+	}
+}
+
+// xeonFactor is the SMP's clock handicap relative to the base calibration.
+const xeonFactor = 1.88
+
+// SMP2 models the §5 testbed: 2 × Intel Xeon 1.7 GHz.
+func SMP2() Profile {
+	return Profile{
+		Name:        "smp-1.7GHz-2way",
+		CPUs:        2,
+		SpeedFactor: xeonFactor,
+		Quantum:     100 * time.Millisecond,
+		CtxSwitch:   2800 * time.Nanosecond,
+		TickPeriod:  time.Millisecond,
+		TickCost:    2300 * time.Nanosecond,
+		Noise: sim.NoiseConfig{
+			MeanInterval: 2 * time.Millisecond,
+			MeanDuration: 30 * time.Microsecond,
+		},
+		Jitter:              0.07,
+		TrapCost:            11 * time.Microsecond,
+		GeditRenameChmodGap: 43 * time.Microsecond,
+		Latency:             fs.DefaultProfile().Scale(xeonFactor),
+	}
+}
+
+// Uniprocessor models the §4 baseline: the same 1.7 GHz-class machine with
+// a single CPU. Its storage-stall model is enabled: on one CPU the victim
+// blocking on I/O mid-window is one of the two ways the attacker ever runs.
+func Uniprocessor() Profile {
+	p := SMP2()
+	p.Name = "uniprocessor-1.7GHz"
+	p.CPUs = 1
+	p.Latency.WriteStallProbPerKB = 0.000015
+	p.Latency.StallMedian = 5 * time.Millisecond
+	return p
+}
+
+// ByName returns a profile by its short name: "up", "smp", or "multicore".
+func ByName(name string) (Profile, bool) {
+	switch name {
+	case "up", "uniprocessor":
+		return Uniprocessor(), true
+	case "smp", "smp2":
+		return SMP2(), true
+	case "multicore", "mc":
+		return MultiCore(), true
+	default:
+		return Profile{}, false
+	}
+}

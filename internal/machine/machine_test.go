@@ -1,0 +1,93 @@
+package machine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfilesMatchPaperTestbeds(t *testing.T) {
+	up := Uniprocessor()
+	smp := SMP2()
+	mc := MultiCore()
+
+	if up.CPUs != 1 {
+		t.Errorf("uniprocessor CPUs = %d", up.CPUs)
+	}
+	if smp.CPUs != 2 {
+		t.Errorf("SMP CPUs = %d", smp.CPUs)
+	}
+	if mc.CPUs != 4 {
+		t.Errorf("multi-core CPUs = %d (2 dual cores with HT)", mc.CPUs)
+	}
+	// §6.1 vs §6.2.1: the gedit rename→chmod gap is 43µs vs 3µs.
+	if smp.GeditRenameChmodGap != 43*time.Microsecond {
+		t.Errorf("SMP gedit gap = %v, want 43µs", smp.GeditRenameChmodGap)
+	}
+	if mc.GeditRenameChmodGap != 3*time.Microsecond {
+		t.Errorf("multi-core gedit gap = %v, want 3µs", mc.GeditRenameChmodGap)
+	}
+	// §6.2.1: the trap costs 6µs on the multi-core.
+	if mc.TrapCost != 6*time.Microsecond {
+		t.Errorf("multi-core trap = %v, want 6µs", mc.TrapCost)
+	}
+	if up.Latency.WriteStallProbPerKB <= 0 {
+		t.Error("uniprocessor must model storage stalls")
+	}
+	if smp.Latency.WriteStallProbPerKB != 0 {
+		t.Error("SMP profile should not rely on storage stalls")
+	}
+}
+
+func TestScaleCompute(t *testing.T) {
+	smp := SMP2()
+	got := smp.ScaleCompute(100 * time.Microsecond)
+	want := time.Duration(188 * time.Microsecond)
+	if got != want {
+		t.Errorf("scaled = %v, want %v", got, want)
+	}
+	mc := MultiCore()
+	if mc.ScaleCompute(time.Millisecond) != time.Millisecond {
+		t.Error("base machine must scale by 1.0")
+	}
+}
+
+func TestLatencyScalingConsistency(t *testing.T) {
+	smp := SMP2()
+	mc := MultiCore()
+	ratio := float64(smp.Latency.Lookup) / float64(mc.Latency.Lookup)
+	if ratio < 1.87 || ratio > 1.89 {
+		t.Errorf("lookup ratio = %v, want 1.88 (clock scaling)", ratio)
+	}
+	// Storage parameters must NOT scale with clock speed.
+	if smp.Latency.StallMedian != mc.Latency.StallMedian {
+		t.Error("stall median should not scale with CPU speed")
+	}
+}
+
+func TestSimConfig(t *testing.T) {
+	p := SMP2()
+	cfg := p.SimConfig(42, nil)
+	if cfg.CPUs != 2 || cfg.Seed != 42 || cfg.Quantum != p.Quantum {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.Jitter <= 0 {
+		t.Error("machine jitter must be positive: races must be statistical")
+	}
+	if cfg.Noise.MeanInterval <= 0 {
+		t.Error("background noise must be configured (§5 failed 1-byte rounds)")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, cpus := range map[string]int{
+		"up": 1, "uniprocessor": 1, "smp": 2, "smp2": 2, "multicore": 4, "mc": 4,
+	} {
+		p, ok := ByName(name)
+		if !ok || p.CPUs != cpus {
+			t.Errorf("ByName(%q) = %+v, %v", name, p.Name, ok)
+		}
+	}
+	if _, ok := ByName("quantum-computer"); ok {
+		t.Error("unknown machine must not resolve")
+	}
+}

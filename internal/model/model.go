@@ -1,0 +1,235 @@
+// Package model implements the paper's probabilistic model for TOCTTOU
+// attack success (§3): Equation 1's total-probability decomposition over
+// victim suspension, and formula (1)'s L/D laxity rate for the
+// multiprocessor case, plus noise-aware refinements and the uniprocessor
+// suspension estimator used to predict Figure 6.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tocttou/internal/stats"
+)
+
+// Equation1 carries the five conditional probabilities of the paper's
+// Equation 1:
+//
+//	P(success) = P(susp)·P(sched|susp)·P(fin|susp)
+//	           + P(¬susp)·P(sched|¬susp)·P(fin|¬susp)
+//
+// All events are implicitly "within the victim's vulnerability window".
+type Equation1 struct {
+	// PVictimSuspended is the probability the victim is suspended inside
+	// its vulnerability window.
+	PVictimSuspended float64
+	// PScheduledGivenSuspended is the probability the attacker gets a CPU
+	// while the victim is suspended.
+	PScheduledGivenSuspended float64
+	// PFinishedGivenSuspended is the probability the attack completes
+	// within the window when the victim is suspended.
+	PFinishedGivenSuspended float64
+	// PScheduledGivenRunning is the probability the attacker gets a CPU
+	// while the victim runs. On a uniprocessor this is identically zero —
+	// the paper's central observation (§3.2).
+	PScheduledGivenRunning float64
+	// PFinishedGivenRunning is the probability the attack completes in
+	// time while racing the running victim — formula (1)'s L/D term.
+	PFinishedGivenRunning float64
+}
+
+// ErrProbabilityRange reports an Equation1 field outside [0, 1].
+var ErrProbabilityRange = errors.New("model: probability outside [0, 1]")
+
+// Validate checks all fields lie in [0, 1].
+func (e Equation1) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PVictimSuspended", e.PVictimSuspended},
+		{"PScheduledGivenSuspended", e.PScheduledGivenSuspended},
+		{"PFinishedGivenSuspended", e.PFinishedGivenSuspended},
+		{"PScheduledGivenRunning", e.PScheduledGivenRunning},
+		{"PFinishedGivenRunning", e.PFinishedGivenRunning},
+	} {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return fmt.Errorf("%w: %s = %v", ErrProbabilityRange, p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// SuccessProbability evaluates Equation 1.
+func (e Equation1) SuccessProbability() (float64, error) {
+	if err := e.Validate(); err != nil {
+		return 0, err
+	}
+	p := e.PVictimSuspended*e.PScheduledGivenSuspended*e.PFinishedGivenSuspended +
+		(1-e.PVictimSuspended)*e.PScheduledGivenRunning*e.PFinishedGivenRunning
+	return p, nil
+}
+
+// Uniprocessor returns the Equation-1 instance for a uniprocessor: the
+// second term vanishes because the attacker can never be scheduled while
+// the victim runs (§3.2).
+func Uniprocessor(pSuspended, pScheduled, pFinished float64) Equation1 {
+	return Equation1{
+		PVictimSuspended:         pSuspended,
+		PScheduledGivenSuspended: pScheduled,
+		PFinishedGivenSuspended:  pFinished,
+	}
+}
+
+// LDRate implements formula (1): the probability that a detection loop of
+// period D starting uniformly inside the window launches the attack before
+// the laxity L runs out.
+//
+//	rate = 0       if L < 0
+//	     = L / D   if 0 <= L < D
+//	     = 1       if L >= D
+func LDRate(l, d float64) float64 {
+	switch {
+	case d <= 0:
+		if l >= 0 {
+			return 1
+		}
+		return 0
+	case l < 0:
+		return 0
+	case l < d:
+		return l / d
+	default:
+		return 1
+	}
+}
+
+// LDRateDurations is LDRate over time.Durations.
+func LDRateDurations(l, d time.Duration) float64 {
+	return LDRate(float64(l), float64(d))
+}
+
+// MonteCarloLD refines formula (1) when L and D are noisy: it samples both
+// from normal distributions (truncated at zero for D) and averages the
+// per-sample rate. This captures the paper's §5 observation that "whether
+// L > D all the time becomes questionable when they are close enough".
+func MonteCarloLD(rng *rand.Rand, lMean, lStdev, dMean, dStdev float64, n int) float64 {
+	if n <= 0 {
+		n = 10000
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		l := lMean + rng.NormFloat64()*lStdev
+		d := dMean + rng.NormFloat64()*dStdev
+		if d < 1e-9 {
+			d = 1e-9
+		}
+		sum += LDRate(l, d)
+	}
+	return sum / float64(n)
+}
+
+// MultiprocessorSuccess predicts the multiprocessor attack success rate
+// from measured L and D statistics (the paper's Tables 1 and 2 inputs),
+// using the Monte-Carlo refinement when variance is available.
+func MultiprocessorSuccess(l, d stats.Summary, seed int64) float64 {
+	if l.N() == 0 || d.N() == 0 {
+		return 0
+	}
+	if l.Stdev() == 0 && d.Stdev() == 0 {
+		return LDRate(l.Mean(), d.Mean())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return MonteCarloLD(rng, l.Mean(), l.Stdev(), d.Mean(), d.Stdev(), 20000)
+}
+
+// UniprocessorSuspension estimates P(victim suspended within the window)
+// for a victim whose window has the given length under a round-robin
+// scheduler with the given quantum, plus an independent storage-stall
+// probability within the window. The window start is assumed uniform in
+// the victim's quantum phase, giving P(preempted) ≈ window/quantum.
+func UniprocessorSuspension(window, quantum time.Duration, stallProb float64) float64 {
+	if quantum <= 0 {
+		return clamp01(stallProb)
+	}
+	pPreempt := float64(window) / float64(quantum)
+	if pPreempt > 1 {
+		pPreempt = 1
+	}
+	if pPreempt < 0 {
+		pPreempt = 0
+	}
+	return clamp01(1 - (1-pPreempt)*(1-clamp01(stallProb)))
+}
+
+// StallProbability returns the chance of at least one storage stall while
+// writing total bytes with the given per-KB stall probability.
+func StallProbability(totalBytes int64, probPerKB float64) float64 {
+	if totalBytes <= 0 || probPerKB <= 0 {
+		return 0
+	}
+	kb := float64(totalBytes) / 1024.0
+	return clamp01(1 - math.Pow(1-clamp01(probPerKB), kb))
+}
+
+// LinearFit returns the least-squares line y = intercept + slope·x.
+// Used to check Fig. 7's "L grows linearly with file size" claim.
+func LinearFit(xs, ys []float64) (intercept, slope float64, ok bool) {
+	n := len(xs)
+	if n < 2 || len(ys) != n {
+		return 0, 0, false
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, false
+	}
+	slope = (float64(n)*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / float64(n)
+	return intercept, slope, true
+}
+
+// Correlation returns the Pearson correlation coefficient of xs and ys.
+func Correlation(xs, ys []float64) (float64, bool) {
+	n := len(xs)
+	if n < 2 || len(ys) != n {
+		return 0, false
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, false
+	}
+	return sxy / math.Sqrt(sxx*syy), true
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

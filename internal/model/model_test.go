@@ -1,0 +1,258 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tocttou/internal/stats"
+)
+
+func TestLDRateRegions(t *testing.T) {
+	cases := []struct {
+		name string
+		l, d float64
+		want float64
+	}{
+		{"negative laxity", -5, 10, 0},
+		{"zero laxity", 0, 10, 0},
+		{"half", 5, 10, 0.5},
+		{"paper table2", 11.6, 32.7, 11.6 / 32.7},
+		{"equal", 10, 10, 1},
+		{"saturated", 50, 10, 1},
+		{"zero D positive L", 5, 0, 1},
+		{"zero D negative L", -5, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := LDRate(c.l, c.d); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("LDRate(%v, %v) = %v, want %v", c.l, c.d, got, c.want)
+			}
+		})
+	}
+}
+
+func TestLDRatePropertyBounds(t *testing.T) {
+	f := func(l, d float64) bool {
+		if math.IsNaN(l) || math.IsNaN(d) || math.IsInf(l, 0) || math.IsInf(d, 0) {
+			return true
+		}
+		r := LDRate(l, d)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLDRateMonotonicity(t *testing.T) {
+	// Larger L (more vulnerable victim) never lowers the rate; larger D
+	// (slower attacker) never raises it.
+	f := func(l1, l2, d uint16) bool {
+		lo, hi := float64(l1), float64(l2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		dd := float64(d%1000) + 1
+		if LDRate(lo, dd) > LDRate(hi, dd) {
+			return false
+		}
+		return LDRate(hi, dd) >= LDRate(hi, dd+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLDRateDurations(t *testing.T) {
+	if got := LDRateDurations(5*time.Microsecond, 10*time.Microsecond); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("got %v, want 0.5", got)
+	}
+}
+
+func TestEquation1Validation(t *testing.T) {
+	bad := Equation1{PVictimSuspended: 1.5}
+	if _, err := bad.SuccessProbability(); !errors.Is(err, ErrProbabilityRange) {
+		t.Errorf("err = %v, want ErrProbabilityRange", err)
+	}
+	bad = Equation1{PScheduledGivenRunning: -0.1}
+	if err := bad.Validate(); !errors.Is(err, ErrProbabilityRange) {
+		t.Errorf("err = %v, want ErrProbabilityRange", err)
+	}
+	bad = Equation1{PFinishedGivenSuspended: math.NaN()}
+	if err := bad.Validate(); !errors.Is(err, ErrProbabilityRange) {
+		t.Errorf("NaN err = %v, want ErrProbabilityRange", err)
+	}
+}
+
+func TestEquation1Decomposition(t *testing.T) {
+	e := Equation1{
+		PVictimSuspended:         0.2,
+		PScheduledGivenSuspended: 0.9,
+		PFinishedGivenSuspended:  1.0,
+		PScheduledGivenRunning:   0.95,
+		PFinishedGivenRunning:    0.5,
+	}
+	got, err := e.SuccessProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.2*0.9*1.0 + 0.8*0.95*0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestEquation1UniprocessorSecondTermVanishes(t *testing.T) {
+	// §3.2: on a uniprocessor P(attack scheduled | victim running) = 0,
+	// so success is bounded by P(victim suspended).
+	e := Uniprocessor(0.18, 1, 1)
+	p, err := e.SuccessProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.18) > 1e-12 {
+		t.Errorf("got %v, want 0.18", p)
+	}
+	if e.PScheduledGivenRunning != 0 || e.PFinishedGivenRunning != 0 {
+		t.Error("uniprocessor second-term probabilities must be zero")
+	}
+}
+
+func TestEquation1BoundedBySuspensionProperty(t *testing.T) {
+	// On a uniprocessor P(success) <= P(victim suspended) (§3.2).
+	f := func(a, b, c uint8) bool {
+		ps := float64(a) / 255
+		psc := float64(b) / 255
+		pf := float64(c) / 255
+		p, err := Uniprocessor(ps, psc, pf).SuccessProbability()
+		return err == nil && p <= ps+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonteCarloLDConvergesToPointEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// With zero variance the Monte Carlo must equal the point formula.
+	got := MonteCarloLD(rng, 5, 0, 10, 0, 1000)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("zero-variance MC = %v, want 0.5", got)
+	}
+}
+
+func TestMonteCarloLDCapturesVarianceEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// L slightly above D: point estimate says 100%, but variance makes
+	// "whether L > D all the time questionable" (§5), so MC < 1.
+	point := LDRate(61.6, 41.1)
+	mc := MonteCarloLD(rng, 61.6, 11, 41.1, 5, 50000)
+	if point != 1 {
+		t.Fatalf("point = %v, want 1", point)
+	}
+	if mc >= 1 || mc < 0.85 {
+		t.Errorf("MC = %v, want in [0.85, 1) for near-threshold L/D", mc)
+	}
+}
+
+func TestMultiprocessorSuccess(t *testing.T) {
+	var l, d stats.Summary
+	for _, x := range []float64{60, 61, 62, 63} {
+		l.Add(x)
+	}
+	for _, x := range []float64{40, 41, 42, 43} {
+		d.Add(x)
+	}
+	p := MultiprocessorSuccess(l, d, 7)
+	if p <= 0.8 || p > 1 {
+		t.Errorf("p = %v, want high (L comfortably above D)", p)
+	}
+	if MultiprocessorSuccess(stats.Summary{}, d, 7) != 0 {
+		t.Error("empty L summary should predict 0")
+	}
+}
+
+func TestUniprocessorSuspension(t *testing.T) {
+	// Window 16ms, quantum 100ms, no stalls: ~16%.
+	p := UniprocessorSuspension(16*time.Millisecond, 100*time.Millisecond, 0)
+	if math.Abs(p-0.16) > 1e-9 {
+		t.Errorf("p = %v, want 0.16", p)
+	}
+	// Window longer than quantum saturates.
+	if got := UniprocessorSuspension(200*time.Millisecond, 100*time.Millisecond, 0); got != 1 {
+		t.Errorf("saturated p = %v, want 1", got)
+	}
+	// Stalls combine independently.
+	p = UniprocessorSuspension(16*time.Millisecond, 100*time.Millisecond, 0.5)
+	want := 1 - (1-0.16)*(1-0.5)
+	if math.Abs(p-want) > 1e-9 {
+		t.Errorf("p = %v, want %v", p, want)
+	}
+	// Degenerate quantum.
+	if got := UniprocessorSuspension(time.Millisecond, 0, 0.3); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("no-quantum p = %v, want 0.3", got)
+	}
+}
+
+func TestStallProbability(t *testing.T) {
+	if StallProbability(0, 0.1) != 0 {
+		t.Error("zero bytes should give 0")
+	}
+	if StallProbability(1024, 0) != 0 {
+		t.Error("zero prob should give 0")
+	}
+	one := StallProbability(1024, 0.001)
+	if math.Abs(one-0.001) > 1e-9 {
+		t.Errorf("1KB p = %v, want 0.001", one)
+	}
+	many := StallProbability(1<<20, 0.001)
+	want := 1 - math.Pow(0.999, 1024)
+	if math.Abs(many-want) > 1e-9 {
+		t.Errorf("1MB p = %v, want %v", many, want)
+	}
+	if StallProbability(1<<40, 0.5) > 1 {
+		t.Error("probability must be clamped to 1")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{100, 200, 300, 400}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 50 + 16.5*x
+	}
+	intercept, slope, ok := LinearFit(xs, ys)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(slope-16.5) > 1e-9 || math.Abs(intercept-50) > 1e-6 {
+		t.Errorf("fit = (%v, %v), want (50, 16.5)", intercept, slope)
+	}
+	if _, _, ok := LinearFit([]float64{1}, []float64{2}); ok {
+		t.Error("fit on one point should fail")
+	}
+	if _, _, ok := LinearFit([]float64{3, 3}, []float64{1, 2}); ok {
+		t.Error("fit on constant x should fail")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, ok := Correlation(xs, ys)
+	if !ok || math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v, %v", r, ok)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Correlation(xs, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	if _, ok := Correlation([]float64{1, 1}, []float64{2, 3}); ok {
+		t.Error("constant xs should fail")
+	}
+}

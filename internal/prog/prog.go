@@ -1,0 +1,44 @@
+// Package prog defines the contract between the experiment harness and
+// the simulated programs (victims and attackers): the scenario environment
+// they receive and the Program interface they implement.
+package prog
+
+import (
+	"tocttou/internal/machine"
+	"tocttou/internal/userland"
+)
+
+// Env carries a round's scenario parameters into a program.
+type Env struct {
+	// Target is the contested pathname — vi's wfname, gedit's
+	// real_filename. Owned by the attacker's user before the round.
+	Target string
+	// Backup is where the victim moves/copies the original file.
+	Backup string
+	// Temp is gedit's scratch file path.
+	Temp string
+	// Passwd is the privileged file the attacker redirects the victim's
+	// chown onto (the round's success criterion).
+	Passwd string
+	// Dummy is the path attacker v2 exercises to keep its stub pages and
+	// branch path warm (paper Fig. 9's dummy file).
+	Dummy string
+	// FileSize is the document size in bytes.
+	FileSize int64
+	// OwnerUID and OwnerGID identify the normal user (the attacker).
+	OwnerUID int
+	OwnerGID int
+	// Machine is the calibrated machine profile, used by programs to
+	// scale their user-space compute segments.
+	Machine machine.Profile
+}
+
+// Program is a simulated process body. Run executes on the program's own
+// simulated thread; the returned error reports an unexpected failure of
+// the program itself (not a lost race).
+type Program interface {
+	// Name labels the program in traces and reports.
+	Name() string
+	// Run executes the program to completion.
+	Run(c *userland.Libc, env Env) error
+}

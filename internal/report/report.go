@@ -1,0 +1,259 @@
+// Package report renders experiment results as the paper presents them:
+// plain-text tables (Tables 1 and 2), series charts over a swept parameter
+// (Figures 6 and 7), grouped horizontal bars (Figure 11), and CSV for
+// external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple left-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table to w. Rows wider than the header row get
+// unpadded trailing columns rather than panicking.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes headers and rows as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named line of (x, y) points sharing the X values of the
+// chart it belongs to.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// Chart renders one or more series over shared X values as a text chart,
+// in the spirit of the paper's Figures 6 and 7.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Series []Series
+	// Height is the number of chart rows (default 16).
+	Height int
+}
+
+// Render draws the chart to w with one column per X value.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.Xs) == 0 || len(c.Series) == 0 {
+		_, err := fmt.Fprintln(w, c.Title+" (no data)")
+		return err
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, y := range s.Ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		ymin, ymax = 0, 1
+	}
+	if ymin > 0 {
+		ymin = 0 // anchor at zero like the paper's figures
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	marks := []byte{'*', 'o', '+', 'x', '#'}
+	colw := 6
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(c.Xs)*colw))
+	}
+	for si, s := range c.Series {
+		mark := marks[si%len(marks)]
+		for xi, y := range s.Ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			row := int(float64(height-1) * (y - ymin) / (ymax - ymin))
+			if row < 0 {
+				row = 0
+			}
+			if row > height-1 {
+				row = height - 1
+			}
+			col := xi*colw + colw/2
+			grid[height-1-row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	legend := make([]string, len(c.Series))
+	for i, s := range c.Series {
+		legend[i] = fmt.Sprintf("%c=%s", marks[i%len(marks)], s.Name)
+	}
+	fmt.Fprintf(&b, "%s vs %s   [%s]\n", c.YLabel, c.XLabel, strings.Join(legend, " "))
+	for r, line := range grid {
+		yTop := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.1f |%s\n", yTop, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", len(c.Xs)*colw))
+	var xrow strings.Builder
+	for _, x := range c.Xs {
+		xrow.WriteString(fmt.Sprintf("%*.0f", colw, x))
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", xrow.String())
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Bar is one labeled horizontal bar made of consecutive segments.
+type Bar struct {
+	Label    string
+	Segments []Segment
+}
+
+// Segment is a named interval within a bar.
+type Segment struct {
+	Name  string
+	Start float64
+	End   float64
+}
+
+// BarChart renders horizontal bars with proportional segment placement —
+// the shape of the paper's Figure 11.
+type BarChart struct {
+	Title string
+	Unit  string
+	Bars  []Bar
+	Width int
+}
+
+// Render draws the bars to w.
+func (bc *BarChart) Render(w io.Writer) error {
+	width := bc.Width
+	if width <= 0 {
+		width = 80
+	}
+	maxEnd := 0.0
+	for _, bar := range bc.Bars {
+		for _, s := range bar.Segments {
+			if s.End > maxEnd {
+				maxEnd = s.End
+			}
+		}
+	}
+	if maxEnd == 0 {
+		maxEnd = 1
+	}
+	var b strings.Builder
+	if bc.Title != "" {
+		fmt.Fprintf(&b, "%s\n", bc.Title)
+	}
+	fmt.Fprintf(&b, "scale: 0 .. %.0f %s\n", maxEnd, bc.Unit)
+	for _, bar := range bc.Bars {
+		row := []byte(strings.Repeat(" ", width))
+		for _, s := range bar.Segments {
+			c0 := int(s.Start / maxEnd * float64(width-1))
+			c1 := int(s.End / maxEnd * float64(width-1))
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			for i := c0; i < c1 && i < width; i++ {
+				row[i] = '='
+			}
+			for i := 0; i < len(s.Name) && c0+i < c1 && c0+i < width; i++ {
+				row[c0+i] = s.Name[i]
+			}
+		}
+		fmt.Fprintf(&b, "%-22s |%s|\n", bar.Label, string(row))
+		for _, s := range bar.Segments {
+			fmt.Fprintf(&b, "%22s   %-10s %9.1f .. %9.1f %s\n", "", s.Name, s.Start, s.End, bc.Unit)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

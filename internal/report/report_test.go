@@ -1,0 +1,181 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Table 1",
+		Headers: []string{"metric", "average", "stdev"},
+	}
+	tbl.AddRow("L (µs)", "61.6", "3.78")
+	tbl.AddRow("D (µs)", "41.1", "2.73")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "metric", "61.6", "2.73", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("lines = %d, want 5", len(lines))
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "bbbbbb"}}
+	tbl.AddRow("xxxxxxxxxx", "y")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// The second column must start at the same offset in each line.
+	idx := strings.Index(lines[0], "bbbbbb")
+	if strings.Index(lines[2], "y") != idx {
+		t.Errorf("columns misaligned:\n%s", buf.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"name", "value"}}
+	tbl.AddRow("plain", "1")
+	tbl.AddRow("with,comma", `has "quotes"`)
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has ""quotes"""`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Errorf("header wrong: %s", out)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title: "success rate", XLabel: "KB", YLabel: "%",
+		Xs: []float64{100, 200, 300},
+		Series: []Series{
+			{Name: "measured", Ys: []float64{2, 8, 18}},
+			{Name: "model", Ys: []float64{1.8, 7, 16}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"success rate", "*=measured", "o=model", "100", "300"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("chart missing data marks")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty chart output: %q", buf.String())
+	}
+}
+
+func TestChartHandlesNaN(t *testing.T) {
+	c := &Chart{
+		Xs:     []float64{1, 2},
+		Series: []Series{{Name: "s", Ys: []float64{math.NaN(), 5}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("valid point must still render")
+	}
+}
+
+func TestChartAnchorsAtZero(t *testing.T) {
+	c := &Chart{
+		Xs:     []float64{1, 2},
+		Series: []Series{{Name: "s", Ys: []float64{50, 60}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.0 |") {
+		t.Errorf("y axis must include zero:\n%s", buf.String())
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	bc := &BarChart{
+		Title: "Fig 11", Unit: "µs",
+		Bars: []Bar{
+			{Label: "500KB sequential", Segments: []Segment{
+				{Name: "stat", Start: 0, End: 5},
+				{Name: "unlink", Start: 9, End: 496},
+				{Name: "symlink", Start: 496, End: 505},
+			}},
+			{Label: "500KB parallel", Segments: []Segment{
+				{Name: "stat", Start: 0, End: 5},
+				{Name: "unlink", Start: 9, End: 495},
+				{Name: "symlink", Start: 10, End: 14},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := bc.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 11", "sequential", "parallel", "unlink", "scale: 0 .. 505 µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bar chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarChartEmptyScale(t *testing.T) {
+	bc := &BarChart{Bars: []Bar{{Label: "x"}}}
+	var buf bytes.Buffer
+	if err := bc.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRowWiderThanHeaders(t *testing.T) {
+	tbl := &Table{Headers: []string{"only"}}
+	tbl.AddRow("a", "b", "c")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "c") {
+		t.Errorf("extra cells must render: %q", buf.String())
+	}
+	buf.Reset()
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

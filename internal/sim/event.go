@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// timedEvent is an entry in the kernel's event queue. Events at equal
+// instants fire in insertion order (seq), which keeps runs deterministic.
+type timedEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []timedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(timedEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = timedEvent{}
+	*h = old[:n-1]
+	return ev
+}
+
+// schedule enqueues fn to run at instant at. Scheduling in the past is a
+// programming error and is clamped to now to preserve monotonicity.
+func (k *Kernel) schedule(at Time, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, timedEvent{at: at, seq: k.seq, fn: fn})
+}
+
+// after enqueues fn to run d after the current instant.
+func (k *Kernel) after(d time.Duration, fn func()) { k.schedule(k.now.Add(d), fn) }

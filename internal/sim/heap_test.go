@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventHeapOrderingProperty(t *testing.T) {
+	// For any multiset of event times, the heap must yield them in
+	// nondecreasing time order, with ties broken by insertion order.
+	f := func(times []uint32) bool {
+		var h eventHeap
+		heap.Init(&h)
+		var seq uint64
+		for _, tt := range times {
+			seq++
+			heap.Push(&h, timedEvent{at: Time(tt % 1000), seq: seq})
+		}
+		var lastT Time = -1
+		var lastSeq uint64
+		for h.Len() > 0 {
+			ev := heap.Pop(&h).(timedEvent)
+			if ev.at < lastT {
+				return false
+			}
+			if ev.at == lastT && ev.seq < lastSeq {
+				return false // FIFO within an instant
+			}
+			lastT, lastSeq = ev.at, ev.seq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchedulePastClampedToNow(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	k.Spawn(p, "t", func(task *Task) {
+		task.Compute(time.Millisecond)
+	})
+	// Scheduling before the current instant must not time-travel.
+	k.schedule(Time(-50), func() {
+		if k.now < 0 {
+			t.Error("event fired in the past")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelEventOrderFuzz(t *testing.T) {
+	// Random workloads must preserve the global invariant that the clock
+	// never moves backwards and every trace is time-ordered.
+	for seed := int64(1); seed <= 8; seed++ {
+		tr := &SliceTracer{}
+		cfg := Config{
+			CPUs:       1 + int(seed%4),
+			Quantum:    3 * time.Millisecond,
+			CtxSwitch:  time.Microsecond,
+			TickPeriod: 500 * time.Microsecond,
+			TickCost:   2 * time.Microsecond,
+			Noise:      NoiseConfig{MeanInterval: 300 * time.Microsecond, MeanDuration: 15 * time.Microsecond},
+			Jitter:     0.1,
+			Seed:       seed,
+			Tracer:     tr,
+		}
+		k := New(cfg)
+		p := k.NewProcess("p", 0, 0)
+		sems := []*Sem{NewSem("a"), NewSem("b"), NewSem("c")}
+		for i := 0; i < 6; i++ {
+			k.Spawn(p, "w", func(task *Task) {
+				rng := rand.New(rand.NewSource(seed*31 + int64(task.Thread().ID())))
+				for j := 0; j < 50; j++ {
+					switch rng.Intn(4) {
+					case 0:
+						task.ComputeJitter(time.Duration(1+rng.Intn(100)) * time.Microsecond)
+					case 1:
+						s := sems[rng.Intn(len(sems))]
+						s.Acquire(task)
+						task.Compute(time.Duration(1+rng.Intn(20)) * time.Microsecond)
+						s.Release(task)
+					case 2:
+						task.Sleep(time.Duration(1+rng.Intn(200)) * time.Microsecond)
+					case 3:
+						task.YieldCPU()
+					}
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var last Time = -1
+		for _, e := range tr.Events {
+			if e.T < last {
+				t.Fatalf("seed %d: trace time went backwards: %v after %v", seed, e.T, last)
+			}
+			last = e.T
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tocttou/internal/stats"
+)
+
+// Errors returned by Kernel.Run.
+var (
+	// ErrDeadlock reports that live threads remain but none can ever run.
+	ErrDeadlock = errors.New("sim: deadlock: live threads remain but none is runnable or has a pending timer")
+	// ErrMaxSteps reports that the event budget was exhausted (runaway loop guard).
+	ErrMaxSteps = errors.New("sim: exceeded maximum event count")
+	// ErrMaxTime reports that the virtual-time budget was exhausted.
+	ErrMaxTime = errors.New("sim: exceeded maximum virtual time")
+)
+
+// NoiseConfig models background kernel activity (softirqs, kernel timers,
+// housekeeping daemons) that occasionally occupies a CPU and delays whatever
+// is running there. The paper identifies exactly this as the reason success
+// is "still not guaranteed" on a multiprocessor (§5): in several failed
+// 1-byte vi runs "some other processes prevents the attacker from being
+// scheduled on another CPU during the vi vulnerability window".
+type NoiseConfig struct {
+	// MeanInterval is the mean time between activity bursts on each CPU
+	// (exponential inter-arrivals). Zero disables noise.
+	MeanInterval time.Duration
+	// MeanDuration is the median burst length; actual lengths are
+	// log-normal with sigma 0.5, giving an occasional long burst.
+	MeanDuration time.Duration
+}
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	// CPUs is the number of processors (1 = uniprocessor).
+	CPUs int
+	// Quantum is the scheduler time slice.
+	Quantum time.Duration
+	// CtxSwitch is the cost of a context switch (dispatch latency).
+	CtxSwitch time.Duration
+	// TickPeriod is the timer-interrupt period (1ms for HZ=1000).
+	TickPeriod time.Duration
+	// TickCost is CPU time stolen by each timer interrupt.
+	TickCost time.Duration
+	// Noise configures background kernel activity.
+	Noise NoiseConfig
+	// Jitter is the relative standard deviation applied to modeled
+	// latencies (see stats.Jitter).
+	Jitter float64
+	// Seed seeds the kernel's single deterministic RNG.
+	Seed int64
+	// Tracer receives trace events; nil disables tracing.
+	Tracer Tracer
+	// MaxSteps bounds the number of processed events (0 = default 50M).
+	MaxSteps int64
+	// MaxTime bounds virtual time (0 = default 10 virtual minutes).
+	MaxTime time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPUs <= 0 {
+		c.CPUs = 1
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 100 * time.Millisecond
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 50_000_000
+	}
+	if c.MaxTime <= 0 {
+		c.MaxTime = 10 * time.Minute
+	}
+	return c
+}
+
+// cpu is one simulated processor.
+type cpu struct {
+	id int
+	th *Thread // currently assigned thread, nil if idle
+}
+
+// Kernel is a deterministic discrete-event simulation of a small
+// multiprocessor operating system. Create one with New, add processes and
+// threads, then call Run.
+type Kernel struct {
+	cfg    Config
+	now    Time
+	seq    uint64
+	events eventHeap
+	cpus   []*cpu
+	ready  []*Thread // FIFO run queue of Ready threads awaiting a CPU
+	rng    *rand.Rand
+	jitter stats.Jitter
+	tracer Tracer
+
+	threads []*Thread
+	procs   []*Process
+	nextPID int
+	nextTID int
+
+	live       int // threads not yet Done
+	runningCnt int // threads in StateRunning
+	timedCnt   int // threads blocked with a pending timer (sleep / IO)
+	pendingOps int // scheduled kill/unwind events not yet processed
+
+	steps int64
+
+	// yield is the channel on which the currently running thread goroutine
+	// hands control back to the kernel loop.
+	yield chan struct{}
+
+	// onProcessExit, if set, is invoked when the last thread of a process
+	// exits. Used by the experiment harness to cancel the attacker once
+	// the victim completes.
+	onProcessExit func(*Process)
+
+	userErr error // first panic propagated from a thread function
+}
+
+// New creates a kernel for the given machine configuration.
+func New(cfg Config) *Kernel {
+	cfg = cfg.withDefaults()
+	k := &Kernel{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		jitter: stats.Jitter{Rel: cfg.Jitter},
+		tracer: cfg.Tracer,
+		yield:  make(chan struct{}),
+	}
+	k.cpus = make([]*cpu, cfg.CPUs)
+	for i := range k.cpus {
+		k.cpus[i] = &cpu{id: i}
+	}
+	heap.Init(&k.events)
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random source. It must only be
+// used from the kernel goroutine or a currently-running thread function.
+func (k *Kernel) RNG() *rand.Rand { return k.rng }
+
+// JitterDuration samples a jittered latency around base using the machine's
+// configured relative noise.
+func (k *Kernel) JitterDuration(base time.Duration) time.Duration {
+	return k.jitter.Sample(k.rng, base)
+}
+
+// CPUs returns the number of simulated processors.
+func (k *Kernel) CPUs() int { return len(k.cpus) }
+
+// OnProcessExit registers fn to be called when the last thread of any
+// process exits. fn runs inside the kernel loop and may spawn or kill
+// threads but must not block.
+func (k *Kernel) OnProcessExit(fn func(*Process)) { k.onProcessExit = fn }
+
+// Run processes events until no live threads remain. It returns an error
+// on deadlock, event/time budget exhaustion, or if a thread function
+// panicked.
+func (k *Kernel) Run() error {
+	k.startBackground()
+	maxT := Time(k.cfg.MaxTime)
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(timedEvent)
+		if ev.at > maxT {
+			return fmt.Errorf("%w (%.0fms)", ErrMaxTime, k.cfg.MaxTime.Seconds()*1e3)
+		}
+		k.now = ev.at
+		k.steps++
+		if k.steps > k.cfg.MaxSteps {
+			return fmt.Errorf("%w (%d)", ErrMaxSteps, k.cfg.MaxSteps)
+		}
+		ev.fn()
+		if k.userErr != nil {
+			return k.userErr
+		}
+		if k.live == 0 {
+			return nil
+		}
+		if k.deadlocked() {
+			return fmt.Errorf("%w: %s", ErrDeadlock, k.describeBlocked())
+		}
+	}
+	if k.live > 0 {
+		return fmt.Errorf("%w: %s", ErrDeadlock, k.describeBlocked())
+	}
+	return nil
+}
+
+// deadlocked reports whether no thread can ever make progress again: live
+// threads exist but none is running, ready, or waiting on a timer.
+func (k *Kernel) deadlocked() bool {
+	return k.live > 0 && k.runningCnt == 0 && len(k.ready) == 0 &&
+		k.timedCnt == 0 && k.pendingOps == 0 && !k.anyDispatching()
+}
+
+func (k *Kernel) anyDispatching() bool {
+	for _, c := range k.cpus {
+		if c.th != nil && c.th.state == StateReady {
+			return true // dispatch in progress (context switch latency)
+		}
+	}
+	return false
+}
+
+func (k *Kernel) describeBlocked() string {
+	s := ""
+	for _, th := range k.threads {
+		if th.state == StateBlocked {
+			if s != "" {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s(%s)", th.name, th.blockReason)
+		}
+	}
+	if s == "" {
+		s = "no blocked threads recorded"
+	}
+	return s
+}
+
+// startBackground schedules the per-CPU timer ticks and noise sources.
+func (k *Kernel) startBackground() {
+	if k.cfg.TickPeriod > 0 {
+		for _, c := range k.cpus {
+			k.scheduleTick(c)
+		}
+	}
+	if k.cfg.Noise.MeanInterval > 0 {
+		for _, c := range k.cpus {
+			k.scheduleNoise(c)
+		}
+	}
+}
+
+func (k *Kernel) scheduleTick(c *cpu) {
+	k.after(k.cfg.TickPeriod, func() {
+		if k.live == 0 {
+			return
+		}
+		k.emit(Event{Kind: EvTick, CPU: int32(c.id), Arg: int64(k.cfg.TickCost)})
+		k.stealCPUTime(c, k.cfg.TickCost)
+		k.scheduleTick(c)
+	})
+}
+
+func (k *Kernel) scheduleNoise(c *cpu) {
+	gap := stats.Exponential(k.rng, k.cfg.Noise.MeanInterval)
+	k.after(gap, func() {
+		if k.live == 0 {
+			return
+		}
+		dur := stats.LogNormal(k.rng, k.cfg.Noise.MeanDuration, 0.5)
+		k.emit(Event{Kind: EvNoise, CPU: int32(c.id), Arg: int64(dur)})
+		k.stealCPUTime(c, dur)
+		k.scheduleNoise(c)
+	})
+}
+
+// stealCPUTime models an interrupt or background activity occupying CPU c
+// for d: if a thread is mid-compute there, its completion is pushed back.
+func (k *Kernel) stealCPUTime(c *cpu, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	th := c.th
+	if th == nil || th.state != StateRunning || !th.workPending {
+		return
+	}
+	k.accrueWork(th)
+	th.runStart = k.now.Add(d)
+	k.scheduleWork(th)
+}

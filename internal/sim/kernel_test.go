@@ -1,0 +1,691 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testConfig(cpus int) Config {
+	return Config{
+		CPUs:      cpus,
+		Quantum:   10 * time.Millisecond,
+		CtxSwitch: 0,
+		Seed:      1,
+	}
+}
+
+func TestSingleThreadComputeAdvancesClock(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	var end Time
+	k.Spawn(p, "t", func(task *Task) {
+		task.Compute(5 * time.Millisecond)
+		end = task.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := end, Time(5*time.Millisecond); got != want {
+		t.Errorf("end time = %v, want %v", got, want)
+	}
+}
+
+func TestSequentialComputeSegmentsAccumulate(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	var th *Thread
+	th = k.Spawn(p, "t", func(task *Task) {
+		for i := 0; i < 10; i++ {
+			task.Compute(time.Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := th.CPUTime(), 10*time.Millisecond; got != want {
+		t.Errorf("cpu time = %v, want %v", got, want)
+	}
+	if got, want := k.Now(), Time(10*time.Millisecond); got != want {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+}
+
+func TestUniprocessorSerializesThreads(t *testing.T) {
+	// Two CPU-bound threads on one CPU must take the sum of their work.
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	for i := 0; i < 2; i++ {
+		k.Spawn(p, fmt.Sprintf("t%d", i), func(task *Task) {
+			task.Compute(50 * time.Millisecond)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := k.Now(), Time(100*time.Millisecond); got != want {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+}
+
+func TestMultiprocessorRunsThreadsConcurrently(t *testing.T) {
+	// Two CPU-bound threads on two CPUs overlap completely.
+	k := New(testConfig(2))
+	p := k.NewProcess("p", 0, 0)
+	for i := 0; i < 2; i++ {
+		k.Spawn(p, fmt.Sprintf("t%d", i), func(task *Task) {
+			task.Compute(50 * time.Millisecond)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := k.Now(), Time(50*time.Millisecond); got != want {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+}
+
+func TestRoundRobinPreemptionInterleaves(t *testing.T) {
+	// With a 10ms quantum, two 30ms threads alternate; both finish within
+	// 60ms and neither monopolizes the CPU.
+	tr := &SliceTracer{}
+	cfg := testConfig(1)
+	cfg.Tracer = tr
+	k := New(cfg)
+	p := k.NewProcess("p", 0, 0)
+	k.Spawn(p, "a", func(task *Task) { task.Compute(30 * time.Millisecond) })
+	k.Spawn(p, "b", func(task *Task) { task.Compute(30 * time.Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := k.Now(), Time(60*time.Millisecond); got != want {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+	preempts := 0
+	for _, e := range tr.Events {
+		if e.Kind == EvPreempt {
+			preempts++
+		}
+	}
+	if preempts < 4 {
+		t.Errorf("preempts = %d, want >= 4 (threads must alternate)", preempts)
+	}
+}
+
+func TestQuantumRenewedWhenAlone(t *testing.T) {
+	tr := &SliceTracer{}
+	cfg := testConfig(1)
+	cfg.Tracer = tr
+	k := New(cfg)
+	p := k.NewProcess("p", 0, 0)
+	k.Spawn(p, "solo", func(task *Task) { task.Compute(100 * time.Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		if e.Kind == EvPreempt {
+			t.Fatalf("solo thread was preempted: %v", e)
+		}
+	}
+	if got, want := k.Now(), Time(100*time.Millisecond); got != want {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+}
+
+func TestSleepDoesNotConsumeCPU(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	var th *Thread
+	th = k.Spawn(p, "t", func(task *Task) {
+		task.Sleep(20 * time.Millisecond)
+		task.Compute(time.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := th.CPUTime(), time.Millisecond; got != want {
+		t.Errorf("cpu time = %v, want %v", got, want)
+	}
+	if got, want := k.Now(), Time(21*time.Millisecond); got != want {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+}
+
+func TestSleepingThreadFreesCPUForOthers(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	var order []string
+	k.Spawn(p, "sleeper", func(task *Task) {
+		task.Sleep(5 * time.Millisecond)
+		order = append(order, "sleeper")
+	})
+	k.Spawn(p, "worker", func(task *Task) {
+		task.Compute(time.Millisecond)
+		order = append(order, "worker")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "worker" || order[1] != "sleeper" {
+		t.Errorf("order = %v, want [worker sleeper]", order)
+	}
+}
+
+func TestSemMutualExclusion(t *testing.T) {
+	k := New(testConfig(2))
+	p := k.NewProcess("p", 0, 0)
+	sem := NewSem("inode")
+	inCritical := 0
+	maxInCritical := 0
+	for i := 0; i < 2; i++ {
+		k.Spawn(p, fmt.Sprintf("t%d", i), func(task *Task) {
+			sem.Acquire(task)
+			inCritical++
+			if inCritical > maxInCritical {
+				maxInCritical = inCritical
+			}
+			task.Compute(10 * time.Millisecond)
+			inCritical--
+			sem.Release(task)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInCritical != 1 {
+		t.Errorf("max threads in critical section = %d, want 1", maxInCritical)
+	}
+	// Critical sections serialize: total time is the sum.
+	if k.Now() < Time(20*time.Millisecond) {
+		t.Errorf("clock = %v, want >= 20ms (serialized critical sections)", k.Now())
+	}
+}
+
+func TestSemFIFOHandoff(t *testing.T) {
+	k := New(Config{CPUs: 4, Quantum: 10 * time.Millisecond, Seed: 1})
+	p := k.NewProcess("p", 0, 0)
+	sem := NewSem("s")
+	var order []string
+	k.Spawn(p, "holder", func(task *Task) {
+		sem.Acquire(task)
+		task.Compute(10 * time.Millisecond)
+		sem.Release(task)
+	})
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		delay := time.Duration(i+1) * time.Millisecond
+		k.Spawn(p, name, func(task *Task) {
+			task.Compute(delay) // stagger arrival order deterministically
+			sem.Acquire(task)
+			order = append(order, name)
+			sem.Release(task)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w0", "w1", "w2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("acquisition order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSemRecursiveAcquireFails(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	sem := NewSem("s")
+	k.Spawn(p, "t", func(task *Task) {
+		sem.Acquire(task)
+		sem.Acquire(task)
+	})
+	if err := k.Run(); err == nil {
+		t.Fatal("recursive acquire should produce a run error")
+	}
+}
+
+func TestSemReleaseByNonOwnerFails(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	sem := NewSem("s")
+	k.Spawn(p, "t", func(task *Task) {
+		sem.Release(task)
+	})
+	if err := k.Run(); err == nil {
+		t.Fatal("release by non-owner should produce a run error")
+	}
+}
+
+func TestFlagSignalsWaiters(t *testing.T) {
+	k := New(testConfig(2))
+	p := k.NewProcess("p", 0, 0)
+	f := NewFlag("go")
+	var wokeAt Time
+	k.Spawn(p, "waiter", func(task *Task) {
+		f.Wait(task)
+		wokeAt = task.Now()
+	})
+	k.Spawn(p, "setter", func(task *Task) {
+		task.Compute(7 * time.Millisecond)
+		f.Set(task)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt < Time(7*time.Millisecond) {
+		t.Errorf("waiter woke at %v, want >= 7ms", wokeAt)
+	}
+}
+
+func TestFlagWaitAfterSetReturnsImmediately(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	f := NewFlag("go")
+	k.Spawn(p, "t", func(task *Task) {
+		f.Set(task)
+		before := task.Now()
+		f.Wait(task)
+		if task.Now() != before {
+			t.Errorf("Wait after Set consumed time")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := New(testConfig(2))
+	p := k.NewProcess("p", 0, 0)
+	a, b := NewSem("a"), NewSem("b")
+	k.Spawn(p, "t1", func(task *Task) {
+		a.Acquire(task)
+		task.Compute(time.Millisecond)
+		b.Acquire(task)
+	})
+	k.Spawn(p, "t2", func(task *Task) {
+		b.Acquire(task)
+		task.Compute(time.Millisecond)
+		a.Acquire(task)
+	})
+	err := k.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestKillBlockedThread(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	sem := NewSem("s")
+	var holder, victim *Thread
+	holder = k.Spawn(p, "holder", func(task *Task) {
+		sem.Acquire(task)
+		task.Compute(50 * time.Millisecond)
+		sem.Release(task)
+	})
+	victim = k.Spawn(p, "victim", func(task *Task) {
+		task.Compute(time.Millisecond)
+		sem.Acquire(task) // blocks; killed while waiting
+		t.Error("victim should never acquire")
+	})
+	k.Spawn(p, "killer", func(task *Task) {
+		task.Compute(2 * time.Millisecond)
+		task.Kernel().Kill(victim)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if victim.State() != StateDone {
+		t.Errorf("victim state = %v, want done", victim.State())
+	}
+	_ = holder
+}
+
+func TestKillRunningThread(t *testing.T) {
+	k := New(testConfig(2))
+	p := k.NewProcess("p", 0, 0)
+	var victim *Thread
+	victim = k.Spawn(p, "victim", func(task *Task) {
+		task.Compute(time.Hour) // would blow MaxTime if not killed
+	})
+	k.Spawn(p, "killer", func(task *Task) {
+		task.Compute(time.Millisecond)
+		task.Kernel().Kill(victim)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if victim.State() != StateDone {
+		t.Errorf("victim state = %v, want done", victim.State())
+	}
+	if k.Now() > Time(10*time.Millisecond) {
+		t.Errorf("kill took too long: clock = %v", k.Now())
+	}
+}
+
+func TestKillReadyThread(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	var victim *Thread
+	k.Spawn(p, "runner", func(task *Task) {
+		task.Compute(2 * time.Millisecond)
+		task.Kernel().Kill(victim)
+		task.Compute(2 * time.Millisecond)
+	})
+	victim = k.Spawn(p, "victim", func(task *Task) {
+		task.Compute(time.Hour)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if victim.State() != StateDone {
+		t.Errorf("victim state = %v, want done", victim.State())
+	}
+}
+
+func TestKilledThreadReleasesOwnedSem(t *testing.T) {
+	k := New(testConfig(2))
+	p := k.NewProcess("p", 0, 0)
+	sem := NewSem("s")
+	var holder *Thread
+	holder = k.Spawn(p, "holder", func(task *Task) {
+		sem.Acquire(task)
+		task.Compute(time.Hour) // killed while holding
+	})
+	acquired := false
+	k.Spawn(p, "waiter", func(task *Task) {
+		task.Compute(time.Millisecond)
+		sem.Acquire(task)
+		acquired = true
+		sem.Release(task)
+	})
+	k.Spawn(p, "killer", func(task *Task) {
+		task.Compute(2 * time.Millisecond)
+		task.Kernel().Kill(holder)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !acquired {
+		t.Error("waiter never acquired the semaphore leaked by the killed holder")
+	}
+}
+
+func TestOnProcessExitHook(t *testing.T) {
+	k := New(testConfig(2))
+	victimProc := k.NewProcess("victim", 0, 0)
+	attackerProc := k.NewProcess("attacker", 1000, 1000)
+	var spinner *Thread
+	spinner = k.Spawn(attackerProc, "spin", func(task *Task) {
+		for {
+			task.Compute(10 * time.Microsecond)
+		}
+	})
+	k.Spawn(victimProc, "save", func(task *Task) {
+		task.Compute(5 * time.Millisecond)
+	})
+	k.OnProcessExit(func(p *Process) {
+		if p == victimProc {
+			k.KillProcess(attackerProc)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if spinner.State() != StateDone {
+		t.Errorf("spinner state = %v, want done", spinner.State())
+	}
+}
+
+func TestThreadPanicPropagates(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	k.Spawn(p, "boom", func(task *Task) {
+		task.Compute(time.Millisecond)
+		panic("user bug")
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected error from panicking thread")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.MaxSteps = 100
+	k := New(cfg)
+	p := k.NewProcess("p", 0, 0)
+	k.Spawn(p, "spin", func(task *Task) {
+		for {
+			task.Compute(time.Microsecond)
+		}
+	})
+	err := k.Run()
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+}
+
+func TestMaxTimeGuard(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.MaxTime = time.Second
+	k := New(cfg)
+	p := k.NewProcess("p", 0, 0)
+	k.Spawn(p, "long", func(task *Task) {
+		task.Compute(time.Hour)
+	})
+	err := k.Run()
+	if !errors.Is(err, ErrMaxTime) {
+		t.Fatalf("err = %v, want ErrMaxTime", err)
+	}
+}
+
+func TestTickOverheadStretchesCompute(t *testing.T) {
+	cfg := Config{
+		CPUs:       1,
+		Quantum:    time.Second,
+		TickPeriod: time.Millisecond,
+		TickCost:   10 * time.Microsecond,
+		Seed:       1,
+	}
+	k := New(cfg)
+	p := k.NewProcess("p", 0, 0)
+	var end Time
+	k.Spawn(p, "t", func(task *Task) {
+		task.Compute(10 * time.Millisecond)
+		end = task.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ~10 ticks at 10µs each stretch the 10ms segment by ~100µs.
+	lo, hi := Time(10*time.Millisecond+80*time.Microsecond), Time(10*time.Millisecond+130*time.Microsecond)
+	if end < lo || end > hi {
+		t.Errorf("end = %v, want within [%v, %v]", end, lo, hi)
+	}
+}
+
+func TestNoiseStretchesCompute(t *testing.T) {
+	cfg := Config{
+		CPUs:    1,
+		Quantum: time.Second,
+		Noise:   NoiseConfig{MeanInterval: time.Millisecond, MeanDuration: 100 * time.Microsecond},
+		Seed:    7,
+	}
+	k := New(cfg)
+	p := k.NewProcess("p", 0, 0)
+	var end Time
+	k.Spawn(p, "t", func(task *Task) {
+		task.Compute(20 * time.Millisecond)
+		end = task.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end <= Time(20*time.Millisecond) {
+		t.Errorf("end = %v, want > 20ms (noise must add latency)", end)
+	}
+	if end > Time(30*time.Millisecond) {
+		t.Errorf("end = %v, want < 30ms (noise unreasonably large)", end)
+	}
+}
+
+func TestSpawnFromRunningThread(t *testing.T) {
+	k := New(testConfig(2))
+	p := k.NewProcess("p", 0, 0)
+	childRan := false
+	k.Spawn(p, "parent", func(task *Task) {
+		task.Compute(time.Millisecond)
+		task.Spawn("child", func(ct *Task) {
+			ct.Compute(time.Millisecond)
+			childRan = true
+		})
+		task.Compute(time.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Error("spawned child never ran")
+	}
+}
+
+func TestYieldCPUMovesToBackOfQueue(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	var order []string
+	k.Spawn(p, "polite", func(task *Task) {
+		task.Compute(time.Millisecond)
+		task.YieldCPU()
+		order = append(order, "polite")
+	})
+	k.Spawn(p, "other", func(task *Task) {
+		task.Compute(time.Millisecond)
+		order = append(order, "other")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "other" {
+		t.Errorf("order = %v, want other first", order)
+	}
+}
+
+func TestTraceEventsWellFormed(t *testing.T) {
+	tr := &SliceTracer{}
+	cfg := testConfig(2)
+	cfg.Tracer = tr
+	k := New(cfg)
+	p := k.NewProcess("p", 42, 42)
+	sem := NewSem("inode:7")
+	k.Spawn(p, "a", func(task *Task) {
+		sem.Acquire(task)
+		task.Compute(time.Millisecond)
+		sem.Release(task)
+		task.Mark("done-a")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var last Time = -1
+	sawMark := false
+	for _, e := range tr.Events {
+		if e.T < last {
+			t.Fatalf("trace not time-ordered: %v after %v", e.T, last)
+		}
+		last = e.T
+		if e.Kind == EvMark && e.Label == "done-a" {
+			sawMark = true
+			if e.PID != int32(p.PID) {
+				t.Errorf("mark PID = %d, want %d", e.PID, p.PID)
+			}
+		}
+	}
+	if !sawMark {
+		t.Error("user mark event missing from trace")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []Event {
+		tr := &SliceTracer{}
+		cfg := Config{
+			CPUs:       2,
+			Quantum:    5 * time.Millisecond,
+			CtxSwitch:  2 * time.Microsecond,
+			TickPeriod: time.Millisecond,
+			TickCost:   2 * time.Microsecond,
+			Noise:      NoiseConfig{MeanInterval: 500 * time.Microsecond, MeanDuration: 20 * time.Microsecond},
+			Jitter:     0.05,
+			Seed:       seed,
+			Tracer:     tr,
+		}
+		k := New(cfg)
+		p := k.NewProcess("p", 0, 0)
+		sem := NewSem("s")
+		for i := 0; i < 3; i++ {
+			k.Spawn(p, fmt.Sprintf("t%d", i), func(task *Task) {
+				for j := 0; j < 20; j++ {
+					task.ComputeJitter(100 * time.Microsecond)
+					sem.Acquire(task)
+					task.ComputeJitter(30 * time.Microsecond)
+					sem.Release(task)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Events
+	}
+	a, b := run(99), run(99)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n  %v\n  %v", i, a[i], b[i])
+		}
+	}
+	c := run(100)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces; noise sources appear dead")
+	}
+}
+
+func TestCPUTimeConservation(t *testing.T) {
+	// Total accrued CPU time equals requested compute across preemptions.
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	var threads []*Thread
+	want := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		d := time.Duration(i+1) * 17 * time.Millisecond
+		want += d
+		threads = append(threads, k.Spawn(p, fmt.Sprintf("t%d", i), func(task *Task) {
+			task.Compute(d)
+		}))
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := time.Duration(0)
+	for _, th := range threads {
+		got += th.CPUTime()
+	}
+	if got != want {
+		t.Errorf("total cpu time = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPriorityDispatchOrder(t *testing.T) {
+	// Three threads become ready while the CPU is busy; the lowest nice
+	// value must run first, FIFO within a level.
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	var order []string
+	k.Spawn(p, "busy", func(task *Task) {
+		task.Compute(5 * time.Millisecond)
+	})
+	spawn := func(name string, nice int) {
+		th := k.Spawn(p, name, func(task *Task) {
+			task.Compute(time.Millisecond)
+			order = append(order, name)
+		})
+		th.SetNice(nice)
+	}
+	spawn("low", 5)
+	spawn("high", -5)
+	spawn("mid", 0)
+	spawn("mid2", 0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"high", "mid", "mid2", "low"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHighPriorityThreadKeepsCPUAtQuantumExpiry(t *testing.T) {
+	// A nice -10 thread is never preempted in favor of nice 0 threads.
+	tr := &SliceTracer{}
+	cfg := testConfig(1)
+	cfg.Tracer = tr
+	k := New(cfg)
+	p := k.NewProcess("p", 0, 0)
+	elite := k.Spawn(p, "elite", func(task *Task) {
+		task.Compute(35 * time.Millisecond) // several quanta
+	})
+	elite.SetNice(-10)
+	k.Spawn(p, "pleb", func(task *Task) {
+		task.Compute(5 * time.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		if e.Kind == EvPreempt && e.TID == int32(elite.ID()) {
+			t.Fatalf("high-priority thread was preempted: %v", e)
+		}
+	}
+	// The low-priority thread must still run eventually (after elite
+	// finishes) — strict priority, no starvation once the CPU frees.
+	if got, want := k.Now(), Time(40*time.Millisecond); got != want {
+		t.Errorf("end = %v, want %v", got, want)
+	}
+}
+
+func TestEqualPriorityStillRoundRobins(t *testing.T) {
+	tr := &SliceTracer{}
+	cfg := testConfig(1)
+	cfg.Tracer = tr
+	k := New(cfg)
+	p := k.NewProcess("p", 0, 0)
+	k.Spawn(p, "a", func(task *Task) { task.Compute(25 * time.Millisecond) })
+	k.Spawn(p, "b", func(task *Task) { task.Compute(25 * time.Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	preempts := 0
+	for _, e := range tr.Events {
+		if e.Kind == EvPreempt {
+			preempts++
+		}
+	}
+	if preempts < 3 {
+		t.Errorf("preempts = %d, want round-robin alternation", preempts)
+	}
+}
+
+func TestLowerPriorityDoesNotPreemptHigher(t *testing.T) {
+	// A nice 5 thread waiting in the queue must not take the CPU from a
+	// running nice 0 thread at quantum expiry.
+	tr := &SliceTracer{}
+	cfg := testConfig(1)
+	cfg.Tracer = tr
+	k := New(cfg)
+	p := k.NewProcess("p", 0, 0)
+	normal := k.Spawn(p, "normal", func(task *Task) {
+		task.Compute(30 * time.Millisecond)
+	})
+	bg := k.Spawn(p, "background", func(task *Task) {
+		task.Compute(time.Millisecond)
+	})
+	bg.SetNice(5)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		if e.Kind == EvPreempt && e.TID == int32(normal.ID()) {
+			t.Fatalf("normal thread preempted by background thread: %v", e)
+		}
+	}
+	_ = bg
+}
+
+func TestNiceAccessors(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("p", 0, 0)
+	th := k.Spawn(p, "t", func(task *Task) {})
+	if th.Nice() != 0 {
+		t.Errorf("default nice = %d", th.Nice())
+	}
+	th.SetNice(-7)
+	if th.Nice() != -7 {
+		t.Errorf("nice = %d, want -7", th.Nice())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package sim
+
+// makeReady transitions th to Ready, queues it by priority, and kicks an
+// idle CPU.
+func (k *Kernel) makeReady(th *Thread) {
+	th.state = StateReady
+	th.blockReason = ""
+	k.emitThread(th, Event{Kind: EvWake, Label: th.name})
+	k.enqueueReady(th)
+	for _, c := range k.cpus {
+		if c.th == nil {
+			k.dispatchCPU(c)
+			return
+		}
+	}
+}
+
+// enqueueReady inserts th behind all queued threads with nice values less
+// than or equal to its own: strict priority between levels, FIFO within a
+// level.
+func (k *Kernel) enqueueReady(th *Thread) {
+	i := len(k.ready)
+	for i > 0 && k.ready[i-1].nice > th.nice {
+		i--
+	}
+	k.ready = append(k.ready, nil)
+	copy(k.ready[i+1:], k.ready[i:])
+	k.ready[i] = th
+}
+
+// removeReady deletes th from the run queue if present.
+func (k *Kernel) removeReady(th *Thread) {
+	for i, r := range k.ready {
+		if r == th {
+			k.ready = append(k.ready[:i], k.ready[i+1:]...)
+			return
+		}
+	}
+}
+
+// dispatchCPU assigns the head of the run queue to an idle CPU. The thread
+// begins running after the context-switch latency.
+func (k *Kernel) dispatchCPU(c *cpu) {
+	if c.th != nil || len(k.ready) == 0 {
+		return
+	}
+	th := k.ready[0]
+	k.ready = k.ready[1:]
+	c.th = th
+	th.cpu = c.id
+	th.schedGen++
+	gen := th.schedGen
+	k.after(k.cfg.CtxSwitch, func() { k.startRun(c, th, gen) })
+}
+
+// startRun begins execution of th on c once the context switch completes.
+func (k *Kernel) startRun(c *cpu, th *Thread, gen uint64) {
+	if th.schedGen != gen || th.state != StateReady || c.th != th {
+		return
+	}
+	th.state = StateRunning
+	k.runningCnt++
+	th.runStart = k.now
+	k.emitThread(th, Event{Kind: EvDispatch, Label: th.name})
+	if k.cfg.Quantum > 0 {
+		k.after(k.cfg.Quantum, func() { k.quantumExpired(c, th, gen) })
+	}
+	if th.computeLeft > 0 {
+		k.scheduleWork(th)
+	} else {
+		k.stepThread(th)
+	}
+}
+
+// quantumExpired implements round-robin preemption with strict priority:
+// the running thread yields its CPU at quantum expiry only to a waiting
+// thread of equal or better (lower) nice value. An attacker running at
+// elevated priority therefore keeps its processor — effectively the
+// "dedicated CPU" of the paper's multiprocessor attacks even on a loaded
+// machine.
+func (k *Kernel) quantumExpired(c *cpu, th *Thread, gen uint64) {
+	if th.schedGen != gen || th.state != StateRunning || c.th != th {
+		return
+	}
+	if len(k.ready) == 0 || k.ready[0].nice > th.nice {
+		// Nothing of sufficient priority wants the CPU: renew the slice.
+		k.after(k.cfg.Quantum, func() { k.quantumExpired(c, th, gen) })
+		return
+	}
+	k.preempt(th)
+}
+
+// preempt takes th off its CPU mid-quantum and re-queues it, preserving
+// unfinished compute work. Must be called with th Running.
+func (k *Kernel) preempt(th *Thread) {
+	c := k.cpus[th.cpu]
+	k.accrueWork(th)
+	th.workPending = false
+	th.state = StateReady
+	k.runningCnt--
+	th.schedGen++
+	th.cpu = -1
+	c.th = nil
+	k.emitThread(th, Event{Kind: EvPreempt, Label: th.name, CPU: int32(c.id)})
+	k.enqueueReady(th)
+	k.dispatchCPU(c)
+}
+
+// blockCurrent transitions the currently running thread off its CPU into
+// the Blocked state and lets the next ready thread run. Called inline from
+// blocking primitives executing on the thread's own goroutine, immediately
+// before the thread yields.
+func (k *Kernel) blockCurrent(th *Thread, reason string) {
+	c := k.cpus[th.cpu]
+	k.accrueWork(th)
+	th.workPending = false
+	th.state = StateBlocked
+	th.blockReason = reason
+	k.runningCnt--
+	th.schedGen++
+	th.cpu = -1
+	c.th = nil
+	k.emitThread(th, Event{Kind: EvBlock, Label: reason, CPU: int32(c.id)})
+	k.dispatchCPU(c)
+}
+
+// scheduleWork arms the completion event for th's pending compute segment.
+// th.runStart may be in the future when interrupt handling has pushed the
+// resumption back.
+func (k *Kernel) scheduleWork(th *Thread) {
+	th.workPending = true
+	th.workGen++
+	gen := th.workGen
+	doneAt := th.runStart.Add(th.computeLeft)
+	k.schedule(doneAt, func() { k.workDone(th, gen) })
+}
+
+// workDone fires when a compute segment finishes uninterrupted.
+func (k *Kernel) workDone(th *Thread, gen uint64) {
+	if th.workGen != gen || !th.workPending || th.state != StateRunning {
+		return
+	}
+	consumed := th.computeLeft
+	th.cpuTime += consumed
+	th.computeLeft = 0
+	th.workPending = false
+	th.runStart = k.now
+	if consumed > 0 {
+		k.emitThread(th, Event{Kind: EvCompute, Arg: int64(consumed)})
+	}
+	k.stepThread(th)
+}
+
+// accrueWork charges the work executed since runStart against the pending
+// compute segment and invalidates its scheduled completion event.
+func (k *Kernel) accrueWork(th *Thread) {
+	if !th.workPending {
+		return
+	}
+	th.workGen++
+	if k.now > th.runStart {
+		consumed := k.now.Sub(th.runStart)
+		if consumed > th.computeLeft {
+			consumed = th.computeLeft
+		}
+		th.computeLeft -= consumed
+		th.cpuTime += consumed
+		if consumed > 0 {
+			k.emitThread(th, Event{Kind: EvCompute, Arg: int64(consumed)})
+		}
+	}
+}
+
+// ReadyCount returns the number of threads waiting in the run queue
+// (excluding those mid-dispatch). Exposed for tests.
+func (k *Kernel) ReadyCount() int { return len(k.ready) }
+
+// idleCPUs returns how many CPUs have no thread assigned. Exposed for tests
+// via IdleCPUs.
+func (k *Kernel) IdleCPUs() int {
+	n := 0
+	for _, c := range k.cpus {
+		if c.th == nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,150 @@
+package sim
+
+import "fmt"
+
+// Sem is a mutual-exclusion semaphore with a FIFO wait queue, modeling the
+// per-inode i_sem of Unix-style file systems. Ownership is handed directly
+// to the head waiter on release, exactly the "competition for the
+// semaphore" dynamics of the paper's §3.4: whichever of the victim's and
+// attacker's system calls acquires the inode semaphore first delays the
+// other for its full critical section.
+type Sem struct {
+	name    string
+	owner   *Thread
+	waiters []*Thread
+}
+
+// NewSem creates a semaphore with a debug/trace name.
+func NewSem(name string) *Sem { return &Sem{name: name} }
+
+// Owner returns the current owner thread, or nil. Exposed for tests.
+func (s *Sem) Owner() *Thread { return s.owner }
+
+// Waiters returns the number of queued waiters. Exposed for tests.
+func (s *Sem) Waiters() int { return len(s.waiters) }
+
+// Acquire blocks the calling thread until it owns the semaphore.
+// Acquiring a semaphore the thread already owns is a programming error and
+// unwinds the thread with an error.
+func (s *Sem) Acquire(t *Task) {
+	t.checkKilled()
+	k, th := t.k, t.th
+	if s.owner == nil {
+		s.owner = th
+		th.owned = append(th.owned, s)
+		k.emitThread(th, Event{Kind: EvSemAcquire, Label: s.name})
+		return
+	}
+	if s.owner == th {
+		panic(fmt.Sprintf("sim: thread %q recursively acquired semaphore %q", th.name, s.name))
+	}
+	s.waiters = append(s.waiters, th)
+	k.emitThread(th, Event{Kind: EvSemBlock, Label: s.name})
+	th.blockCancel = func() { s.removeWaiter(th) }
+	k.blockCurrent(th, "sem:"+s.name)
+	t.yieldTo(yieldBlocked)
+	t.checkKilled()
+	// Release handed us ownership before waking us.
+	th.owned = append(th.owned, s)
+	k.emitThread(th, Event{Kind: EvSemAcquire, Label: s.name})
+}
+
+// Release transfers the semaphore to the head waiter, or frees it. Only the
+// owner may release.
+func (s *Sem) Release(t *Task) {
+	t.checkKilled()
+	k, th := t.k, t.th
+	if s.owner != th {
+		panic(fmt.Sprintf("sim: thread %q released semaphore %q it does not own", th.name, s.name))
+	}
+	k.emitThread(th, Event{Kind: EvSemRelease, Label: s.name})
+	th.disown(s)
+	s.handoff(k)
+}
+
+// handoff transfers ownership to the head waiter or frees the semaphore.
+func (s *Sem) handoff(k *Kernel) {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.blockCancel = nil
+		s.owner = w
+		w.owned = append(w.owned, s)
+		k.makeReady(w)
+		return
+	}
+	s.owner = nil
+}
+
+// disown removes s from the thread's owned-semaphore list.
+func (th *Thread) disown(s *Sem) {
+	for i, o := range th.owned {
+		if o == s {
+			th.owned = append(th.owned[:i], th.owned[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Sem) removeWaiter(th *Thread) {
+	for i, w := range s.waiters {
+		if w == th {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Flag is a one-shot condition: threads Wait until some thread calls Set.
+// It models the lightweight signaling the pipelined attacker (§7) uses to
+// hand the symlink step to its second thread.
+type Flag struct {
+	name    string
+	set     bool
+	waiters []*Thread
+}
+
+// NewFlag creates a flag with a debug/trace name.
+func NewFlag(name string) *Flag { return &Flag{name: name} }
+
+// IsSet reports whether the flag has been set.
+func (f *Flag) IsSet() bool { return f.set }
+
+// Wait blocks the calling thread until the flag is set. Returns immediately
+// if it already is.
+func (f *Flag) Wait(t *Task) {
+	t.checkKilled()
+	if f.set {
+		return
+	}
+	k, th := t.k, t.th
+	f.waiters = append(f.waiters, th)
+	th.blockCancel = func() { f.removeWaiter(th) }
+	k.blockCurrent(th, "flag:"+f.name)
+	t.yieldTo(yieldBlocked)
+	t.checkKilled()
+}
+
+// Set sets the flag and wakes all waiters.
+func (f *Flag) Set(t *Task) {
+	t.checkKilled()
+	if f.set {
+		return
+	}
+	f.set = true
+	k := t.k
+	for _, w := range f.waiters {
+		w.blockCancel = nil
+		k.makeReady(w)
+	}
+	f.waiters = nil
+}
+
+func (f *Flag) removeWaiter(th *Thread) {
+	for i, w := range f.waiters {
+		if w == th {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,407 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ThreadState is the scheduling state of a thread.
+type ThreadState uint8
+
+const (
+	// StateReady means runnable, waiting for (or being dispatched to) a CPU.
+	StateReady ThreadState = iota + 1
+	// StateRunning means currently assigned to and executing on a CPU.
+	StateRunning
+	// StateBlocked means waiting on a semaphore, timer, flag, or I/O.
+	StateBlocked
+	// StateDone means the thread function has returned.
+	StateDone
+)
+
+// String returns a short name for the state.
+func (s ThreadState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Process is a group of threads sharing a credential. It mirrors the parts
+// of a Unix process the experiments need: identity and ownership.
+type Process struct {
+	PID  int
+	Name string
+	UID  int
+	GID  int
+
+	k       *Kernel
+	threads []*Thread
+	liveCnt int
+}
+
+// Threads returns the process's threads (live and exited).
+func (p *Process) Threads() []*Thread {
+	out := make([]*Thread, len(p.threads))
+	copy(out, p.threads)
+	return out
+}
+
+// Alive reports whether any thread of the process has not exited.
+func (p *Process) Alive() bool { return p.liveCnt > 0 }
+
+type yieldKind uint8
+
+const (
+	yieldNone yieldKind = iota
+	yieldCompute
+	yieldBlocked
+	yieldExit
+)
+
+// killSignal is the panic value used to unwind a killed thread function.
+type killSignal struct{}
+
+// Thread is one schedulable execution context.
+type Thread struct {
+	id   int
+	proc *Process
+	name string
+
+	state       ThreadState
+	cpu         int // CPU index while assigned, else -1
+	computeLeft time.Duration
+	runStart    Time
+	workPending bool
+	workGen     uint64 // invalidates stale work-done events
+	schedGen    uint64 // invalidates stale quantum/dispatch events
+
+	resume      chan struct{}
+	yieldKind   yieldKind
+	blockReason string
+	blockCancel func() // dequeues the thread from whatever it waits on
+
+	killed bool
+	err    error // panic captured from the thread function
+	owned  []*Sem
+
+	// nice is the scheduling priority: lower values are dispatched ahead
+	// of higher ones when a CPU frees up (FIFO within a level). Default 0.
+	nice int
+
+	// cpuTime accumulates executed compute time, for accounting tests.
+	cpuTime time.Duration
+}
+
+// ID returns the thread id.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Process returns the owning process.
+func (t *Thread) Process() *Process { return t.proc }
+
+// State returns the current scheduling state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// CPUTime returns the total compute time the thread has executed.
+func (t *Thread) CPUTime() time.Duration { return t.cpuTime }
+
+// Nice returns the thread's scheduling priority value.
+func (t *Thread) Nice() int { return t.nice }
+
+// SetNice sets the scheduling priority: lower values win the CPU first
+// when threads compete for a freed processor (§3.2's "the priority of the
+// attacker (if priority-based scheduling is used)"). It does not reorder
+// a queue the thread is already waiting in.
+func (t *Thread) SetNice(nice int) { t.nice = nice }
+
+// NewProcess registers a process with the given name and credentials.
+func (k *Kernel) NewProcess(name string, uid, gid int) *Process {
+	k.nextPID++
+	p := &Process{PID: k.nextPID, Name: name, UID: uid, GID: gid, k: k}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// Spawn creates a thread in process p running fn and makes it runnable.
+// It may be called before Run or from inside a running thread function.
+func (k *Kernel) Spawn(p *Process, name string, fn func(*Task)) *Thread {
+	k.nextTID++
+	th := &Thread{
+		id:     k.nextTID,
+		proc:   p,
+		name:   name,
+		state:  StateReady,
+		cpu:    -1,
+		resume: make(chan struct{}),
+	}
+	k.threads = append(k.threads, th)
+	p.threads = append(p.threads, th)
+	p.liveCnt++
+	k.live++
+	k.emitThread(th, Event{Kind: EvSpawn, Label: name})
+	k.launch(th, fn)
+	k.makeReady(th)
+	return th
+}
+
+// launch starts the coroutine for th. The goroutine parks until the kernel
+// first steps the thread, runs fn, and converts returns/panics/kills into a
+// final exit yield.
+func (k *Kernel) launch(th *Thread, fn func(*Task)) {
+	go func() {
+		<-th.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killSignal); !isKill {
+					th.err = fmt.Errorf("sim: thread %q panicked: %v", th.name, r)
+				}
+			}
+			th.yieldKind = yieldExit
+			k.yield <- struct{}{}
+		}()
+		if !th.killed {
+			fn(&Task{k: k, th: th})
+		}
+	}()
+}
+
+// stepThread resumes th's coroutine and waits for it to yield back. The
+// yield reason determines the scheduling consequence. Must only be called
+// from the kernel loop with th running on a CPU (or exiting).
+func (k *Kernel) stepThread(th *Thread) {
+	th.resume <- struct{}{}
+	<-k.yield
+	switch th.yieldKind {
+	case yieldCompute:
+		th.runStart = k.now
+		k.scheduleWork(th)
+	case yieldBlocked:
+		// The blocking primitive already moved the thread off its CPU
+		// (via blockCurrent); nothing more to do here.
+	case yieldExit:
+		k.finishThread(th)
+	default:
+		panic(fmt.Sprintf("sim: invalid yield kind %d from thread %q", th.yieldKind, th.name))
+	}
+}
+
+// finishThread retires an exited thread and triggers process-exit hooks.
+func (k *Kernel) finishThread(th *Thread) {
+	if th.state == StateRunning {
+		k.runningCnt--
+	}
+	wasOnCPU := th.cpu >= 0
+	cpuID := th.cpu
+	th.state = StateDone
+	th.schedGen++
+	th.workGen++
+	th.workPending = false
+	th.cpu = -1
+	k.live--
+	th.proc.liveCnt--
+	// A killed thread may die holding inode semaphores; hand them to the
+	// next waiter so unrelated threads cannot hang on a leaked lock.
+	for len(th.owned) > 0 {
+		s := th.owned[len(th.owned)-1]
+		th.owned = th.owned[:len(th.owned)-1]
+		if s.owner == th {
+			s.handoff(k)
+		}
+	}
+	k.emitThread(th, Event{Kind: EvExit, Label: th.name})
+	if th.err != nil && k.userErr == nil {
+		k.userErr = th.err
+	}
+	if wasOnCPU {
+		c := k.cpus[cpuID]
+		c.th = nil
+		k.dispatchCPU(c)
+	}
+	if th.proc.liveCnt == 0 && k.onProcessExit != nil {
+		k.onProcessExit(th.proc)
+	}
+}
+
+// Kill requests asynchronous termination of a thread. The thread unwinds at
+// its next simulation interaction point. Killing a Done thread is a no-op.
+func (k *Kernel) Kill(th *Thread) {
+	if th.state == StateDone || th.killed {
+		return
+	}
+	th.killed = true
+	switch th.state {
+	case StateRunning:
+		// Cancel pending work/quantum and unwind immediately.
+		th.workGen++
+		th.schedGen++
+		th.workPending = false
+		k.pendingOps++
+		k.schedule(k.now, func() {
+			k.pendingOps--
+			if th.state != StateRunning {
+				return
+			}
+			k.runningCnt--
+			c := k.cpus[th.cpu]
+			th.cpu = -1
+			c.th = nil
+			th.state = StateBlocked // not schedulable; resumed once to unwind
+			k.dispatchCPU(c)
+			k.stepThread(th)
+		})
+	case StateReady:
+		k.removeReady(th)
+		if th.cpu >= 0 {
+			// Mid-dispatch: free the CPU.
+			c := k.cpus[th.cpu]
+			th.cpu = -1
+			th.schedGen++
+			c.th = nil
+			k.pendingOps++
+			k.schedule(k.now, func() { k.pendingOps--; k.dispatchCPU(c) })
+		}
+		th.state = StateBlocked
+		k.pendingOps++
+		k.schedule(k.now, func() { k.pendingOps--; k.stepThread(th) })
+	case StateBlocked:
+		if th.blockCancel != nil {
+			th.blockCancel()
+			th.blockCancel = nil
+		}
+		k.pendingOps++
+		k.schedule(k.now, func() { k.pendingOps--; k.stepThread(th) })
+	}
+}
+
+// KillProcess kills every live thread of p.
+func (k *Kernel) KillProcess(p *Process) {
+	for _, th := range p.threads {
+		k.Kill(th)
+	}
+}
+
+// Task is the interface a thread function uses to interact with the
+// simulated machine. All methods must be called only from the thread's own
+// function (they yield control to the kernel loop).
+type Task struct {
+	k  *Kernel
+	th *Thread
+}
+
+// Kernel returns the owning kernel.
+func (t *Task) Kernel() *Kernel { return t.k }
+
+// Thread returns the thread this task represents.
+func (t *Task) Thread() *Thread { return t.th }
+
+// Process returns the owning process.
+func (t *Task) Process() *Process { return t.th.proc }
+
+// Now returns the current virtual time.
+func (t *Task) Now() Time { return t.k.now }
+
+// RNG returns the kernel's deterministic random source.
+func (t *Task) RNG() *rand.Rand { return t.k.rng }
+
+// Killed reports whether this thread has been asked to terminate.
+func (t *Task) Killed() bool { return t.th.killed }
+
+func (t *Task) checkKilled() {
+	if t.th.killed {
+		panic(killSignal{})
+	}
+}
+
+// yield hands control to the kernel and parks until the kernel resumes the
+// thread.
+func (t *Task) yieldTo(kind yieldKind) {
+	t.th.yieldKind = kind
+	t.k.yield <- struct{}{}
+	<-t.th.resume
+}
+
+// Compute consumes d of CPU time. The elapsed virtual time may exceed d if
+// the thread is preempted or interrupted by ticks and background noise.
+func (t *Task) Compute(d time.Duration) {
+	t.checkKilled()
+	if d <= 0 {
+		return
+	}
+	t.th.computeLeft = d
+	t.yieldTo(yieldCompute)
+	t.checkKilled()
+}
+
+// ComputeJitter consumes a jittered amount of CPU time around base.
+func (t *Task) ComputeJitter(base time.Duration) {
+	t.Compute(t.k.JitterDuration(base))
+}
+
+// Sleep blocks the thread for d of virtual time without consuming CPU.
+func (t *Task) Sleep(d time.Duration) {
+	t.blockTimed("sleep", d, EvBlock)
+}
+
+// BlockIO blocks the thread on a storage operation of duration d.
+func (t *Task) BlockIO(d time.Duration) {
+	t.blockTimed("io", d, EvIOBlock)
+}
+
+func (t *Task) blockTimed(reason string, d time.Duration, kind EventKind) {
+	t.checkKilled()
+	if d <= 0 {
+		return
+	}
+	k, th := t.k, t.th
+	k.emitThread(th, Event{Kind: kind, Label: reason, Arg: int64(d)})
+	k.blockCurrent(th, reason)
+	k.timedCnt++
+	canceled := false
+	th.blockCancel = func() { canceled = true; k.timedCnt-- }
+	k.after(d, func() {
+		if canceled || th.state != StateBlocked {
+			return
+		}
+		k.timedCnt--
+		th.blockCancel = nil
+		k.makeReady(th)
+	})
+	t.yieldTo(yieldBlocked)
+	t.checkKilled()
+}
+
+// YieldCPU voluntarily relinquishes the CPU, going to the back of the run
+// queue if other threads are waiting.
+func (t *Task) YieldCPU() {
+	t.checkKilled()
+	k, th := t.k, t.th
+	if len(k.ready) == 0 {
+		return
+	}
+	k.preempt(th)
+	t.yieldTo(yieldBlocked) // resumed when redispatched
+	t.checkKilled()
+}
+
+// Trace emits a trace event stamped with the thread's identity.
+func (t *Task) Trace(ev Event) { t.k.emitThread(t.th, ev) }
+
+// Mark emits an EvMark event with the given label.
+func (t *Task) Mark(label string) { t.Trace(Event{Kind: EvMark, Label: label}) }
+
+// Spawn creates a sibling thread in the same process.
+func (t *Task) Spawn(name string, fn func(*Task)) *Thread {
+	return t.k.Spawn(t.th.proc, name, fn)
+}

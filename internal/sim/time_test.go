@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeHelpers(t *testing.T) {
+	base := Time(1500) // 1.5µs
+	if base.Micros() != 1.5 {
+		t.Errorf("Micros = %v", base.Micros())
+	}
+	if got := base.Add(time.Microsecond); got != Time(2500) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Time(5000).Sub(Time(2000)); got != 3*time.Microsecond {
+		t.Errorf("Sub = %v", got)
+	}
+	if base.Duration() != 1500*time.Nanosecond {
+		t.Errorf("Duration = %v", base.Duration())
+	}
+	if !strings.Contains(base.String(), "1.5") {
+		t.Errorf("String = %q", base.String())
+	}
+	if Micros(2.5) != 2500*time.Nanosecond {
+		t.Errorf("Micros helper = %v", Micros(2.5))
+	}
+	if Millis(1.5) != 1500*time.Microsecond {
+		t.Errorf("Millis helper = %v", Millis(1.5))
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	if EvSyscallEnter.String() != "enter" || EvSemBlock.String() != "sem-block" {
+		t.Error("kind names wrong")
+	}
+	if EventKind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind = %q", EventKind(200).String())
+	}
+}
+
+func TestThreadStateStrings(t *testing.T) {
+	for s, want := range map[ThreadState]string{
+		StateReady: "ready", StateRunning: "running", StateBlocked: "blocked", StateDone: "done",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q, want %q", s, s.String(), want)
+		}
+	}
+	if ThreadState(9).String() != "state(9)" {
+		t.Errorf("unknown = %q", ThreadState(9).String())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{T: Time(1000), Kind: EvSyscallEnter, CPU: 1, PID: 2, TID: 3, Label: "stat", Path: "/x", Arg: 7}
+	s := e.String()
+	for _, want := range []string{"enter", "stat", "/x", "arg=7", "pid2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string missing %q: %q", want, s)
+		}
+	}
+}
+
+func TestCountTracer(t *testing.T) {
+	ct := &CountTracer{}
+	cfg := testConfig(1)
+	cfg.Tracer = ct
+	k := New(cfg)
+	p := k.NewProcess("p", 0, 0)
+	k.Spawn(p, "t", func(task *Task) { task.Compute(time.Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Counts[EvSpawn] != 1 || ct.Counts[EvExit] != 1 {
+		t.Errorf("counts = %v", ct.Counts)
+	}
+}
+
+func TestProcessAccessors(t *testing.T) {
+	k := New(testConfig(1))
+	p := k.NewProcess("proc", 5, 6)
+	th := k.Spawn(p, "t", func(task *Task) {
+		if task.Process() != p || task.Kernel() != k || task.Thread() == nil {
+			t.Error("task accessors broken")
+		}
+		if task.RNG() == nil {
+			t.Error("rng missing")
+		}
+	})
+	if !p.Alive() {
+		t.Error("process should be alive before run")
+	}
+	if len(p.Threads()) != 1 || p.Threads()[0] != th {
+		t.Error("threads accessor broken")
+	}
+	if th.Name() != "t" || th.Process() != p {
+		t.Error("thread accessors broken")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Alive() {
+		t.Error("process should be done after run")
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import "fmt"
+
+// EventKind classifies trace events. The set covers everything the paper's
+// "detailed event analysis" sections (§5, §6) need: syscall boundaries,
+// semaphore contention, scheduling, page-fault traps, and the filesystem
+// namespace changes that open and close a vulnerability window.
+type EventKind uint8
+
+const (
+	EvNone EventKind = iota
+
+	// Syscall lifecycle (emitted by the fs layer).
+	EvSyscallEnter // Label=syscall name, Path=primary path argument
+	EvSyscallExit  // Label=syscall name, Arg=errno (0 on success)
+
+	// Synchronization.
+	EvSemBlock   // Label=resource, blocked waiting for a semaphore
+	EvSemAcquire // Label=resource
+	EvSemRelease // Label=resource
+
+	// Scheduling.
+	EvDispatch // thread starts running on CPU
+	EvPreempt  // thread preempted at quantum expiry
+	EvBlock    // thread blocked (Label=reason)
+	EvWake     // thread became ready
+	EvExit     // thread exited
+	EvSpawn    // thread created
+
+	// Kernel background activity.
+	EvTick  // timer interrupt on CPU (Arg=cost ns)
+	EvNoise // softirq/daemon activity on CPU (Arg=duration ns)
+
+	// Userland.
+	EvCompute // user compute segment completed (Arg=duration ns)
+	EvTrap    // page-fault trap, e.g. demand paging of a libc stub page
+	EvMark    // user-defined marker (Label)
+
+	// Filesystem namespace and attribute changes.
+	EvNameBind   // Path now bound to an inode; Arg=owner uid
+	EvNameUnbind // Path unbound from its inode
+	EvAttrChange // chown/chmod applied; Label=detail, Arg=new uid (chown)
+	EvIOBlock    // thread blocked on storage I/O (Arg=duration ns)
+)
+
+var eventKindNames = map[EventKind]string{
+	EvNone: "none", EvSyscallEnter: "enter", EvSyscallExit: "exit",
+	EvSemBlock: "sem-block", EvSemAcquire: "sem-acquire", EvSemRelease: "sem-release",
+	EvDispatch: "dispatch", EvPreempt: "preempt", EvBlock: "block", EvWake: "wake",
+	EvExit: "thread-exit", EvSpawn: "spawn", EvTick: "tick", EvNoise: "noise",
+	EvCompute: "compute", EvTrap: "trap", EvMark: "mark",
+	EvNameBind: "name-bind", EvNameUnbind: "name-unbind",
+	EvAttrChange: "attr", EvIOBlock: "io-block",
+}
+
+// String returns a short lowercase name for the kind.
+func (k EventKind) String() string {
+	if s, ok := eventKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one timestamped trace record.
+type Event struct {
+	T     Time
+	Kind  EventKind
+	CPU   int32
+	PID   int32
+	TID   int32
+	Label string
+	Path  string
+	Arg   int64
+}
+
+// String renders the event as a single human-readable line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%10.1fµs cpu%-2d pid%-3d tid%-3d %-12s", e.T.Micros(), e.CPU, e.PID, e.TID, e.Kind)
+	if e.Label != "" {
+		s += " " + e.Label
+	}
+	if e.Path != "" {
+		s += " " + e.Path
+	}
+	if e.Arg != 0 {
+		s += fmt.Sprintf(" arg=%d", e.Arg)
+	}
+	return s
+}
+
+// Tracer receives every trace event emitted during a run. Implementations
+// must not retain the kernel or call back into it.
+type Tracer interface {
+	Emit(Event)
+}
+
+// SliceTracer appends every event to Events. The zero value is ready to use.
+type SliceTracer struct {
+	Events []Event
+}
+
+var _ Tracer = (*SliceTracer)(nil)
+
+// Emit implements Tracer.
+func (s *SliceTracer) Emit(e Event) { s.Events = append(s.Events, e) }
+
+// CountTracer counts events by kind without retaining them; useful in
+// benchmarks where full traces would dominate memory.
+type CountTracer struct {
+	Counts map[EventKind]int64
+}
+
+var _ Tracer = (*CountTracer)(nil)
+
+// Emit implements Tracer.
+func (c *CountTracer) Emit(e Event) {
+	if c.Counts == nil {
+		c.Counts = make(map[EventKind]int64)
+	}
+	c.Counts[e.Kind]++
+}
+
+// emit sends an event to the configured tracer, if any, stamping the time.
+func (k *Kernel) emit(ev Event) {
+	if k.tracer == nil {
+		return
+	}
+	ev.T = k.now
+	k.tracer.Emit(ev)
+}
+
+// emitThread stamps thread/cpu identity onto the event before emitting.
+func (k *Kernel) emitThread(th *Thread, ev Event) {
+	if k.tracer == nil {
+		return
+	}
+	ev.T = k.now
+	ev.TID = int32(th.id)
+	ev.PID = int32(th.proc.PID)
+	ev.CPU = int32(th.cpu)
+	k.tracer.Emit(ev)
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tocttou/internal/sim"
+)
+
+// ThreadSummary aggregates how one thread spent its virtual time.
+type ThreadSummary struct {
+	PID, TID int32
+	// Compute is executed CPU time (from EvCompute records).
+	Compute time.Duration
+	// BlockedSem is time spent waiting on semaphores.
+	BlockedSem time.Duration
+	// BlockedIO is time spent waiting on storage.
+	BlockedIO time.Duration
+	// Syscalls counts syscall entries, Preemptions quantum losses, and
+	// Traps page faults.
+	Syscalls    int
+	Preemptions int
+	Traps       int
+}
+
+// Summarize aggregates per-thread activity over the whole log. Semaphore
+// wait time pairs EvSemBlock with the following EvSemAcquire of the same
+// thread and label; I/O wait uses EvIOBlock's recorded duration.
+func Summarize(l *Log) []ThreadSummary {
+	type key struct{ pid, tid int32 }
+	acc := map[key]*ThreadSummary{}
+	blockStart := map[key]map[string]sim.Time{}
+
+	get := func(e sim.Event) *ThreadSummary {
+		k := key{e.PID, e.TID}
+		s, ok := acc[k]
+		if !ok {
+			s = &ThreadSummary{PID: e.PID, TID: e.TID}
+			acc[k] = s
+			blockStart[k] = map[string]sim.Time{}
+		}
+		return s
+	}
+
+	for _, e := range l.Events {
+		switch e.Kind {
+		case sim.EvCompute:
+			get(e).Compute += time.Duration(e.Arg)
+		case sim.EvSemBlock:
+			get(e)
+			blockStart[key{e.PID, e.TID}][e.Label] = e.T
+		case sim.EvSemAcquire:
+			s := get(e)
+			k := key{e.PID, e.TID}
+			if t0, ok := blockStart[k][e.Label]; ok {
+				s.BlockedSem += e.T.Sub(t0)
+				delete(blockStart[k], e.Label)
+			}
+		case sim.EvIOBlock:
+			get(e).BlockedIO += time.Duration(e.Arg)
+		case sim.EvSyscallEnter:
+			get(e).Syscalls++
+		case sim.EvPreempt:
+			get(e).Preemptions++
+		case sim.EvTrap:
+			get(e).Traps++
+		}
+	}
+
+	out := make([]ThreadSummary, 0, len(acc))
+	for _, s := range acc {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PID != out[j].PID {
+			return out[i].PID < out[j].PID
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out
+}
+
+// RenderSummaries formats thread summaries as a table, labeling PIDs via
+// the given map.
+func RenderSummaries(summaries []ThreadSummary, labels map[int32]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %12s %11s %9s %9s %6s\n",
+		"thread", "cpu (µs)", "sem-wait(µs)", "io-wait(µs)", "syscalls", "preempts", "traps")
+	for _, s := range summaries {
+		name, ok := labels[s.PID]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %10.1f %12.1f %11.1f %9d %9d %6d\n",
+			fmt.Sprintf("%s/%d", name, s.TID),
+			s.Compute.Seconds()*1e6,
+			s.BlockedSem.Seconds()*1e6,
+			s.BlockedIO.Seconds()*1e6,
+			s.Syscalls, s.Preemptions, s.Traps)
+	}
+	return b.String()
+}

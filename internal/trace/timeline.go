@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tocttou/internal/sim"
+)
+
+// SpanKind classifies timeline spans.
+type SpanKind uint8
+
+// Span kinds, ordered roughly by rendering priority (later kinds overlay
+// earlier ones when they overlap).
+const (
+	SpanSyscall SpanKind = iota + 1
+	SpanCompute
+	SpanTrap
+	SpanBlocked
+	SpanIO
+)
+
+// String returns a short name for the kind.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanSyscall:
+		return "syscall"
+	case SpanCompute:
+		return "comp"
+	case SpanTrap:
+		return "trap"
+	case SpanBlocked:
+		return "blocked"
+	case SpanIO:
+		return "io"
+	default:
+		return fmt.Sprintf("span(%d)", uint8(k))
+	}
+}
+
+// Span is one interval in a thread's timeline.
+type Span struct {
+	Kind  SpanKind
+	Name  string // syscall name, "comp", semaphore name, ...
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Lane is one thread's sequence of spans.
+type Lane struct {
+	Label string
+	TID   int32
+	PID   int32
+	Spans []Span
+}
+
+// BuildTimeline reconstructs per-thread lanes from a trace. labels maps
+// PIDs to display names; threads of unlabeled processes are skipped.
+// Kernel housekeeping (ticks, noise) is not shown.
+func BuildTimeline(l *Log, labels map[int32]string) []Lane {
+	type key struct{ pid, tid int32 }
+	lanes := make(map[key]*Lane)
+	open := make(map[key][]int) // stack of open span indexes (syscalls can nest blocked spans)
+
+	laneOf := func(e sim.Event) (*Lane, key, bool) {
+		name, ok := labels[e.PID]
+		if !ok {
+			return nil, key{}, false
+		}
+		k := key{e.PID, e.TID}
+		ln, ok := lanes[k]
+		if !ok {
+			ln = &Lane{Label: fmt.Sprintf("%s/%d", name, e.TID), TID: e.TID, PID: e.PID}
+			lanes[k] = ln
+		}
+		return ln, k, true
+	}
+
+	for _, e := range l.Events {
+		ln, k, ok := laneOf(e)
+		if !ok {
+			continue
+		}
+		switch e.Kind {
+		case sim.EvSyscallEnter:
+			ln.Spans = append(ln.Spans, Span{Kind: SpanSyscall, Name: e.Label, Start: e.T, End: e.T})
+			open[k] = append(open[k], len(ln.Spans)-1)
+		case sim.EvSyscallExit:
+			if st := open[k]; len(st) > 0 {
+				idx := st[len(st)-1]
+				open[k] = st[:len(st)-1]
+				ln.Spans[idx].End = e.T
+			}
+		case sim.EvSemBlock:
+			ln.Spans = append(ln.Spans, Span{Kind: SpanBlocked, Name: e.Label, Start: e.T, End: e.T})
+			open[k] = append(open[k], len(ln.Spans)-1)
+		case sim.EvSemAcquire:
+			// Close a pending blocked span if one is open for this sem.
+			if st := open[k]; len(st) > 0 {
+				idx := st[len(st)-1]
+				if ln.Spans[idx].Kind == SpanBlocked && ln.Spans[idx].Name == e.Label {
+					open[k] = st[:len(st)-1]
+					ln.Spans[idx].End = e.T
+				}
+			}
+		case sim.EvCompute:
+			d := time.Duration(e.Arg)
+			ln.Spans = append(ln.Spans, Span{Kind: SpanCompute, Name: "comp", Start: e.T.Add(-d), End: e.T})
+		case sim.EvTrap:
+			d := time.Duration(e.Arg)
+			ln.Spans = append(ln.Spans, Span{Kind: SpanTrap, Name: "trap", Start: e.T, End: e.T.Add(d)})
+		case sim.EvIOBlock:
+			d := time.Duration(e.Arg)
+			ln.Spans = append(ln.Spans, Span{Kind: SpanIO, Name: "io", Start: e.T, End: e.T.Add(d)})
+		}
+	}
+
+	out := make([]Lane, 0, len(lanes))
+	for _, ln := range lanes {
+		out = append(out, *ln)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PID != out[j].PID {
+			return out[i].PID < out[j].PID
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out
+}
+
+// Clip returns the lane's spans overlapping [from, to], trimmed.
+func (ln Lane) Clip(from, to sim.Time) []Span {
+	var out []Span
+	for _, s := range ln.Spans {
+		if s.End <= from || s.Start >= to {
+			continue
+		}
+		if s.Start < from {
+			s.Start = from
+		}
+		if s.End > to {
+			s.End = to
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// RenderASCII draws lanes as text Gantt bars over [from, to], width
+// columns wide, in the style of the paper's Figures 8 and 10. Syscall
+// spans are labeled with their first letters; blocked time renders as '░'.
+func RenderASCII(lanes []Lane, from, to sim.Time, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	span := to.Sub(from)
+	if span <= 0 {
+		return ""
+	}
+	col := func(t sim.Time) int {
+		c := int(float64(t.Sub(from)) / float64(span) * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: %.1fµs .. %.1fµs (%.1fµs across %d cols)\n",
+		from.Micros(), to.Micros(), float64(span)/1e3, width)
+	for _, ln := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		paint := func(s Span, fill byte, label string) {
+			c0, c1 := col(s.Start), col(s.End)
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			for i := c0; i < c1 && i < width; i++ {
+				row[i] = fill
+			}
+			for i := 0; i < len(label) && c0+i < c1 && c0+i < width; i++ {
+				row[c0+i] = label[i]
+			}
+		}
+		spans := ln.Clip(from, to)
+		// Paint in kind order: user compute first (it fills the gaps),
+		// then syscall bodies over it, then traps/waits on top.
+		for _, kind := range []SpanKind{SpanCompute, SpanSyscall, SpanTrap, SpanBlocked, SpanIO} {
+			for _, s := range spans {
+				if s.Kind != kind {
+					continue
+				}
+				switch kind {
+				case SpanSyscall:
+					paint(s, '=', s.Name)
+				case SpanCompute:
+					paint(s, '-', "comp")
+				case SpanTrap:
+					paint(s, '#', "trap")
+				case SpanBlocked:
+					paint(s, '\xdb', "") // placeholder, replaced below
+				case SpanIO:
+					paint(s, '~', "io")
+				}
+			}
+		}
+		line := strings.ReplaceAll(string(row), "\xdb", "░")
+		fmt.Fprintf(&b, "%-14s |%s|\n", ln.Label, line)
+	}
+	// Describe each lane's spans precisely below the chart.
+	for _, ln := range lanes {
+		fmt.Fprintf(&b, "%s:\n", ln.Label)
+		for _, s := range ln.Clip(from, to) {
+			fmt.Fprintf(&b, "  %-8s %-14s %9.1fµs .. %9.1fµs (%6.1fµs)\n",
+				s.Kind, s.Name, s.Start.Micros(), s.End.Micros(), float64(s.Duration())/1e3)
+		}
+	}
+	return b.String()
+}

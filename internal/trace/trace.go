@@ -1,0 +1,231 @@
+// Package trace analyzes simulation event logs the way the paper's
+// "detailed event analysis" sections do: it locates the victim's
+// vulnerability window, measures the attacker's detection latency D and
+// the laxity L of §3.4, and builds per-thread timelines like the paper's
+// Figures 8 and 10.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"tocttou/internal/sim"
+)
+
+// Log wraps an event slice with query helpers. Events must be
+// time-ordered, which kernel traces always are.
+type Log struct {
+	Events []sim.Event
+}
+
+// New wraps events in a Log.
+func New(events []sim.Event) *Log { return &Log{Events: events} }
+
+// FirstBind returns the time of the first binding of path to an inode
+// owned by uid — for the attacks, the instant the vulnerability window
+// opens (vi: open creates the root-owned file; gedit: rename's dentry swap
+// commits).
+func (l *Log) FirstBind(path string, uid int) (sim.Time, bool) {
+	for _, e := range l.Events {
+		if e.Kind == sim.EvNameBind && e.Path == path && e.Arg == int64(uid) {
+			return e.T, true
+		}
+	}
+	return 0, false
+}
+
+// FirstSyscallEnter returns the first entry of the named syscall by pid at
+// or after from. Empty path matches any path.
+func (l *Log) FirstSyscallEnter(pid int32, name, path string, from sim.Time) (sim.Time, bool) {
+	for _, e := range l.Events {
+		if e.T < from || e.Kind != sim.EvSyscallEnter || e.PID != pid || e.Label != name {
+			continue
+		}
+		if path != "" && e.Path != path {
+			continue
+		}
+		return e.T, true
+	}
+	return 0, false
+}
+
+// FirstSyscallExit returns the first exit of the named syscall by pid at
+// or after from. Empty path matches any path.
+func (l *Log) FirstSyscallExit(pid int32, name, path string, from sim.Time) (sim.Time, bool) {
+	for _, e := range l.Events {
+		if e.T < from || e.Kind != sim.EvSyscallExit || e.PID != pid || e.Label != name {
+			continue
+		}
+		if path != "" && e.Path != path {
+			continue
+		}
+		return e.T, true
+	}
+	return 0, false
+}
+
+// SyscallSpan returns the [enter, exit] interval of the first occurrence
+// of the named syscall by pid on path at or after from.
+func (l *Log) SyscallSpan(pid int32, name, path string, from sim.Time) (enter, exit sim.Time, ok bool) {
+	enter, ok = l.FirstSyscallEnter(pid, name, path, from)
+	if !ok {
+		return 0, 0, false
+	}
+	exit, ok = l.FirstSyscallExit(pid, name, path, enter)
+	if !ok {
+		return 0, 0, false
+	}
+	return enter, exit, true
+}
+
+// LastSyscallEnterBefore returns the last entry of the named syscall by
+// pid strictly before the limit.
+func (l *Log) LastSyscallEnterBefore(pid int32, name, path string, limit sim.Time) (sim.Time, bool) {
+	var found bool
+	var at sim.Time
+	for _, e := range l.Events {
+		if e.T >= limit {
+			break
+		}
+		if e.Kind != sim.EvSyscallEnter || e.PID != pid || e.Label != name {
+			continue
+		}
+		if path != "" && e.Path != path {
+			continue
+		}
+		at, found = e.T, true
+	}
+	return at, found
+}
+
+// LDParams identifies the roles in a round for L/D measurement.
+type LDParams struct {
+	// VictimPID and AttackerPID separate the two processes' events.
+	VictimPID   int32
+	AttackerPID int32
+	// Target is the contested pathname (vi's wfname, gedit's
+	// real_filename).
+	Target string
+	// UseSyscall is the victim call that must lose the race: "chown" for
+	// vi's <open, chown> pair, "chmod" for gedit's <rename, chown> pair
+	// where the semaphore race is against chmod (§6.1).
+	UseSyscall string
+}
+
+// LDResult carries the paper's §3.4/§6.1 quantities for one round.
+type LDResult struct {
+	// T1 is the earliest start of a successful detection: the instant the
+	// target becomes bound to a root-owned inode. As in the paper's
+	// Table 2, this estimator is conservative — a stat that starts
+	// earlier and blocks on the directory semaphore can still detect.
+	T1 sim.Time
+	// T3 is the victim's entry into the use syscall.
+	T3 sim.Time
+	// StatEnter and UnlinkEnter bracket the attacker's successful
+	// detection; D = UnlinkEnter - StatEnter per §6.1.
+	StatEnter   sim.Time
+	UnlinkEnter sim.Time
+	// D is the detection interval, L = (T3 - D) - T1 the laxity.
+	D time.Duration
+	L time.Duration
+	// Detected reports whether the attacker launched its attack at all.
+	Detected bool
+	// WindowFound reports whether the vulnerability window opened.
+	WindowFound bool
+}
+
+// Lmicros returns L in microseconds (the paper's unit).
+func (r LDResult) Lmicros() float64 { return float64(r.L) / 1e3 }
+
+// Dmicros returns D in microseconds.
+func (r LDResult) Dmicros() float64 { return float64(r.D) / 1e3 }
+
+// MeasureLD extracts L and D from a round's trace.
+func MeasureLD(l *Log, p LDParams) LDResult {
+	var r LDResult
+	r.T1, r.WindowFound = l.FirstBind(p.Target, 0)
+	if !r.WindowFound {
+		return r
+	}
+	r.T3, _ = l.FirstSyscallEnter(p.VictimPID, p.UseSyscall, "", r.T1)
+	r.UnlinkEnter, r.Detected = l.FirstSyscallEnter(p.AttackerPID, "unlink", p.Target, 0)
+	if !r.Detected {
+		return r
+	}
+	statEnter, ok := l.LastSyscallEnterBefore(p.AttackerPID, "stat", p.Target, r.UnlinkEnter)
+	if !ok {
+		r.Detected = false
+		return r
+	}
+	r.StatEnter = statEnter
+	r.D = r.UnlinkEnter.Sub(r.StatEnter)
+	if r.T3 > 0 {
+		r.L = r.T3.Sub(r.T1) - r.D
+	}
+	return r
+}
+
+// WindowDuration returns the vulnerability window length (T1 to the use
+// syscall entry), if both were observed.
+func (l *Log) WindowDuration(victimPID int32, target, useSyscall string) (time.Duration, bool) {
+	t1, ok := l.FirstBind(target, 0)
+	if !ok {
+		return 0, false
+	}
+	t3, ok := l.FirstSyscallEnter(victimPID, useSyscall, "", t1)
+	if !ok {
+		return 0, false
+	}
+	return t3.Sub(t1), true
+}
+
+// SuspendedInWindow reports whether the process lost its CPU — was
+// preempted or blocked on I/O, a timer, or a semaphore — between from and
+// to. This measures the P(victim suspended) term of the paper's
+// Equation 1 directly from a round's trace.
+func (l *Log) SuspendedInWindow(pid int32, from, to sim.Time) bool {
+	for _, e := range l.Events {
+		if e.T < from {
+			continue
+		}
+		if e.T > to {
+			break
+		}
+		if e.PID != pid {
+			continue
+		}
+		switch e.Kind {
+		case sim.EvPreempt, sim.EvBlock, sim.EvIOBlock, sim.EvSemBlock:
+			return true
+		}
+	}
+	return false
+}
+
+// WriteCSV dumps the events as CSV for offline analysis.
+func WriteCSV(w io.Writer, events []sim.Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_us", "kind", "cpu", "pid", "tid", "label", "path", "arg"}); err != nil {
+		return err
+	}
+	for _, e := range events {
+		rec := []string{
+			fmt.Sprintf("%.3f", e.T.Micros()),
+			e.Kind.String(),
+			strconv.Itoa(int(e.CPU)),
+			strconv.Itoa(int(e.PID)),
+			strconv.Itoa(int(e.TID)),
+			e.Label,
+			e.Path,
+			strconv.FormatInt(e.Arg, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"tocttou/internal/sim"
+)
+
+// mkEvents builds a synthetic round trace resembling a gedit attack:
+// victim pid 1 renames (binding the target root-owned at t=100µs) then
+// chmods at t=150µs; attacker pid 2 stats at 110µs and unlinks at 140µs.
+func mkEvents() []sim.Event {
+	us := func(x float64) sim.Time { return sim.Time(x * 1000) }
+	return []sim.Event{
+		{T: us(90), Kind: sim.EvSyscallEnter, PID: 1, TID: 1, Label: "rename", Path: "/h/a/tmp"},
+		{T: us(95), Kind: sim.EvSyscallEnter, PID: 2, TID: 2, Label: "stat", Path: "/h/a/f"},
+		{T: us(98), Kind: sim.EvSyscallExit, PID: 2, TID: 2, Label: "stat", Path: "/h/a/f"},
+		{T: us(100), Kind: sim.EvNameBind, PID: 1, TID: 1, Path: "/h/a/f", Arg: 0},
+		{T: us(104), Kind: sim.EvSyscallExit, PID: 1, TID: 1, Label: "rename", Path: "/h/a/f"},
+		{T: us(110), Kind: sim.EvSyscallEnter, PID: 2, TID: 2, Label: "stat", Path: "/h/a/f"},
+		{T: us(114), Kind: sim.EvSyscallExit, PID: 2, TID: 2, Label: "stat", Path: "/h/a/f"},
+		{T: us(116), Kind: sim.EvCompute, PID: 2, TID: 2, Arg: int64(2 * time.Microsecond)},
+		{T: us(140), Kind: sim.EvSyscallEnter, PID: 2, TID: 2, Label: "unlink", Path: "/h/a/f"},
+		{T: us(141), Kind: sim.EvSemBlock, PID: 2, TID: 2, Label: "ino:7"},
+		{T: us(144), Kind: sim.EvSemAcquire, PID: 2, TID: 2, Label: "ino:7"},
+		{T: us(148), Kind: sim.EvSyscallExit, PID: 2, TID: 2, Label: "unlink", Path: "/h/a/f", Arg: 0},
+		{T: us(150), Kind: sim.EvSyscallEnter, PID: 1, TID: 1, Label: "chmod", Path: "/h/a/f"},
+		{T: us(155), Kind: sim.EvSyscallExit, PID: 1, TID: 1, Label: "chmod", Path: "/h/a/f"},
+	}
+}
+
+func TestFirstBind(t *testing.T) {
+	l := New(mkEvents())
+	at, ok := l.FirstBind("/h/a/f", 0)
+	if !ok || at != sim.Time(100*1000) {
+		t.Errorf("bind = %v, %v; want 100µs", at, ok)
+	}
+	if _, ok := l.FirstBind("/h/a/f", 1000); ok {
+		t.Error("no bind with uid 1000 exists")
+	}
+	if _, ok := l.FirstBind("/other", 0); ok {
+		t.Error("no bind for other path exists")
+	}
+}
+
+func TestSyscallQueries(t *testing.T) {
+	l := New(mkEvents())
+	at, ok := l.FirstSyscallEnter(1, "chmod", "", 0)
+	if !ok || at != sim.Time(150*1000) {
+		t.Errorf("chmod enter = %v, %v", at, ok)
+	}
+	// From-time filtering.
+	if _, ok := l.FirstSyscallEnter(2, "stat", "", sim.Time(120*1000)); ok {
+		t.Error("no stat after 120µs")
+	}
+	// Path filtering.
+	if _, ok := l.FirstSyscallEnter(2, "unlink", "/wrong", 0); ok {
+		t.Error("wrong path must not match")
+	}
+	last, ok := l.LastSyscallEnterBefore(2, "stat", "/h/a/f", sim.Time(140*1000))
+	if !ok || last != sim.Time(110*1000) {
+		t.Errorf("last stat = %v, %v; want 110µs", last, ok)
+	}
+	enter, exit, ok := l.SyscallSpan(2, "unlink", "/h/a/f", 0)
+	if !ok || enter != sim.Time(140*1000) || exit != sim.Time(148*1000) {
+		t.Errorf("unlink span = [%v, %v], %v", enter, exit, ok)
+	}
+	ex, ok := l.FirstSyscallExit(1, "rename", "", 0)
+	if !ok || ex != sim.Time(104*1000) {
+		t.Errorf("rename exit = %v, %v", ex, ok)
+	}
+}
+
+func TestMeasureLD(t *testing.T) {
+	l := New(mkEvents())
+	r := MeasureLD(l, LDParams{
+		VictimPID: 1, AttackerPID: 2,
+		Target: "/h/a/f", UseSyscall: "chmod",
+	})
+	if !r.WindowFound || !r.Detected {
+		t.Fatalf("window/detected = %v/%v", r.WindowFound, r.Detected)
+	}
+	// D = unlink enter (140) - last stat enter before it (110) = 30µs.
+	if r.D != 30*time.Microsecond {
+		t.Errorf("D = %v, want 30µs", r.D)
+	}
+	// L = (t3 - D) - t1 = (150 - 30) - 100 = 20µs.
+	if r.L != 20*time.Microsecond {
+		t.Errorf("L = %v, want 20µs", r.L)
+	}
+	if r.Lmicros() != 20 || r.Dmicros() != 30 {
+		t.Errorf("micros = %v/%v", r.Lmicros(), r.Dmicros())
+	}
+}
+
+func TestMeasureLDNoWindow(t *testing.T) {
+	l := New(nil)
+	r := MeasureLD(l, LDParams{Target: "/x", UseSyscall: "chown"})
+	if r.WindowFound || r.Detected {
+		t.Error("empty trace should yield nothing")
+	}
+}
+
+func TestMeasureLDWindowWithoutDetection(t *testing.T) {
+	evs := mkEvents()
+	// Remove the attacker's unlink.
+	var filtered []sim.Event
+	for _, e := range evs {
+		if e.Label == "unlink" {
+			continue
+		}
+		filtered = append(filtered, e)
+	}
+	r := MeasureLD(New(filtered), LDParams{
+		VictimPID: 1, AttackerPID: 2, Target: "/h/a/f", UseSyscall: "chmod",
+	})
+	if !r.WindowFound {
+		t.Error("window should still be found")
+	}
+	if r.Detected {
+		t.Error("no unlink means no detection")
+	}
+}
+
+func TestWindowDuration(t *testing.T) {
+	l := New(mkEvents())
+	d, ok := l.WindowDuration(1, "/h/a/f", "chmod")
+	if !ok || d != 50*time.Microsecond {
+		t.Errorf("window = %v, %v; want 50µs", d, ok)
+	}
+	if _, ok := l.WindowDuration(1, "/nope", "chmod"); ok {
+		t.Error("missing target must fail")
+	}
+}
+
+func TestBuildTimeline(t *testing.T) {
+	l := New(mkEvents())
+	lanes := BuildTimeline(l, map[int32]string{1: "gedit", 2: "attacker"})
+	if len(lanes) != 2 {
+		t.Fatalf("lanes = %d, want 2", len(lanes))
+	}
+	if lanes[0].Label != "gedit/1" || lanes[1].Label != "attacker/2" {
+		t.Errorf("labels = %q, %q", lanes[0].Label, lanes[1].Label)
+	}
+	// The attacker lane must contain the unlink syscall span with a
+	// nested blocked span.
+	var unlink, blocked *Span
+	for i := range lanes[1].Spans {
+		s := &lanes[1].Spans[i]
+		if s.Kind == SpanSyscall && s.Name == "unlink" {
+			unlink = s
+		}
+		if s.Kind == SpanBlocked {
+			blocked = s
+		}
+	}
+	if unlink == nil || unlink.Duration() != 8*time.Microsecond {
+		t.Fatalf("unlink span missing or wrong: %+v", unlink)
+	}
+	if blocked == nil || blocked.Duration() != 3*time.Microsecond {
+		t.Fatalf("blocked span missing or wrong: %+v", blocked)
+	}
+	if blocked.Start < unlink.Start || blocked.End > unlink.End {
+		t.Error("blocked span must nest inside the unlink span")
+	}
+}
+
+func TestBuildTimelineSkipsUnlabeledPIDs(t *testing.T) {
+	l := New(mkEvents())
+	lanes := BuildTimeline(l, map[int32]string{1: "gedit"})
+	if len(lanes) != 1 {
+		t.Fatalf("lanes = %d, want 1", len(lanes))
+	}
+}
+
+func TestLaneClip(t *testing.T) {
+	ln := Lane{Spans: []Span{
+		{Kind: SpanSyscall, Name: "a", Start: 0, End: 10},
+		{Kind: SpanSyscall, Name: "b", Start: 20, End: 30},
+	}}
+	got := ln.Clip(5, 25)
+	if len(got) != 2 {
+		t.Fatalf("clip = %d spans, want 2", len(got))
+	}
+	if got[0].Start != 5 || got[0].End != 10 {
+		t.Errorf("span a clipped to [%v, %v]", got[0].Start, got[0].End)
+	}
+	if got[1].Start != 20 || got[1].End != 25 {
+		t.Errorf("span b clipped to [%v, %v]", got[1].Start, got[1].End)
+	}
+	if out := ln.Clip(100, 200); out != nil {
+		t.Errorf("out-of-range clip = %v, want nil", out)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	l := New(mkEvents())
+	lanes := BuildTimeline(l, map[int32]string{1: "gedit", 2: "attacker"})
+	out := RenderASCII(lanes, sim.Time(80*1000), sim.Time(160*1000), 80)
+	for _, want := range []string{"gedit/1", "attacker/2", "rename", "unlink", "chmod"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered timeline missing %q:\n%s", want, out)
+		}
+	}
+	if RenderASCII(lanes, 10, 10, 80) != "" {
+		t.Error("empty time range should render empty")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, mkEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(mkEvents())+1 {
+		t.Fatalf("csv lines = %d, want %d", len(lines), len(mkEvents())+1)
+	}
+	if !strings.HasPrefix(lines[0], "t_us,kind,cpu,pid,tid") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(buf.String(), "name-bind") {
+		t.Error("csv missing name-bind row")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	l := New(mkEvents())
+	sums := Summarize(l)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sums))
+	}
+	var attacker *ThreadSummary
+	for i := range sums {
+		if sums[i].PID == 2 {
+			attacker = &sums[i]
+		}
+	}
+	if attacker == nil {
+		t.Fatal("attacker summary missing")
+	}
+	if attacker.Syscalls != 3 { // two stats and the unlink
+		t.Errorf("syscalls = %d, want 3", attacker.Syscalls)
+	}
+	if attacker.BlockedSem != 3*time.Microsecond {
+		t.Errorf("sem wait = %v, want 3µs", attacker.BlockedSem)
+	}
+	if attacker.Compute != 2*time.Microsecond {
+		t.Errorf("compute = %v, want 2µs", attacker.Compute)
+	}
+	out := RenderSummaries(sums, map[int32]string{1: "gedit", 2: "attacker"})
+	for _, want := range []string{"gedit/1", "attacker/2", "sem-wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeSkipsUnlabeled(t *testing.T) {
+	sums := Summarize(New(mkEvents()))
+	out := RenderSummaries(sums, map[int32]string{1: "gedit"})
+	if strings.Contains(out, "/2") {
+		t.Error("unlabeled PID must be skipped in rendering")
+	}
+}

@@ -1,0 +1,104 @@
+package victim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tocttou/internal/fs"
+	"tocttou/internal/machine"
+	"tocttou/internal/prog"
+	"tocttou/internal/sim"
+	"tocttou/internal/userland"
+)
+
+func TestMailerDeliversToOrdinaryMailbox(t *testing.T) {
+	_, f, _ := runVictim(t, NewMailer(), machine.SMP2(), 4<<10)
+	info, err := f.LookupInfo("/home/alice/report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 4<<10+512 {
+		t.Errorf("mailbox size = %d, want original + 512-byte message", info.Size)
+	}
+	// The privileged file must be untouched.
+	pw, _ := f.LookupInfo("/etc/passwd")
+	if pw.Size != 2048 {
+		t.Errorf("passwd size = %d, want 2048", pw.Size)
+	}
+}
+
+func TestMailerRefusesSymlinkMailbox(t *testing.T) {
+	// When the mailbox is already a symlink at check time, the lstat
+	// check catches it and delivery aborts.
+	m := machine.SMP2()
+	k := sim.New(m.SimConfig(1, nil))
+	f := fs.New(fs.Config{Latency: m.Latency})
+	f.MustMkdirAll("/etc", 0o755, 0, 0)
+	f.MustWriteFile("/etc/passwd", 2048, 0o644, 0, 0)
+	f.MustMkdirAll("/home/alice", 0o755, 1000, 1000)
+	f.MustSymlink("/etc/passwd", "/home/alice/mbox", 1000, 1000)
+	env := prog.Env{
+		Target: "/home/alice/mbox", Backup: "/home/alice/mbox~",
+		Temp: "/home/alice/.t", Passwd: "/etc/passwd", Dummy: "/home/alice/d",
+		FileSize: 4 << 10, OwnerUID: 1000, OwnerGID: 1000, Machine: m,
+	}
+	p := k.NewProcess("mailer", 0, 0)
+	var runErr error
+	k.Spawn(p, "deliver", func(task *sim.Task) {
+		runErr = NewMailer().Run(userland.Bind(task, f, userland.NewImage(m.TrapCost, true)), env)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(runErr, ErrDeliveryRefused) {
+		t.Errorf("err = %v, want ErrDeliveryRefused", runErr)
+	}
+	pw, _ := f.LookupInfo("/etc/passwd")
+	if pw.Size != 2048 {
+		t.Errorf("passwd size = %d; the refused delivery must not write", pw.Size)
+	}
+}
+
+func TestMailerFallsToMidWindowSwap(t *testing.T) {
+	// Deterministically swap the mailbox for a symlink inside the
+	// check-use gap: the open follows it and the message lands in the
+	// privileged file — the paper's §1 scenario.
+	m := machine.SMP2()
+	k := sim.New(m.SimConfig(1, nil))
+	f := fs.New(fs.Config{Latency: m.Latency})
+	f.MustMkdirAll("/etc", 0o755, 0, 0)
+	f.MustWriteFile("/etc/passwd", 2048, 0o644, 0, 0)
+	f.MustMkdirAll("/home/alice", 0o777, 1000, 1000)
+	f.MustWriteFile("/home/alice/mbox", 4<<10, 0o644, 1000, 1000)
+	env := prog.Env{
+		Target: "/home/alice/mbox", Backup: "/home/alice/mbox~",
+		Temp: "/home/alice/.t", Passwd: "/etc/passwd", Dummy: "/home/alice/d",
+		FileSize: 4 << 10, OwnerUID: 1000, OwnerGID: 1000, Machine: m,
+	}
+	mailer := NewMailer()
+	// Widen the check-use gap so the swap pair — unlink (including the
+	// mailbox truncation) plus symlink, ~28µs on the SMP — fits
+	// deterministically.
+	mailer.CheckUseGap = 30 * time.Microsecond
+	root := k.NewProcess("mailer", 0, 0)
+	k.Spawn(root, "deliver", func(task *sim.Task) {
+		_ = mailer.Run(userland.Bind(task, f, userland.NewImage(m.TrapCost, true)), env)
+	})
+	alice := k.NewProcess("attacker", 1000, 1000)
+	k.Spawn(alice, "swap", func(task *sim.Task) {
+		c := userland.Bind(task, f, userland.NewImage(m.TrapCost, true))
+		// The mailer computes PreDeliveryCompute (~282µs on the SMP)
+		// then lstats; the gap follows. Land the swap inside it.
+		task.Sleep(m.ScaleCompute(mailer.PreDeliveryCompute) + 8*time.Microsecond)
+		_ = c.Unlink(env.Target)
+		_ = c.Symlink(env.Passwd, env.Target)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pw, _ := f.LookupInfo("/etc/passwd")
+	if pw.Size != 2048+512 {
+		t.Errorf("passwd size = %d, want 2048+512 (message appended through the swap)", pw.Size)
+	}
+}

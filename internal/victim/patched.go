@@ -1,0 +1,138 @@
+package victim
+
+import (
+	"fmt"
+	"time"
+
+	"tocttou/internal/fs"
+	"tocttou/internal/prog"
+	"tocttou/internal/userland"
+)
+
+// ViFixed is vi's save path with the application-level fix the TOCTTOU
+// literature prescribes: ownership is restored with fchown(2) on the open
+// descriptor instead of chown(2) on the pathname. The descriptor refers
+// to the inode vi created, so no later rebinding of the name can redirect
+// the call — the <open, chown> pair is gone.
+type ViFixed struct {
+	// Inner supplies the calibrated timing parameters.
+	Inner *Vi
+}
+
+// NewViFixed returns the patched vi.
+func NewViFixed() *ViFixed { return &ViFixed{Inner: NewVi()} }
+
+var _ prog.Program = (*ViFixed)(nil)
+
+// Name implements prog.Program.
+func (v *ViFixed) Name() string { return "vi-fchown" }
+
+// Run implements prog.Program.
+func (v *ViFixed) Run(c *userland.Libc, env prog.Env) error {
+	in := v.Inner
+	scale := env.Machine.ScaleCompute
+	st, err := c.Stat(env.Target)
+	if err != nil {
+		return fmt.Errorf("vi-fchown: stat original: %w", err)
+	}
+	if err := c.Rename(env.Target, env.Backup); err != nil {
+		return fmt.Errorf("vi-fchown: backup rename: %w", err)
+	}
+	f, err := c.Open(env.Target, fs.OWrite|fs.OCreate|fs.OTrunc, 0o644)
+	if err != nil {
+		return fmt.Errorf("vi-fchown: create: %w", err)
+	}
+	c.Compute(scale(in.PostOpenCompute))
+	remaining := env.FileSize
+	for remaining > 0 {
+		n := in.ChunkSize
+		if n > remaining {
+			n = remaining
+		}
+		c.Compute(scale(scaledChunk(in, n)))
+		if err := c.Write(f, n); err != nil {
+			return fmt.Errorf("vi-fchown: write: %w", err)
+		}
+		remaining -= n
+	}
+	c.Compute(scale(in.PreChownCompute))
+	// The fix: restore ownership through the descriptor, then close.
+	if err := c.Fchown(f, st.UID, st.GID); err != nil {
+		return fmt.Errorf("vi-fchown: fchown: %w", err)
+	}
+	if err := c.Close(f); err != nil {
+		return fmt.Errorf("vi-fchown: close: %w", err)
+	}
+	return nil
+}
+
+// GeditFixed is gedit's save path patched the same way: mode and owner
+// are set with fchmod/fchown on the scratch file's descriptor before the
+// rename, so the committed file is never root-owned under the contested
+// name and there is no path-based use call to race.
+type GeditFixed struct {
+	Inner *Gedit
+}
+
+// NewGeditFixed returns the patched gedit.
+func NewGeditFixed() *GeditFixed { return &GeditFixed{Inner: NewGedit()} }
+
+var _ prog.Program = (*GeditFixed)(nil)
+
+// Name implements prog.Program.
+func (g *GeditFixed) Name() string { return "gedit-fchown" }
+
+// Run implements prog.Program.
+func (g *GeditFixed) Run(c *userland.Libc, env prog.Env) error {
+	in := g.Inner
+	scale := env.Machine.ScaleCompute
+	st, err := c.Stat(env.Target)
+	if err != nil {
+		return fmt.Errorf("gedit-fchown: stat original: %w", err)
+	}
+	if err := c.Rename(env.Target, env.Backup); err != nil {
+		return fmt.Errorf("gedit-fchown: backup: %w", err)
+	}
+	tmp, err := c.Open(env.Temp, fs.OWrite|fs.OCreate|fs.OTrunc, 0o600)
+	if err != nil {
+		return fmt.Errorf("gedit-fchown: scratch create: %w", err)
+	}
+	remaining := env.FileSize
+	for remaining > 0 {
+		n := in.ChunkSize
+		if n > remaining {
+			n = remaining
+		}
+		c.Compute(scale(scaledGeditChunk(in, n)))
+		if err := c.Write(tmp, n); err != nil {
+			return fmt.Errorf("gedit-fchown: scratch write: %w", err)
+		}
+		remaining -= n
+	}
+	// The fix: attributes are settled on the descriptor BEFORE the
+	// scratch file becomes visible under the contested name.
+	if err := c.Fchmod(tmp, st.Mode); err != nil {
+		return fmt.Errorf("gedit-fchown: fchmod: %w", err)
+	}
+	if err := c.Fchown(tmp, st.UID, st.GID); err != nil {
+		return fmt.Errorf("gedit-fchown: fchown: %w", err)
+	}
+	if err := c.Close(tmp); err != nil {
+		return fmt.Errorf("gedit-fchown: scratch close: %w", err)
+	}
+	if err := c.Rename(env.Temp, env.Target); err != nil {
+		return fmt.Errorf("gedit-fchown: rename: %w", err)
+	}
+	// The window is gone: nothing path-based remains to race.
+	return nil
+}
+
+// scaledChunk returns vi's per-chunk compute prorated by chunk fill.
+func scaledChunk(v *Vi, n int64) time.Duration {
+	return time.Duration(float64(v.PerChunkCompute) * float64(n) / float64(v.ChunkSize))
+}
+
+// scaledGeditChunk prorates gedit's per-chunk compute.
+func scaledGeditChunk(g *Gedit, n int64) time.Duration {
+	return time.Duration(float64(g.PerChunkCompute) * float64(n) / float64(g.ChunkSize))
+}

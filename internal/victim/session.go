@@ -1,0 +1,53 @@
+package victim
+
+import (
+	"fmt"
+	"time"
+
+	"tocttou/internal/prog"
+	"tocttou/internal/stats"
+	"tocttou/internal/userland"
+)
+
+// Session runs an inner victim program repeatedly, modeling an editing
+// session with several saves. The paper's Fig. 1 caption is explicit that
+// the vulnerability window opens "every time vi saves the file" — so an
+// attacker who loses one race simply waits for the next save, and the
+// per-session risk compounds geometrically: P ≈ 1 - (1-p)^saves.
+type Session struct {
+	// Inner is the per-save victim (vi, gedit, ...).
+	Inner prog.Program
+	// Saves is the number of save operations in the session.
+	Saves int
+	// PauseMax bounds the uniform editor think time between saves,
+	// which re-randomizes the window's phase against scheduler quanta.
+	PauseMax time.Duration
+}
+
+// NewSession wraps inner in an n-save session.
+func NewSession(inner prog.Program, saves int) *Session {
+	return &Session{Inner: inner, Saves: saves, PauseMax: 30 * time.Millisecond}
+}
+
+var _ prog.Program = (*Session)(nil)
+
+// Name implements prog.Program.
+func (s *Session) Name() string {
+	return fmt.Sprintf("%s-x%d", s.Inner.Name(), s.Saves)
+}
+
+// Run implements prog.Program.
+func (s *Session) Run(c *userland.Libc, env prog.Env) error {
+	var lastErr error
+	for i := 0; i < s.Saves; i++ {
+		if i > 0 && s.PauseMax > 0 {
+			c.Compute(stats.UniformDuration(c.Task().RNG(), 0, s.PauseMax))
+		}
+		if err := s.Inner.Run(c, env); err != nil {
+			// A save that errors (e.g. chown on a vanished name after a
+			// sloppy race) does not end the editing session.
+			lastErr = err
+		}
+	}
+	return lastErr
+}

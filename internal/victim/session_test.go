@@ -1,0 +1,91 @@
+package victim
+
+import (
+	"testing"
+
+	"tocttou/internal/machine"
+	"tocttou/internal/sim"
+)
+
+func TestSessionRunsInnerRepeatedly(t *testing.T) {
+	s := NewSession(NewVi(), 3)
+	log, f, pid := runVictim(t, s, machine.SMP2(), 8<<10)
+	saves := 0
+	for _, e := range log.Events {
+		if e.Kind == sim.EvSyscallEnter && e.PID == pid && e.Label == "chown" {
+			saves++
+		}
+	}
+	if saves != 3 {
+		t.Errorf("chown count = %d, want 3 (one per save)", saves)
+	}
+	// The file ends the session owned by the original user.
+	info, err := f.LookupInfo("/home/alice/report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.UID != 1000 {
+		t.Errorf("owner = %d, want 1000", info.UID)
+	}
+}
+
+func TestSessionName(t *testing.T) {
+	if got := NewSession(NewVi(), 5).Name(); got != "vi-x5" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestSessionWindowReopensEachSave(t *testing.T) {
+	s := NewSession(NewVi(), 4)
+	log, _, _ := runVictim(t, s, machine.SMP2(), 4<<10)
+	binds := 0
+	for _, e := range log.Events {
+		if e.Kind == sim.EvNameBind && e.Path == "/home/alice/report.txt" && e.Arg == 0 {
+			binds++
+		}
+	}
+	if binds != 4 {
+		t.Errorf("root-owned bindings = %d, want 4 (a window per save)", binds)
+	}
+}
+
+func TestSessionSingleSaveEquivalentToInner(t *testing.T) {
+	one := NewSession(NewVi(), 1)
+	logS, _, pidS := runVictim(t, one, machine.SMP2(), 4<<10)
+	logV, _, pidV := runVictim(t, NewVi(), machine.SMP2(), 4<<10)
+	ws, okS := logS.WindowDuration(pidS, "/home/alice/report.txt", "chown")
+	wv, okV := logV.WindowDuration(pidV, "/home/alice/report.txt", "chown")
+	if !okS || !okV {
+		t.Fatal("windows not found")
+	}
+	diff := float64(ws-wv) / float64(wv)
+	if diff < -0.15 || diff > 0.15 {
+		t.Errorf("single-save session window %v differs from plain vi %v", ws, wv)
+	}
+}
+
+func TestPatchedVictimsRestoreOwnership(t *testing.T) {
+	_, f1, _ := runVictim(t, NewViFixed(), machine.SMP2(), 16<<10)
+	info, err := f1.LookupInfo("/home/alice/report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.UID != 1000 {
+		t.Errorf("vi-fchown owner = %d, want 1000", info.UID)
+	}
+	_, f2, _ := runVictim(t, NewGeditFixed(), machine.SMP2(), 4<<10)
+	info, err = f2.LookupInfo("/home/alice/report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.UID != 1000 {
+		t.Errorf("gedit-fchown owner = %d, want 1000", info.UID)
+	}
+}
+
+func TestGeditFixedNeverExposesRootOwnedName(t *testing.T) {
+	log, _, _ := runVictim(t, NewGeditFixed(), machine.SMP2(), 4<<10)
+	if _, found := log.FirstBind("/home/alice/report.txt", 0); found {
+		t.Error("patched gedit must never bind the target root-owned")
+	}
+}

@@ -1,0 +1,220 @@
+package victim
+
+import (
+	"testing"
+	"time"
+
+	"tocttou/internal/fs"
+	"tocttou/internal/machine"
+	"tocttou/internal/prog"
+	"tocttou/internal/sim"
+	"tocttou/internal/trace"
+	"tocttou/internal/userland"
+)
+
+// runVictim executes a victim program alone (no attacker) and returns the
+// trace plus the final FS.
+func runVictim(t *testing.T, v prog.Program, m machine.Profile, size int64) (*trace.Log, *fs.FS, int32) {
+	t.Helper()
+	tr := &sim.SliceTracer{}
+	k := sim.New(m.SimConfig(1, tr))
+	f := fs.New(fs.Config{Latency: m.Latency})
+	f.MustMkdirAll("/etc", 0o755, 0, 0)
+	f.MustWriteFile("/etc/passwd", 2048, 0o644, 0, 0)
+	f.MustMkdirAll("/home/alice", 0o755, 1000, 1000)
+	f.MustWriteFile("/home/alice/report.txt", size, 0o644, 1000, 1000)
+	env := prog.Env{
+		Target:   "/home/alice/report.txt",
+		Backup:   "/home/alice/report.txt~",
+		Temp:     "/home/alice/.tmp-save",
+		Passwd:   "/etc/passwd",
+		Dummy:    "/home/alice/dummy",
+		FileSize: size,
+		OwnerUID: 1000, OwnerGID: 1000,
+		Machine: m,
+	}
+	p := k.NewProcess(v.Name(), 0, 0)
+	img := userland.NewImage(m.TrapCost, true)
+	var runErr error
+	k.Spawn(p, "victim", func(task *sim.Task) {
+		runErr = v.Run(userland.Bind(task, f, img), env)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("victim run: %v", runErr)
+	}
+	return trace.New(tr.Events), f, int32(p.PID)
+}
+
+func TestViSaveRestoresOwnershipUnattacked(t *testing.T) {
+	_, f, _ := runVictim(t, NewVi(), machine.SMP2(), 16<<10)
+	info, err := f.LookupInfo("/home/alice/report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.UID != 1000 || info.GID != 1000 {
+		t.Errorf("owner = %d:%d, want 1000:1000 (chown must restore)", info.UID, info.GID)
+	}
+	if info.Size != 16<<10 {
+		t.Errorf("size = %d, want %d", info.Size, 16<<10)
+	}
+	// The backup must exist with the original inode's content.
+	if _, err := f.LookupInfo("/home/alice/report.txt~"); err != nil {
+		t.Errorf("backup missing: %v", err)
+	}
+}
+
+func TestViSyscallSequence(t *testing.T) {
+	log, _, pid := runVictim(t, NewVi(), machine.SMP2(), 8<<10)
+	var names []string
+	for _, e := range log.Events {
+		if e.Kind == sim.EvSyscallEnter && e.PID == pid {
+			names = append(names, e.Label)
+		}
+	}
+	want := []string{"stat", "rename", "open", "write", "close", "chown"}
+	wi := 0
+	for _, n := range names {
+		if wi < len(want) && n == want[wi] {
+			wi++
+		}
+	}
+	if wi != len(want) {
+		t.Errorf("syscalls %v do not contain the Fig.1 sequence %v", names, want)
+	}
+}
+
+func TestViWindowScalesWithFileSize(t *testing.T) {
+	m := machine.SMP2()
+	winOf := func(size int64) time.Duration {
+		log, _, pid := runVictim(t, NewVi(), m, size)
+		w, ok := log.WindowDuration(pid, "/home/alice/report.txt", "chown")
+		if !ok {
+			t.Fatal("window not found")
+		}
+		return w
+	}
+	small := winOf(100 << 10)
+	large := winOf(1000 << 10)
+	ratio := float64(large) / float64(small)
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("window ratio 1MB/100KB = %.1f, want ≈10 (linear in size)", ratio)
+	}
+	// ≈16.5µs per KB on the SMP (Fig. 7 calibration).
+	perKB := large.Seconds() * 1e6 / 1000
+	if perKB < 14 || perKB > 19 {
+		t.Errorf("window per KB = %.1fµs, want ≈16.5", perKB)
+	}
+}
+
+func TestViOneByteWindow(t *testing.T) {
+	// Table 1 regime: t3 - t1 ≈ L + D ≈ 103µs on the SMP.
+	log, _, pid := runVictim(t, NewVi(), machine.SMP2(), 1)
+	w, ok := log.WindowDuration(pid, "/home/alice/report.txt", "chown")
+	if !ok {
+		t.Fatal("window not found")
+	}
+	us := w.Seconds() * 1e6
+	if us < 85 || us > 125 {
+		t.Errorf("1-byte window = %.1fµs, want ≈103µs", us)
+	}
+}
+
+func TestGeditSaveRestoresOwnershipUnattacked(t *testing.T) {
+	_, f, _ := runVictim(t, NewGedit(), machine.SMP2(), 4<<10)
+	info, err := f.LookupInfo("/home/alice/report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.UID != 1000 {
+		t.Errorf("owner = %d, want 1000", info.UID)
+	}
+	if _, err := f.LookupInfo("/home/alice/report.txt~"); err != nil {
+		t.Errorf("backup copy missing: %v", err)
+	}
+	// The scratch file must be gone (renamed over the target).
+	if _, err := f.LookupInfo("/home/alice/.tmp-save"); err == nil {
+		t.Error("scratch file should have been renamed away")
+	}
+}
+
+func TestGeditWindowIndependentOfFileSize(t *testing.T) {
+	// §4.2: the gedit window excludes the file write.
+	m := machine.SMP2()
+	winOf := func(size int64) time.Duration {
+		log, _, pid := runVictim(t, NewGedit(), m, size)
+		w, ok := log.WindowDuration(pid, "/home/alice/report.txt", "chmod")
+		if !ok {
+			t.Fatal("window not found")
+		}
+		return w
+	}
+	small := winOf(2 << 10)
+	large := winOf(500 << 10)
+	ratio := float64(large) / float64(small)
+	if ratio > 1.5 {
+		t.Errorf("gedit window grew %.2fx with file size; must be ~flat", ratio)
+	}
+}
+
+func TestGeditWindowTracksMachineGap(t *testing.T) {
+	// The rename→chmod gap dominates the window: 43µs SMP vs 3µs MC.
+	winOn := func(m machine.Profile) time.Duration {
+		log, _, pid := runVictim(t, NewGedit(), m, 2<<10)
+		w, ok := log.WindowDuration(pid, "/home/alice/report.txt", "chmod")
+		if !ok {
+			t.Fatal("window not found")
+		}
+		return w
+	}
+	smp := winOn(machine.SMP2())
+	mc := winOn(machine.MultiCore())
+	if smp < 45*time.Microsecond || smp > 70*time.Microsecond {
+		t.Errorf("SMP window = %v, want ≈43µs gap + rename tail", smp)
+	}
+	if mc > 15*time.Microsecond {
+		t.Errorf("multi-core window = %v, want ≈3µs gap + rename tail", mc)
+	}
+}
+
+func TestAlwaysSuspendedBlocksInWindow(t *testing.T) {
+	log, f, pid := runVictim(t, NewAlwaysSuspended(), machine.Uniprocessor(), 64<<10)
+	t1, ok := log.FirstBind("/home/alice/report.txt", 0)
+	if !ok {
+		t.Fatal("window never opened")
+	}
+	t3, ok := log.FirstSyscallEnter(pid, "chown", "", t1)
+	if !ok {
+		t.Fatal("no chown")
+	}
+	sawIO := false
+	for _, e := range log.Events {
+		if e.Kind == sim.EvIOBlock && e.T >= t1 && e.T <= t3 {
+			sawIO = true
+		}
+	}
+	if !sawIO {
+		t.Error("rpm-like victim must block on I/O inside its window")
+	}
+	info, _ := f.LookupInfo("/home/alice/report.txt")
+	if info.UID != 1000 {
+		t.Errorf("owner = %d, want 1000", info.UID)
+	}
+}
+
+func TestVictimNames(t *testing.T) {
+	for _, c := range []struct {
+		p    prog.Program
+		want string
+	}{
+		{NewVi(), "vi"},
+		{NewGedit(), "gedit"},
+		{NewAlwaysSuspended(), "rpm-like"},
+	} {
+		if got := c.p.Name(); got != c.want {
+			t.Errorf("name = %q, want %q", got, c.want)
+		}
+	}
+}
