@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check vet build test race bench bench-baseline
+
+# check is the gate every change must pass: vet, build, the full test
+# suite, and a race-detector pass over the parallel campaign worker pool
+# and the simulator's coroutine handoff protocol.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ -run Campaign
+	$(GO) test -race ./internal/sim/
+
+# bench runs the per-layer microbenchmarks (see DESIGN.md's Performance
+# section for the benchstat comparison workflow).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/sim/ ./internal/fs/ ./internal/core/
+
+# bench-baseline refreshes the machine-readable per-round cost baseline.
+bench-baseline:
+	$(GO) run ./cmd/tocttou -bench-baseline

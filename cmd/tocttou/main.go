@@ -5,6 +5,7 @@
 //	tocttou -list
 //	tocttou -experiment fig6 [-rounds N] [-seed S] [-sizes 100,500,1000]
 //	tocttou -experiment all
+//	tocttou -bench-baseline [-bench-out BENCH_1.json]
 //
 // Each experiment renders the corresponding table or figure of
 // "Multiprocessors May Reduce System Dependability under File-Based Race
@@ -12,14 +13,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"tocttou/internal/attack"
+	"tocttou/internal/core"
 	"tocttou/internal/experiments"
+	"tocttou/internal/machine"
+	"tocttou/internal/victim"
 )
 
 func main() {
@@ -36,8 +43,14 @@ func run(args []string) error {
 	rounds := fl.Int("rounds", 0, "rounds per campaign (0 = experiment default)")
 	seed := fl.Int64("seed", 0, "base seed (0 = fixed default)")
 	sizesArg := fl.String("sizes", "", "comma-separated file sizes in KB, where applicable")
+	benchBase := fl.Bool("bench-baseline", false, "measure per-round campaign cost and write a machine-readable baseline")
+	benchOut := fl.String("bench-out", "BENCH_1.json", "output path for -bench-baseline")
 	if err := fl.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchBase {
+		return benchBaseline(*benchOut)
 	}
 
 	if *list || *name == "" {
@@ -79,5 +92,68 @@ func run(args []string) error {
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// benchRecord is the machine-readable perf baseline one -bench-baseline run
+// emits, giving future changes a per-round cost trajectory to compare
+// against (see DESIGN.md's Performance section for the workflow).
+type benchRecord struct {
+	Benchmark      string  `json:"benchmark"`
+	Rounds         int     `json:"rounds"`
+	NsPerRound     int64   `json:"ns_per_round"`
+	AllocsPerRound int64   `json:"allocs_per_round"`
+	BytesPerRound  int64   `json:"bytes_per_round"`
+	SuccessRate    float64 `json:"success_rate"`
+	GoVersion      string  `json:"go_version"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+}
+
+// benchBaseline times a fixed vi/SMP campaign — the workload the paper's
+// Figures 6–7 and Table 1 are built from — and writes {ns, allocs, bytes}
+// per round to out.
+func benchBaseline(out string) error {
+	sc := core.Scenario{
+		Machine:    machine.SMP2(),
+		Victim:     victim.NewVi(),
+		Attacker:   attack.NewV1(),
+		UseSyscall: "chown",
+		FileSize:   100 << 10,
+		Seed:       7001,
+	}
+	const warmup, rounds = 200, 2000
+	if _, err := core.RunCampaign(sc, warmup); err != nil {
+		return fmt.Errorf("bench warmup: %w", err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := core.RunCampaign(sc, rounds)
+	wall := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("bench campaign: %w", err)
+	}
+	runtime.ReadMemStats(&after)
+	rec := benchRecord{
+		Benchmark:      "vi-smp2-100KB-campaign",
+		Rounds:         rounds,
+		NsPerRound:     wall.Nanoseconds() / rounds,
+		AllocsPerRound: int64(after.Mallocs-before.Mallocs) / rounds,
+		BytesPerRound:  int64(after.TotalAlloc-before.TotalAlloc) / rounds,
+		SuccessRate:    res.Rate(),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d ns/round, %d allocs/round, %d B/round (success %.1f%%)\n",
+		out, rec.NsPerRound, rec.AllocsPerRound, rec.BytesPerRound, rec.SuccessRate*100)
 	return nil
 }

@@ -88,11 +88,17 @@ func RunCampaignRounds(sc Scenario, rounds int, keep bool) (CampaignResult, []Ro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One reusable simulation context per worker: kernel, file
+			// system, and trace buffer persist across this worker's rounds.
+			var st roundState
 			for i := range next {
 				rsc := sc
 				rsc.Seed = sc.Seed + int64(i+1)*seedStride
-				results[i], errs[i] = RunRound(rsc)
-				results[i].Events = nil // traces would dominate memory
+				results[i], errs[i] = runRound(rsc, &st)
+				// Events alias st's reused trace buffer and would be
+				// overwritten next round (and dominate memory if kept);
+				// everything derived from them was measured in runRound.
+				results[i].Events = nil
 			}
 		}()
 	}

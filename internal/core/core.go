@@ -156,7 +156,21 @@ type Round struct {
 }
 
 // RunRound executes one seeded race and reports its outcome.
-func RunRound(sc Scenario) (Round, error) {
+func RunRound(sc Scenario) (Round, error) { return runRound(sc, nil) }
+
+// roundState is a reusable per-worker simulation context: the kernel, the
+// file system, and the trace buffer survive across rounds so a campaign's
+// steady state allocates almost nothing per round. A nil *roundState means
+// "build everything fresh" (the RunRound path). Reuse changes no outcome:
+// sim.Kernel.Reset and fs.FS.Reset restore the exact observable state of
+// freshly constructed instances.
+type roundState struct {
+	k      *sim.Kernel
+	f      *fs.FS
+	tracer sim.SliceTracer
+}
+
+func runRound(sc Scenario, st *roundState) (Round, error) {
 	sc = sc.withDefaults()
 	if sc.Victim == nil || sc.Attacker == nil {
 		return Round{}, fmt.Errorf("core: scenario requires a victim and an attacker")
@@ -164,15 +178,35 @@ func RunRound(sc Scenario) (Round, error) {
 	var tracer *sim.SliceTracer
 	var simTracer sim.Tracer
 	if sc.Trace {
-		tracer = &sim.SliceTracer{}
+		if st != nil {
+			st.tracer.Reset()
+			tracer = &st.tracer
+		} else {
+			tracer = &sim.SliceTracer{}
+		}
 		simTracer = tracer
 	}
-	k := sim.New(sc.Machine.SimConfig(sc.Seed, simTracer))
-	f := fs.New(fs.Config{
+	simCfg := sc.Machine.SimConfig(sc.Seed, simTracer)
+	fsCfg := fs.Config{
 		Latency:               sc.Machine.Latency,
 		TrackContent:          sc.TrackContent,
 		UnsynchronizedLookups: sc.UnsynchronizedLookups,
-	})
+	}
+	var k *sim.Kernel
+	var f *fs.FS
+	switch {
+	case st == nil:
+		k = sim.New(simCfg)
+		f = fs.New(fsCfg)
+	case st.k == nil:
+		st.k = sim.New(simCfg)
+		st.f = fs.New(fsCfg)
+		k, f = st.k, st.f
+	default:
+		st.k.Reset(simCfg)
+		st.f.Reset(fsCfg)
+		k, f = st.k, st.f
+	}
 	if sc.NewGuard != nil {
 		f.SetGuard(sc.NewGuard())
 	}
@@ -212,7 +246,7 @@ func RunRound(sc Scenario) (Round, error) {
 	if sc.LoadThreads > 0 {
 		loadProc = k.NewProcess("load", 2000, 2000)
 		for i := 0; i < sc.LoadThreads; i++ {
-			k.Spawn(loadProc, fmt.Sprintf("hog%d", i), func(t *sim.Task) {
+			k.Spawn(loadProc, hogName(i), func(t *sim.Task) {
 				for !t.Killed() {
 					t.Compute(200 * time.Microsecond)
 				}
@@ -263,6 +297,20 @@ func RunRound(sc Scenario) (Round, error) {
 		}
 	}
 	return round, nil
+}
+
+// hogNames caches debug names for the usual handful of load threads so a
+// loaded round does not Sprintf per spawned hog.
+var hogNames = [...]string{
+	"hog0", "hog1", "hog2", "hog3", "hog4", "hog5", "hog6", "hog7",
+	"hog8", "hog9", "hog10", "hog11", "hog12", "hog13", "hog14", "hog15",
+}
+
+func hogName(i int) string {
+	if i < len(hogNames) {
+		return hogNames[i]
+	}
+	return fmt.Sprintf("hog%d", i)
 }
 
 // buildFixture populates the file system for a round.

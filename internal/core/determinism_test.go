@@ -1,0 +1,98 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"tocttou/internal/machine"
+)
+
+// These tests are the regression harness for the allocation-free hot path:
+// the zero-boxing event queue, the recycled kernel/FS round contexts, and
+// the parallel campaign runner must all be invisible in the results. A
+// campaign is a pure function of its scenario — any divergence between
+// repeated runs, serial and parallel execution, or fresh and recycled
+// round contexts is a bug in the reuse machinery, not noise.
+
+const determinismRounds = 200
+
+// errEq compares program-level errors by message: equivalent failures in
+// separate runs are distinct values.
+func errEq(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+func deterministicViSMP() Scenario {
+	// Traced, so the L/D and window measurement paths (the heaviest
+	// consumers of the trace buffer that round-context reuse recycles)
+	// are exercised too.
+	return viSc(machine.SMP2(), 100<<10, 7001, true)
+}
+
+func TestCampaignDeterministicAcrossRuns(t *testing.T) {
+	sc := deterministicViSMP()
+	a := campaign(t, sc, determinismRounds)
+	b := campaign(t, sc, determinismRounds)
+	if a != b {
+		t.Fatalf("identical campaigns diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+func TestCampaignDeterministicSerialVsParallel(t *testing.T) {
+	sc := deterministicViSMP()
+	parallel := campaign(t, sc, determinismRounds)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := campaign(t, sc, determinismRounds)
+	runtime.GOMAXPROCS(prev)
+
+	if parallel != serial {
+		t.Fatalf("campaign result depends on parallelism:\n gomaxprocs=n: %+v\n gomaxprocs=1: %+v", parallel, serial)
+	}
+}
+
+func TestReusedRoundContextMatchesFresh(t *testing.T) {
+	// Drive one reused context through a sequence of rounds and replay
+	// each round with a fresh kernel/FS/tracer; every observable field
+	// must agree (Events alias the reused buffer, so they are compared
+	// per-round before the next reuse overwrites them).
+	sc := deterministicViSMP()
+	var st roundState
+	for i := 0; i < 25; i++ {
+		rsc := sc
+		rsc.Seed = sc.Seed + int64(i+1)*seedStride
+		reused, err := runRound(rsc, &st)
+		if err != nil {
+			t.Fatalf("round %d (reused): %v", i, err)
+		}
+		fresh, err := RunRound(rsc)
+		if err != nil {
+			t.Fatalf("round %d (fresh): %v", i, err)
+		}
+		if len(reused.Events) != len(fresh.Events) {
+			t.Fatalf("round %d: trace length differs: reused %d, fresh %d",
+				i, len(reused.Events), len(fresh.Events))
+		}
+		for j := range fresh.Events {
+			if reused.Events[j] != fresh.Events[j] {
+				t.Fatalf("round %d: trace diverges at event %d:\nreused: %+v\n fresh: %+v",
+					i, j, reused.Events[j], fresh.Events[j])
+			}
+		}
+		if !errEq(reused.VictimErr, fresh.VictimErr) || !errEq(reused.AttackerErr, fresh.AttackerErr) {
+			t.Fatalf("round %d: program errors differ:\nreused: %v / %v\n fresh: %v / %v",
+				i, reused.VictimErr, reused.AttackerErr, fresh.VictimErr, fresh.AttackerErr)
+		}
+		if reused.Success != fresh.Success || reused.LD != fresh.LD ||
+			reused.Window != fresh.Window || reused.WindowOK != fresh.WindowOK ||
+			reused.VictimSuspended != fresh.VictimSuspended ||
+			reused.VictimPID != fresh.VictimPID || reused.AttackerPID != fresh.AttackerPID ||
+			reused.End != fresh.End {
+			t.Fatalf("round %d: reused context changed the outcome:\nreused: %+v\n fresh: %+v",
+				i, reused, fresh)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package fs
+
+import (
+	"testing"
+	"time"
+
+	"tocttou/internal/sim"
+)
+
+// benchKernel builds a quiet one-CPU machine with generous budgets so the
+// measured cost is the file-system code, not scheduler churn.
+func benchKernel() *sim.Kernel {
+	return sim.New(sim.Config{
+		CPUs: 1, Quantum: time.Hour, Seed: 1,
+		MaxTime: time.Hour, MaxSteps: 1 << 40,
+	})
+}
+
+// BenchmarkPathResolution measures a stat through a three-component path —
+// the attacker's polling syscall, the hottest fs entry point in every
+// campaign. The walk must not allocate: components are substrings split
+// into a stack scratch, and lazy inode semaphores mean untouched fixture
+// files cost nothing.
+func BenchmarkPathResolution(b *testing.B) {
+	b.ReportAllocs()
+	k := benchKernel()
+	f := New(Config{Latency: DefaultProfile()})
+	f.MustMkdirAll("/home/alice", 0o755, 1000, 1000)
+	f.MustWriteFile("/home/alice/report.txt", 100<<10, 0o644, 1000, 1000)
+	p := k.NewProcess("p", 1000, 1000)
+	k.Spawn(p, "stat-loop", func(task *sim.Task) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Stat(task, "/home/alice/report.txt"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPathResolutionSymlink adds a symlink hop, exercising the
+// expansion path (which rebuilds the walk string).
+func BenchmarkPathResolutionSymlink(b *testing.B) {
+	b.ReportAllocs()
+	k := benchKernel()
+	f := New(Config{Latency: DefaultProfile()})
+	f.MustMkdirAll("/home/alice", 0o755, 1000, 1000)
+	f.MustWriteFile("/home/alice/real.txt", 4096, 0o644, 1000, 1000)
+	f.MustSymlink("/home/alice/real.txt", "/home/alice/link", 1000, 1000)
+	p := k.NewProcess("p", 1000, 1000)
+	k.Spawn(p, "stat-loop", func(task *sim.Task) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Stat(task, "/home/alice/link"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFixtureBuildReset measures the per-round fixture cost with a
+// recycled FS — the campaign steady state, where inode shells, children
+// maps, and semaphores all come from the free list.
+func BenchmarkFixtureBuildReset(b *testing.B) {
+	b.ReportAllocs()
+	cfg := Config{Latency: DefaultProfile()}
+	f := New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Reset(cfg)
+		f.MustMkdirAll("/etc", 0o755, 0, 0)
+		f.MustWriteFile("/etc/passwd", 2048, 0o644, 0, 0)
+		f.MustMkdirAll("/home/alice", 0o755, 1000, 1000)
+		f.MustWriteFile("/home/alice/report.txt", 100<<10, 0o644, 1000, 1000)
+		f.MustMkdirAll("/tmp", 0o777|ModeSticky, 0, 0)
+	}
+}

@@ -76,17 +76,17 @@ func (f *FS) openLocked(t *sim.Task, w *walker, path string, flags OpenFlag, mod
 			return nil, pathErr("open", path, EACCES)
 		}
 		w.flush()
-		res.parent.sem.Acquire(t)
+		res.parent.isem().Acquire(t)
 		// Re-check under the lock; a concurrent creator may have won.
 		if existing := res.parent.children[res.name]; existing != nil {
-			res.parent.sem.Release(t)
+			res.parent.isem().Release(t)
 			return f.openExisting(t, w, path, existing, flags)
 		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Create))
 		n := f.newInode(TypeRegular, mode, w.cred.UID, w.cred.GID)
 		res.parent.children[res.name] = n
 		t.Trace(sim.Event{Kind: sim.EvNameBind, Path: path, Arg: int64(n.uid)})
-		res.parent.sem.Release(t)
+		res.parent.isem().Release(t)
 		n.openCount++
 		return &File{fs: f, node: n, path: path, flags: flags}, nil
 	}
@@ -116,9 +116,9 @@ func (f *FS) openExisting(t *sim.Task, w *walker, path string, node *inode, flag
 	w.charge(f.cfg.Latency.OpenExisting)
 	w.flush()
 	if flags&OTrunc != 0 && flags&OWrite != 0 && node.typ == TypeRegular && node.size > 0 {
-		node.sem.Acquire(t)
+		node.isem().Acquire(t)
 		f.truncateLocked(t, node)
-		node.sem.Release(t)
+		node.isem().Release(t)
 	}
 	node.openCount++
 	return &File{fs: f, node: node, path: path, flags: flags}, nil
@@ -155,7 +155,7 @@ func (fl *File) writeCommon(t *sim.Task, n int64, b []byte) error {
 			return pathErr("write", fl.path, EINVAL)
 		}
 		node := fl.node
-		node.sem.Acquire(t)
+		node.isem().Acquire(t)
 		cost := f.cfg.Latency.WriteBase + perKB(f.cfg.Latency.WritePerKB, n)
 		t.Compute(t.Kernel().JitterDuration(cost))
 		if p := f.cfg.Latency.WriteStallProbPerKB * float64(n) / 1024.0; p > 0 && stats.Bernoulli(t.RNG(), p) {
@@ -171,7 +171,7 @@ func (fl *File) writeCommon(t *sim.Task, n int64, b []byte) error {
 		}
 		node.size += n
 		fl.offset += n
-		node.sem.Release(t)
+		node.isem().Release(t)
 		return nil
 	}()
 	f.exit(t, OpWrite, fl.path, err)
@@ -252,12 +252,12 @@ func (fl *File) Chown(t *sim.Task, uid, gid int) error {
 		if !cred.Root() {
 			return pathErr("fchown", fl.path, EPERM)
 		}
-		fl.node.sem.Acquire(t)
+		fl.node.isem().Acquire(t)
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chown))
 		fl.node.uid = uid
 		fl.node.gid = gid
 		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "fchown", Path: fl.path, Arg: int64(uid)})
-		fl.node.sem.Release(t)
+		fl.node.isem().Release(t)
 		return nil
 	}()
 	f.exit(t, OpChown, fl.path, err)
@@ -280,11 +280,11 @@ func (fl *File) Chmod(t *sim.Task, mode Mode) error {
 		if !cred.Root() && cred.UID != fl.node.uid {
 			return pathErr("fchmod", fl.path, EPERM)
 		}
-		fl.node.sem.Acquire(t)
+		fl.node.isem().Acquire(t)
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chmod))
 		fl.node.mode = mode
 		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "fchmod", Path: fl.path, Arg: int64(mode)})
-		fl.node.sem.Release(t)
+		fl.node.isem().Release(t)
 		return nil
 	}()
 	f.exit(t, OpChmod, fl.path, err)
@@ -331,10 +331,10 @@ func (fl *File) Close(t *sim.Task) error {
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Close))
 		node.openCount--
 		if node.openCount == 0 && node.nlink == 0 && node.unlinked {
-			node.sem.Acquire(t)
+			node.isem().Acquire(t)
 			f.truncateLocked(t, node)
 			f.freeInode(node)
-			node.sem.Release(t)
+			node.isem().Release(t)
 		}
 		return nil
 	}()

@@ -31,7 +31,9 @@ const (
 	OpReadDir
 )
 
-var opNames = map[Op]string{
+// opNames is an array (not a map) so the per-syscall String lookup is a
+// bounds-checked index rather than a hash probe.
+var opNames = [...]string{
 	OpStat: "stat", OpLstat: "lstat", OpOpen: "open", OpCreate: "creat",
 	OpRead: "read", OpWrite: "write", OpClose: "close", OpUnlink: "unlink",
 	OpSymlink: "symlink", OpLink: "link", OpRename: "rename",
@@ -41,8 +43,8 @@ var opNames = map[Op]string{
 
 // String returns the syscall name.
 func (o Op) String() string {
-	if s, ok := opNames[o]; ok {
-		return s
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }

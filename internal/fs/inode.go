@@ -3,6 +3,7 @@ package fs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"tocttou/internal/sim"
@@ -81,14 +82,21 @@ type inode struct {
 	// children maps names to inodes for directories.
 	children map[string]*inode
 	// sem is the inode semaphore (i_sem): namespace and attribute
-	// modifications of this object serialize on it.
+	// modifications of this object serialize on it. It is created lazily
+	// by isem() on first acquisition — fixture inodes the round never
+	// locks cost no semaphore allocation.
 	sem *sim.Sem
 	// dcache is the dentry-level lock of a directory: rename's dentry
 	// swap holds it, and concurrent lookups of names in the directory
 	// stall behind it (the "stat lengthened" effect of the paper's
 	// Fig. 10). Plain unlink/create/symlink do NOT hold it across their
-	// work — cached lookups do not block on a directory's i_sem.
+	// work — cached lookups do not block on a directory's i_sem. Created
+	// lazily by dlock(); a nil dcache means "unowned" to lookups.
 	dcache *sim.Sem
+	// semNamed / dcacheNamed record which ino the cached locks were last
+	// named for, so recycled inodes relabel them lazily (see isem).
+	semNamed    Ino
+	dcacheNamed Ino
 	// openCount is the number of open file descriptions; unlinked files
 	// are truncated only when the last one closes.
 	openCount int
@@ -110,7 +118,9 @@ type Config struct {
 	UnsynchronizedLookups bool
 }
 
-// FS is a simulated Unix-style file system.
+// FS is a simulated Unix-style file system. A finished FS can be recycled
+// for another round with Reset, which returns every inode of the old tree
+// (struct, children map, and semaphores) to a free list for reuse.
 type FS struct {
 	cfg     Config
 	root    *inode
@@ -118,6 +128,8 @@ type FS struct {
 	guard   Guard
 	// inodeCount tracks live inodes for leak assertions in tests.
 	inodeCount int
+	// free holds recycled inode shells harvested by Reset.
+	free []*inode
 }
 
 // New creates an empty file system with a root directory owned by root.
@@ -126,6 +138,41 @@ func New(cfg Config) *FS {
 	f.root = f.newInode(TypeDir, 0o755, 0, 0)
 	f.root.nlink = 2
 	return f
+}
+
+// Reset returns the file system to the empty state New(cfg) would produce,
+// recycling the previous tree's inodes. It must not be called while a
+// simulation that references this FS is running. A Reset file system
+// behaves identically to a fresh one: inode numbering restarts at 1, so a
+// deterministic fixture build assigns every file the same ino (and the
+// same trace labels) it would get from a brand-new FS.
+func (f *FS) Reset(cfg Config) {
+	f.harvest(f.root)
+	f.cfg = cfg
+	f.guard = nil
+	f.inodeCount = 0
+	f.nextIno = 0
+	f.root = f.newInode(TypeDir, 0o755, 0, 0)
+	f.root.nlink = 2
+}
+
+// harvest recursively returns n's subtree to the free list, scrubbing
+// per-round state but keeping the allocations (children map, semaphores)
+// for the next round.
+func (f *FS) harvest(n *inode) {
+	for name, c := range n.children {
+		f.harvest(c)
+		delete(n.children, name)
+	}
+	n.data = nil
+	n.target = ""
+	if n.sem != nil {
+		n.sem.ResetState()
+	}
+	if n.dcache != nil {
+		n.dcache.ResetState()
+	}
+	f.free = append(f.free, n)
 }
 
 // Latency returns the profile the file system charges from.
@@ -138,20 +185,51 @@ func (f *FS) SetGuard(g Guard) { f.guard = g }
 func (f *FS) newInode(typ FileType, mode Mode, uid, gid int) *inode {
 	f.nextIno++
 	f.inodeCount++
-	ino := &inode{
-		ino:   f.nextIno,
-		typ:   typ,
-		mode:  mode,
-		uid:   uid,
-		gid:   gid,
-		nlink: 1,
-		sem:   sim.NewSem(fmt.Sprintf("ino:%d", f.nextIno)),
+	var n *inode
+	if ln := len(f.free); ln > 0 {
+		n = f.free[ln-1]
+		f.free[ln-1] = nil
+		f.free = f.free[:ln-1]
+		n.ino = f.nextIno
+		n.typ, n.mode, n.uid, n.gid = typ, mode, uid, gid
+		n.size, n.nlink = 0, 1
+		n.openCount, n.unlinked = 0, false
+	} else {
+		n = &inode{ino: f.nextIno, typ: typ, mode: mode, uid: uid, gid: gid, nlink: 1}
 	}
-	if typ == TypeDir {
-		ino.children = make(map[string]*inode)
-		ino.dcache = sim.NewSem(fmt.Sprintf("dcache:%d", f.nextIno))
+	if typ == TypeDir && n.children == nil {
+		n.children = make(map[string]*inode)
 	}
-	return ino
+	return n
+}
+
+// isem returns the inode semaphore, creating it on first use. A recycled
+// inode may carry a semaphore named for a previous identity (the free list
+// pops in harvest order, not creation order); it is relabeled on first use
+// so traces from a recycled FS match a fresh one exactly.
+func (n *inode) isem() *sim.Sem {
+	if n.sem == nil {
+		n.sem = sim.NewSem("ino:" + strconv.FormatInt(int64(n.ino), 10))
+		n.semNamed = n.ino
+	} else if n.semNamed != n.ino {
+		n.sem.Rename("ino:" + strconv.FormatInt(int64(n.ino), 10))
+		n.semNamed = n.ino
+	}
+	return n.sem
+}
+
+// dlock returns the directory's dentry lock, creating it on first use.
+// Lookups treat a nil dcache as an unowned lock, so creation is deferred
+// until a rename actually takes it.
+func (n *inode) dlock() *sim.Sem {
+	if n.dcache == nil {
+		n.dcache = sim.NewSem("dcache:" + strconv.FormatInt(int64(n.ino), 10))
+		n.dcacheNamed = n.ino
+	} else if n.dcacheNamed != n.ino {
+		n.dcache.Rename("dcache:" + strconv.FormatInt(int64(n.ino), 10))
+		n.dcacheNamed = n.ino
+	}
+	return n.dcache
 }
 
 func (f *FS) freeInode(n *inode) {
@@ -200,18 +278,27 @@ func stickyDenies(parent, node *inode, cred Cred) bool {
 	return cred.UID != node.uid && cred.UID != parent.uid
 }
 
-// splitPath normalizes an absolute path into components. It rejects
-// relative paths: the simulated processes always use absolute names.
-func splitPath(path string) ([]string, error) {
+// splitPathInto normalizes an absolute path into components, appending to
+// buf — typically a stack-backed scratch from the caller, which keeps the
+// per-syscall resolve walk allocation-free (components are substrings of
+// path, so no copies are made either). It rejects relative paths: the
+// simulated processes always use absolute names.
+func splitPathInto(path string, buf []string) ([]string, error) {
 	if path == "" || path[0] != '/' {
 		return nil, EINVAL
 	}
-	raw := strings.Split(path, "/")
-	comps := make([]string, 0, len(raw))
-	for _, c := range raw {
+	comps := buf
+	for i := 1; i <= len(path); {
+		var c string
+		if j := strings.IndexByte(path[i:], '/'); j < 0 {
+			c = path[i:]
+			i = len(path) + 1
+		} else {
+			c = path[i : i+j]
+			i += j + 1
+		}
 		switch c {
 		case "", ".":
-			continue
 		case "..":
 			if len(comps) > 0 {
 				comps = comps[:len(comps)-1]
@@ -222,6 +309,10 @@ func splitPath(path string) ([]string, error) {
 	}
 	return comps, nil
 }
+
+// splitPath is splitPathInto with a freshly allocated buffer, for cold
+// paths (fixtures, post-run assertions).
+func splitPath(path string) ([]string, error) { return splitPathInto(path, nil) }
 
 // --- Fixture helpers -----------------------------------------------------
 //

@@ -165,29 +165,29 @@ func (f *FS) unlinkLocked(t *sim.Task, w *walker, path string) error {
 		return pathErr("unlink", path, EACCES)
 	}
 	w.flush()
-	parent.sem.Acquire(t)
+	parent.isem().Acquire(t)
 	// Re-lookup under the lock: the binding may have changed since the
 	// unlocked walk — these are exactly the TOCTTOU semantics.
 	node := parent.children[res.name]
 	if node == nil {
-		parent.sem.Release(t)
+		parent.isem().Release(t)
 		return pathErr("unlink", path, ENOENT)
 	}
 	if node.typ == TypeDir {
-		parent.sem.Release(t)
+		parent.isem().Release(t)
 		return pathErr("unlink", path, EISDIR)
 	}
 	if stickyDenies(parent, node, w.cred) {
-		parent.sem.Release(t)
+		parent.isem().Release(t)
 		return pathErr("unlink", path, EACCES)
 	}
-	node.sem.Acquire(t)
+	node.isem().Acquire(t)
 	// Phase 1: detach the name while holding the directory lock.
 	t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.UnlinkDetach))
 	delete(parent.children, res.name)
 	node.nlink--
 	t.Trace(sim.Event{Kind: sim.EvNameUnbind, Path: path})
-	parent.sem.Release(t)
+	parent.isem().Release(t)
 	// Phase 2: drop the data if this was the last reference.
 	if node.nlink == 0 {
 		node.unlinked = true
@@ -196,7 +196,7 @@ func (f *FS) unlinkLocked(t *sim.Task, w *walker, path string) error {
 			f.freeInode(node)
 		}
 	}
-	node.sem.Release(t)
+	node.isem().Release(t)
 	return nil
 }
 
@@ -241,9 +241,9 @@ func (f *FS) symlinkLocked(t *sim.Task, w *walker, target, linkpath string) erro
 		return pathErr("symlink", linkpath, EACCES)
 	}
 	w.flush()
-	res.parent.sem.Acquire(t)
+	res.parent.isem().Acquire(t)
 	if res.parent.children[res.name] != nil {
-		res.parent.sem.Release(t)
+		res.parent.isem().Release(t)
 		return pathErr("symlink", linkpath, EEXIST)
 	}
 	t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Symlink))
@@ -252,7 +252,7 @@ func (f *FS) symlinkLocked(t *sim.Task, w *walker, target, linkpath string) erro
 	n.size = int64(len(target))
 	res.parent.children[res.name] = n
 	t.Trace(sim.Event{Kind: sim.EvNameBind, Path: linkpath, Arg: int64(n.uid)})
-	res.parent.sem.Release(t)
+	res.parent.isem().Release(t)
 	return nil
 }
 
@@ -284,16 +284,16 @@ func (f *FS) Link(t *sim.Task, oldpath, newpath string) error {
 			return pathErr("link", newpath, EACCES)
 		}
 		w.flush()
-		res.parent.sem.Acquire(t)
+		res.parent.isem().Acquire(t)
 		if res.parent.children[res.name] != nil {
-			res.parent.sem.Release(t)
+			res.parent.isem().Release(t)
 			return pathErr("link", newpath, EEXIST)
 		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Symlink))
 		res.parent.children[res.name] = old.node
 		old.node.nlink++
 		t.Trace(sim.Event{Kind: sim.EvNameBind, Path: newpath, Arg: int64(old.node.uid)})
-		res.parent.sem.Release(t)
+		res.parent.isem().Release(t)
 		return nil
 	}()
 	f.exit(t, OpLink, oldpath, err)
@@ -357,18 +357,18 @@ func (f *FS) renameLocked(t *sim.Task, w *walker, oldpath, newpath string) error
 	} else if second.ino < first.ino {
 		first, second = second, first
 	}
-	first.sem.Acquire(t)
+	first.isem().Acquire(t)
 	if second != nil {
-		second.sem.Acquire(t)
+		second.isem().Acquire(t)
 	}
 
 	// Re-lookup under the locks.
 	onode := ores.parent.children[ores.name]
 	if onode == nil {
 		if second != nil {
-			second.sem.Release(t)
+			second.isem().Release(t)
 		}
-		first.sem.Release(t)
+		first.isem().Release(t)
 		return pathErr("rename", oldpath, ENOENT)
 	}
 	displaced := nres.parent.children[nres.name]
@@ -377,25 +377,25 @@ func (f *FS) renameLocked(t *sim.Task, w *walker, oldpath, newpath string) error
 	}
 	if displaced != nil && displaced.typ == TypeDir {
 		if second != nil {
-			second.sem.Release(t)
+			second.isem().Release(t)
 		}
-		first.sem.Release(t)
+		first.isem().Release(t)
 		return pathErr("rename", newpath, EISDIR)
 	}
 	if displaced != nil && stickyDenies(nres.parent, displaced, w.cred) {
 		if second != nil {
-			second.sem.Release(t)
+			second.isem().Release(t)
 		}
-		first.sem.Release(t)
+		first.isem().Release(t)
 		return pathErr("rename", newpath, EACCES)
 	}
 
 	// The swap phase: the namespace semaphores AND the dentry-cache
 	// locks are held for its whole duration, so concurrent lookups of
 	// either name stall until the binding changes at its end.
-	first.dcache.Acquire(t)
+	first.dlock().Acquire(t)
 	if second != nil {
-		second.dcache.Acquire(t)
+		second.dlock().Acquire(t)
 	}
 	t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.RenameSwap))
 	delete(ores.parent.children, ores.name)
@@ -407,24 +407,24 @@ func (f *FS) renameLocked(t *sim.Task, w *walker, oldpath, newpath string) error
 	nres.parent.children[nres.name] = onode
 	t.Trace(sim.Event{Kind: sim.EvNameBind, Path: newpath, Arg: int64(onode.uid)})
 	if second != nil {
-		second.dcache.Release(t)
+		second.dlock().Release(t)
 	}
-	first.dcache.Release(t)
+	first.dlock().Release(t)
 
 	if second != nil {
-		second.sem.Release(t)
+		second.isem().Release(t)
 	}
-	first.sem.Release(t)
+	first.isem().Release(t)
 
 	// Post-swap bookkeeping, outside the directory locks.
 	t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.RenamePost))
 	if displaced != nil && displaced.nlink == 0 {
 		displaced.unlinked = true
 		if displaced.openCount == 0 {
-			displaced.sem.Acquire(t)
+			displaced.isem().Acquire(t)
 			f.truncateLocked(t, displaced)
 			f.freeInode(displaced)
-			displaced.sem.Release(t)
+			displaced.isem().Release(t)
 		}
 	}
 	return nil
@@ -452,11 +452,11 @@ func (f *FS) Chmod(t *sim.Task, path string, mode Mode) error {
 			return pathErr("chmod", path, EPERM)
 		}
 		w.flush()
-		res.node.sem.Acquire(t)
+		res.node.isem().Acquire(t)
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chmod))
 		res.node.mode = mode
 		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "chmod", Path: path, Arg: int64(mode)})
-		res.node.sem.Release(t)
+		res.node.isem().Release(t)
 		return nil
 	}()
 	f.exit(t, OpChmod, path, err)
@@ -485,12 +485,12 @@ func (f *FS) Chown(t *sim.Task, path string, uid, gid int) error {
 			return pathErr("chown", path, EPERM)
 		}
 		w.flush()
-		res.node.sem.Acquire(t)
+		res.node.isem().Acquire(t)
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chown))
 		res.node.uid = uid
 		res.node.gid = gid
 		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "chown", Path: path, Arg: int64(uid)})
-		res.node.sem.Release(t)
+		res.node.isem().Release(t)
 		return nil
 	}()
 	f.exit(t, OpChown, path, err)
@@ -521,9 +521,9 @@ func (f *FS) Mkdir(t *sim.Task, path string, mode Mode) error {
 			return pathErr("mkdir", path, EACCES)
 		}
 		w.flush()
-		res.parent.sem.Acquire(t)
+		res.parent.isem().Acquire(t)
 		if res.parent.children[res.name] != nil {
-			res.parent.sem.Release(t)
+			res.parent.isem().Release(t)
 			return pathErr("mkdir", path, EEXIST)
 		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Mkdir))
@@ -532,7 +532,7 @@ func (f *FS) Mkdir(t *sim.Task, path string, mode Mode) error {
 		res.parent.children[res.name] = n
 		res.parent.nlink++
 		t.Trace(sim.Event{Kind: sim.EvNameBind, Path: path, Arg: int64(n.uid)})
-		res.parent.sem.Release(t)
+		res.parent.isem().Release(t)
 		return nil
 	}()
 	f.exit(t, OpMkdir, path, err)
@@ -567,18 +567,18 @@ func (f *FS) Rmdir(t *sim.Task, path string) error {
 			return pathErr("rmdir", path, EACCES)
 		}
 		w.flush()
-		res.parent.sem.Acquire(t)
+		res.parent.isem().Acquire(t)
 		node := res.parent.children[res.name]
 		if node == nil {
-			res.parent.sem.Release(t)
+			res.parent.isem().Release(t)
 			return pathErr("rmdir", path, ENOENT)
 		}
 		if node.typ != TypeDir {
-			res.parent.sem.Release(t)
+			res.parent.isem().Release(t)
 			return pathErr("rmdir", path, ENOTDIR)
 		}
 		if len(node.children) > 0 {
-			res.parent.sem.Release(t)
+			res.parent.isem().Release(t)
 			return pathErr("rmdir", path, ENOTEMPTY)
 		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.UnlinkDetach))
@@ -586,7 +586,7 @@ func (f *FS) Rmdir(t *sim.Task, path string) error {
 		res.parent.nlink--
 		f.freeInode(node)
 		t.Trace(sim.Event{Kind: sim.EvNameUnbind, Path: path})
-		res.parent.sem.Release(t)
+		res.parent.isem().Release(t)
 		return nil
 	}()
 	f.exit(t, OpRmdir, path, err)

@@ -50,12 +50,16 @@ func (w *walker) touchDir(dir *inode) {
 		w.charge(w.f.cfg.Latency.Lookup)
 		return
 	}
-	if owner := dir.dcache.Owner(); owner != nil && owner != w.t.Thread() {
-		w.flush()
-		dir.dcache.Acquire(w.t)
-		w.t.Compute(w.t.Kernel().JitterDuration(w.f.cfg.Latency.Lookup))
-		dir.dcache.Release(w.t)
-		return
+	// A directory that never saw a rename has no dentry lock (dcache is
+	// created lazily); that is indistinguishable from an unowned one.
+	if d := dir.dcache; d != nil {
+		if owner := d.Owner(); owner != nil && owner != w.t.Thread() {
+			w.flush()
+			d.Acquire(w.t)
+			w.t.Compute(w.t.Kernel().JitterDuration(w.f.cfg.Latency.Lookup))
+			d.Release(w.t)
+			return
+		}
 	}
 	w.charge(w.f.cfg.Latency.Lookup)
 }
@@ -75,7 +79,12 @@ func (w *walker) resolve(op, path string, follow bool, depth int) (resolution, e
 	if depth > maxSymlinkDepth {
 		return resolution{}, pathErr(op, path, ELOOP)
 	}
-	comps, err := splitPath(path)
+	// Stack-backed component scratch: the fixture paths are shallow, so
+	// the common walk splits without touching the heap (deep paths spill
+	// via append). Safe across the walk's blocking points — the scratch
+	// lives on this thread's own goroutine stack.
+	var scratch [8]string
+	comps, err := splitPathInto(path, scratch[:0])
 	if err != nil {
 		return resolution{}, pathErr(op, path, EINVAL)
 	}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// benchConfig is a quiet machine: no ticks or noise, so the measured work
+// is the scheduler/event-queue machinery itself.
+func benchConfig(cpus int) Config {
+	return Config{
+		CPUs:      cpus,
+		Quantum:   time.Second,
+		CtxSwitch: time.Microsecond,
+		MaxTime:   time.Hour,
+		MaxSteps:  1 << 40,
+	}
+}
+
+// BenchmarkEventQueuePushPop measures the raw heap operations. The steady
+// state must be allocation-free: timedEvent is stored by value and the
+// backing array is retained across iterations.
+func BenchmarkEventQueuePushPop(b *testing.B) {
+	b.ReportAllocs()
+	var q eventQueue
+	// Pre-grow so steady-state measurement excludes the one-time growth.
+	for i := 0; i < 1024; i++ {
+		q.push(timedEvent{at: Time(i), seq: uint64(i)})
+	}
+	q.reset()
+	var seq uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A batch with interleaved order exercises both sift directions.
+		for j := 0; j < 64; j++ {
+			seq++
+			q.push(timedEvent{at: Time((j * 37) % 64), seq: seq})
+		}
+		for j := 0; j < 64; j++ {
+			q.pop()
+		}
+	}
+}
+
+// BenchmarkKernelEventDispatch measures end-to-end event processing for a
+// compute-bound workload, reusing one kernel across iterations via Reset —
+// the per-round pattern of a campaign worker.
+func BenchmarkKernelEventDispatch(b *testing.B) {
+	b.ReportAllocs()
+	cfg := benchConfig(2)
+	k := New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Reset(cfg)
+		p := k.NewProcess("p", 0, 0)
+		for t := 0; t < 2; t++ {
+			k.Spawn(p, "w", func(task *Task) {
+				for j := 0; j < 1000; j++ {
+					task.Compute(time.Microsecond)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSemContention measures semaphore handoff under contention: four
+// threads on one CPU hammering a single lock, so nearly every Acquire
+// blocks and every Release hands off.
+func BenchmarkSemContention(b *testing.B) {
+	b.ReportAllocs()
+	cfg := benchConfig(1)
+	k := New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Reset(cfg)
+		p := k.NewProcess("p", 0, 0)
+		s := NewSem("hot")
+		for t := 0; t < 4; t++ {
+			k.Spawn(p, "w", func(task *Task) {
+				for j := 0; j < 250; j++ {
+					s.Acquire(task)
+					task.Compute(100 * time.Nanosecond)
+					s.Release(task)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimedSleep measures the timer-wake path (blockTimed): the most
+// frequent blocking primitive, now armed without any closure allocation.
+func BenchmarkTimedSleep(b *testing.B) {
+	b.ReportAllocs()
+	cfg := benchConfig(1)
+	k := New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Reset(cfg)
+		p := k.NewProcess("p", 0, 0)
+		k.Spawn(p, "sleeper", func(task *Task) {
+			for j := 0; j < 1000; j++ {
+				task.Sleep(time.Microsecond)
+			}
+		})
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

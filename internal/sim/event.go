@@ -1,51 +1,162 @@
 package sim
 
-import (
-	"container/heap"
-	"time"
+import "time"
+
+// evKind discriminates the kernel-internal actions an event queue entry can
+// carry. The hot scheduling paths (dispatch completion, quantum expiry,
+// compute completion, timer wake-ups, ticks, noise) are encoded as compact
+// tagged records instead of closures so that scheduling an event performs
+// no heap allocation; evFunc remains for the rare cold paths (kill unwind,
+// user-scheduled callbacks) where a closure is the clearest tool.
+type evKind uint8
+
+const (
+	// evFunc runs an arbitrary callback (cold paths only).
+	evFunc evKind = iota
+	// evStartRun begins execution of th on c after context-switch latency.
+	evStartRun
+	// evQuantum fires quantum expiry for th running on c.
+	evQuantum
+	// evWorkDone completes th's pending compute segment.
+	evWorkDone
+	// evTimerWake wakes th from a timed block (sleep / simulated I/O).
+	evTimerWake
+	// evTick is the periodic timer interrupt on c.
+	evTick
+	// evNoise is a background-activity burst on c.
+	evNoise
 )
 
 // timedEvent is an entry in the kernel's event queue. Events at equal
 // instants fire in insertion order (seq), which keeps runs deterministic.
+// The struct is stored by value in the queue: pushing and popping never box
+// through an interface and never allocate.
 type timedEvent struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	gen  uint64
+	th   *Thread
+	c    *cpu
+	fn   func()
+	kind evKind
 }
 
-type eventHeap []timedEvent
+// eventQueue is a hand-rolled 4-ary min-heap over []timedEvent, ordered by
+// (at, seq). Because (at, seq) is a strict total order, any heap-property-
+// preserving implementation pops events in the identical globally sorted
+// sequence, so neither replacing container/heap nor the heap's arity
+// changes a simulated outcome — the rewrite only removes the per-operation
+// boxing of timedEvent through `any`, and the wider fan-out halves the
+// sift depth (four children share a cache line's worth of records).
+type eventQueue []timedEvent
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q eventQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
 	}
-	return h[i].seq < h[j].seq
+	return q[i].seq < q[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(timedEvent)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = timedEvent{}
-	*h = old[:n-1]
-	return ev
+// push inserts ev, sifting it up to its heap position.
+func (q *eventQueue) push(ev timedEvent) {
+	h := append(*q, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	*q = h
 }
 
-// schedule enqueues fn to run at instant at. Scheduling in the past is a
-// programming error and is clamped to now to preserve monotonicity.
-func (k *Kernel) schedule(at Time, fn func()) {
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so the backing array does not retain closures or thread pointers.
+func (q *eventQueue) pop() timedEvent {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = timedEvent{}
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		for r := c + 1; r < c+4 && r < n; r++ {
+			if h.less(r, m) {
+				m = r
+			}
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// reset empties the queue in place, dropping references but keeping the
+// backing array for reuse by the next simulation round.
+func (q *eventQueue) reset() {
+	clear(*q)
+	*q = (*q)[:0]
+}
+
+// scheduleEvent enqueues ev to fire at instant at. Scheduling in the past
+// is a programming error and is clamped to now to preserve monotonicity.
+func (k *Kernel) scheduleEvent(at Time, ev timedEvent) {
 	if at < k.now {
 		at = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, timedEvent{at: at, seq: k.seq, fn: fn})
+	ev.at = at
+	ev.seq = k.seq
+	k.events.push(ev)
+}
+
+// schedule enqueues fn to run at instant at (cold paths only; hot paths use
+// the typed scheduleKernel records to stay allocation-free).
+func (k *Kernel) schedule(at Time, fn func()) {
+	k.scheduleEvent(at, timedEvent{kind: evFunc, fn: fn})
 }
 
 // after enqueues fn to run d after the current instant.
 func (k *Kernel) after(d time.Duration, fn func()) { k.schedule(k.now.Add(d), fn) }
+
+// scheduleKernel enqueues a typed kernel action without allocating.
+func (k *Kernel) scheduleKernel(at Time, kind evKind, th *Thread, c *cpu, gen uint64) {
+	k.scheduleEvent(at, timedEvent{kind: kind, th: th, c: c, gen: gen})
+}
+
+// afterKernel enqueues a typed kernel action d after the current instant.
+func (k *Kernel) afterKernel(d time.Duration, kind evKind, th *Thread, c *cpu, gen uint64) {
+	k.scheduleKernel(k.now.Add(d), kind, th, c, gen)
+}
+
+// dispatchEvent runs the action an event carries.
+func (k *Kernel) dispatchEvent(ev *timedEvent) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evStartRun:
+		k.startRun(ev.c, ev.th, ev.gen)
+	case evQuantum:
+		k.quantumExpired(ev.c, ev.th, ev.gen)
+	case evWorkDone:
+		k.workDone(ev.th, ev.gen)
+	case evTimerWake:
+		k.timerWake(ev.th, ev.gen)
+	case evTick:
+		k.tickFire(ev.c)
+	case evNoise:
+		k.noiseFire(ev.c)
+	}
+}

@@ -1,28 +1,27 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 	"time"
 )
 
-func TestEventHeapOrderingProperty(t *testing.T) {
-	// For any multiset of event times, the heap must yield them in
+func TestEventQueueOrderingProperty(t *testing.T) {
+	// For any multiset of event times, the queue must yield them in
 	// nondecreasing time order, with ties broken by insertion order.
 	f := func(times []uint32) bool {
-		var h eventHeap
-		heap.Init(&h)
+		var q eventQueue
 		var seq uint64
 		for _, tt := range times {
 			seq++
-			heap.Push(&h, timedEvent{at: Time(tt % 1000), seq: seq})
+			q.push(timedEvent{at: Time(tt % 1000), seq: seq})
 		}
 		var lastT Time = -1
 		var lastSeq uint64
-		for h.Len() > 0 {
-			ev := heap.Pop(&h).(timedEvent)
+		for len(q) > 0 {
+			ev := q.pop()
 			if ev.at < lastT {
 				return false
 			}
@@ -35,6 +34,26 @@ func TestEventHeapOrderingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestEventQueueReset(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 100; i++ {
+		q.push(timedEvent{at: Time(i), seq: uint64(i)})
+	}
+	q.reset()
+	if len(q) != 0 {
+		t.Fatalf("reset left %d events", len(q))
+	}
+	if cap(q) == 0 {
+		t.Fatal("reset dropped the backing array")
+	}
+	// The retained capacity must not leak references from the prior run.
+	for _, ev := range q[:cap(q)] {
+		if ev.fn != nil || ev.th != nil || ev.c != nil {
+			t.Fatal("reset retained references in the backing array")
+		}
 	}
 }
 
@@ -103,6 +122,193 @@ func TestKernelEventOrderFuzz(t *testing.T) {
 				t.Fatalf("seed %d: trace time went backwards: %v after %v", seed, e.T, last)
 			}
 			last = e.T
+		}
+	}
+}
+
+func TestReadyQueuePriorityFIFO(t *testing.T) {
+	// Strict priority between nice levels, FIFO within a level — including
+	// across ring wrap-around caused by interleaved pops.
+	var q readyQueue
+	mk := func(id, nice int) *Thread { return &Thread{id: id, nice: nice} }
+
+	a, b, c, d, e := mk(1, 0), mk(2, 0), mk(3, -5), mk(4, 0), mk(5, -5)
+	for _, th := range []*Thread{a, b, c, d, e} {
+		q.insert(th)
+	}
+	want := []*Thread{c, e, a, b, d}
+	for i, w := range want {
+		if got := q.popFront(); got != w {
+			t.Fatalf("pop %d: got tid %d, want tid %d", i, got.id, w.id)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after draining: %d", q.Len())
+	}
+
+	// Exercise wrap-around: push/pop cycles move head around the ring.
+	for round := 0; round < 50; round++ {
+		q.insert(mk(100+round, round%3))
+		q.insert(mk(200+round, 0))
+		q.popFront()
+	}
+	lastNice := -1 << 30
+	for q.Len() > 0 {
+		th := q.popFront()
+		if th.nice < lastNice {
+			t.Fatalf("priority order violated: nice %d after %d", th.nice, lastNice)
+		}
+		lastNice = th.nice
+	}
+}
+
+func TestReadyQueueRemovePreservesOrder(t *testing.T) {
+	mk := func(id int) *Thread { return &Thread{id: id} }
+	for removeIdx := 0; removeIdx < 7; removeIdx++ {
+		var q readyQueue
+		ths := make([]*Thread, 7)
+		for i := range ths {
+			ths[i] = mk(i)
+			q.insert(ths[i])
+		}
+		q.remove(ths[removeIdx])
+		if q.Len() != 6 {
+			t.Fatalf("remove idx %d: len %d, want 6", removeIdx, q.Len())
+		}
+		pos := 0
+		for i := range ths {
+			if i == removeIdx {
+				continue
+			}
+			if got := q.popFront(); got != ths[i] {
+				t.Fatalf("remove idx %d: pop %d got tid %d, want tid %d",
+					removeIdx, pos, got.id, ths[i].id)
+			}
+			pos++
+		}
+	}
+}
+
+func TestReadyQueueRemoveWrapped(t *testing.T) {
+	// remove must preserve order when the live window wraps around the
+	// ring's physical end.
+	mk := func(id int) *Thread { return &Thread{id: id} }
+	var q readyQueue
+	// Fill to capacity 8, then rotate head to the middle.
+	for i := 0; i < 8; i++ {
+		q.insert(mk(i))
+	}
+	for i := 0; i < 5; i++ {
+		q.popFront()
+		q.insert(mk(10 + i))
+	}
+	// Window is now [5 6 7 10 11 12 13 14] with head=5 physically.
+	order := []int{5, 6, 7, 10, 11, 12, 13, 14}
+	// Remove one element from each half.
+	var victims []*Thread
+	for i := 0; i < q.n; i++ {
+		if q.at(i).id == 6 || q.at(i).id == 13 {
+			victims = append(victims, q.at(i))
+		}
+	}
+	for _, v := range victims {
+		q.remove(v)
+	}
+	want := []int{5, 7, 10, 11, 12, 14}
+	_ = order
+	for i, w := range want {
+		if got := q.popFront(); got.id != w {
+			t.Fatalf("pop %d: got tid %d, want tid %d", i, got.id, w)
+		}
+	}
+}
+
+func TestRunErrorUnwindsThreadGoroutines(t *testing.T) {
+	// When Run aborts (deadlock, budget exhaustion), every live thread's
+	// coroutine goroutine must be unwound, not leaked parked on its resume
+	// channel.
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		k := New(testConfig(2))
+		p := k.NewProcess("p", 0, 0)
+		flag := NewFlag("never")
+		for j := 0; j < 4; j++ {
+			k.Spawn(p, "stuck", func(task *Task) {
+				flag.Wait(task) // never set: deadlock
+			})
+		}
+		if err := k.Run(); err == nil {
+			t.Fatal("expected deadlock error")
+		}
+	}
+	// Give unwound goroutines a moment to exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestKernelResetReproducesFreshRun(t *testing.T) {
+	// A Reset kernel must produce bit-identical traces to a fresh one.
+	run := func(k *Kernel, cfg Config) []Event {
+		tr := cfg.Tracer.(*SliceTracer)
+		p := k.NewProcess("p", 0, 0)
+		s := NewSem("shared")
+		for i := 0; i < 3; i++ {
+			k.Spawn(p, "w", func(task *Task) {
+				for j := 0; j < 20; j++ {
+					task.ComputeJitter(50 * time.Microsecond)
+					s.Acquire(task)
+					task.Compute(10 * time.Microsecond)
+					s.Release(task)
+					task.Sleep(30 * time.Microsecond)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Event, len(tr.Events))
+		copy(out, tr.Events)
+		return out
+	}
+	mkCfg := func() Config {
+		return Config{
+			CPUs:       2,
+			Quantum:    2 * time.Millisecond,
+			CtxSwitch:  2 * time.Microsecond,
+			TickPeriod: time.Millisecond,
+			TickCost:   time.Microsecond,
+			Noise:      NoiseConfig{MeanInterval: 400 * time.Microsecond, MeanDuration: 20 * time.Microsecond},
+			Jitter:     0.05,
+			Seed:       42,
+			Tracer:     &SliceTracer{},
+		}
+	}
+	cfgA := mkCfg()
+	fresh := run(New(cfgA), cfgA)
+
+	// Dirty a kernel with an unrelated workload, then Reset and re-run.
+	dirtyCfg := mkCfg()
+	dirtyCfg.Seed = 99
+	k := New(dirtyCfg)
+	run(k, dirtyCfg)
+	cfgB := mkCfg()
+	k.Reset(cfgB)
+	cfgB.Tracer.(*SliceTracer).Reset()
+	reused := run(k, cfgB)
+
+	if len(fresh) != len(reused) {
+		t.Fatalf("trace length differs: fresh %d, reused %d", len(fresh), len(reused))
+	}
+	for i := range fresh {
+		if fresh[i] != reused[i] {
+			t.Fatalf("trace diverges at %d:\n fresh: %+v\nreused: %+v", i, fresh[i], reused[i])
 		}
 	}
 }

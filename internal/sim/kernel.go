@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -86,14 +85,16 @@ type cpu struct {
 
 // Kernel is a deterministic discrete-event simulation of a small
 // multiprocessor operating system. Create one with New, add processes and
-// threads, then call Run.
+// threads, then call Run. A finished kernel can be recycled for another
+// simulation with Reset, which reuses the event queue, run queue, and
+// thread table allocations of the previous run.
 type Kernel struct {
 	cfg    Config
 	now    Time
 	seq    uint64
-	events eventHeap
+	events eventQueue
 	cpus   []*cpu
-	ready  []*Thread // FIFO run queue of Ready threads awaiting a CPU
+	ready  readyQueue // run queue of Ready threads awaiting a CPU
 	rng    *rand.Rand
 	jitter stats.Jitter
 	tracer Tracer
@@ -110,9 +111,16 @@ type Kernel struct {
 
 	steps int64
 
-	// yield is the channel on which the currently running thread goroutine
-	// hands control back to the kernel loop.
-	yield chan struct{}
+	// The event loop runs on whichever goroutine holds the control token:
+	// Run's goroutine initially, and afterwards the goroutine of whichever
+	// thread last blocked (see runLoop). mainResume wakes Run's goroutine at
+	// simulation termination and during unwindLive's per-thread handshake.
+	mainResume chan struct{}
+	handoff    *Thread // thread selected to run next, set during dispatchEvent
+	checkPost  bool    // post-dispatch termination checks pending
+	finishErr  error   // simulation outcome recorded by terminate
+	unwinding  bool    // unwindLive handshake in progress
+	maxT       Time    // virtual-time budget, fixed at Run entry
 
 	// onProcessExit, if set, is invoked when the last thread of a process
 	// exits. Used by the experiment harness to cancel the attacker once
@@ -126,18 +134,60 @@ type Kernel struct {
 func New(cfg Config) *Kernel {
 	cfg = cfg.withDefaults()
 	k := &Kernel{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		jitter: stats.Jitter{Rel: cfg.Jitter},
-		tracer: cfg.Tracer,
-		yield:  make(chan struct{}),
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		jitter:     stats.Jitter{Rel: cfg.Jitter},
+		tracer:     cfg.Tracer,
+		mainResume: make(chan struct{}),
 	}
 	k.cpus = make([]*cpu, cfg.CPUs)
 	for i := range k.cpus {
 		k.cpus[i] = &cpu{id: i}
 	}
-	heap.Init(&k.events)
 	return k
+}
+
+// Reset returns the kernel to the pristine state New(cfg) would produce
+// while reusing the event-queue, run-queue, and thread-table allocations of
+// the previous simulation. It must only be called after Run has returned
+// (Run unwinds every live thread goroutine before returning an error, so no
+// coroutine of the previous round can still be parked). A Reset kernel with
+// the same cfg and workload produces bit-identical results to a fresh one:
+// the RNG is reseeded, all counters restart from zero, and the recycled
+// containers are emptied.
+func (k *Kernel) Reset(cfg Config) {
+	cfg = cfg.withDefaults()
+	k.cfg = cfg
+	k.now = 0
+	k.seq = 0
+	k.steps = 0
+	k.events.reset()
+	k.ready.reset()
+	if len(k.cpus) != cfg.CPUs {
+		k.cpus = make([]*cpu, cfg.CPUs)
+		for i := range k.cpus {
+			k.cpus[i] = &cpu{id: i}
+		}
+	} else {
+		for _, c := range k.cpus {
+			c.th = nil
+		}
+	}
+	k.rng.Seed(cfg.Seed)
+	k.jitter = stats.Jitter{Rel: cfg.Jitter}
+	k.tracer = cfg.Tracer
+	clear(k.threads)
+	k.threads = k.threads[:0]
+	clear(k.procs)
+	k.procs = k.procs[:0]
+	k.nextPID, k.nextTID = 0, 0
+	k.live, k.runningCnt, k.timedCnt, k.pendingOps = 0, 0, 0, 0
+	k.onProcessExit = nil
+	k.userErr = nil
+	k.handoff = nil
+	k.checkPost = false
+	k.finishErr = nil
+	k.unwinding = false
 }
 
 // Now returns the current virtual time.
@@ -163,41 +213,161 @@ func (k *Kernel) OnProcessExit(fn func(*Process)) { k.onProcessExit = fn }
 
 // Run processes events until no live threads remain. It returns an error
 // on deadlock, event/time budget exhaustion, or if a thread function
-// panicked.
+// panicked. Before returning an error it force-unwinds every live thread so
+// no coroutine goroutine is leaked parked on its resume channel.
 func (k *Kernel) Run() error {
 	k.startBackground()
-	maxT := Time(k.cfg.MaxTime)
-	for k.events.Len() > 0 {
-		ev := heap.Pop(&k.events).(timedEvent)
-		if ev.at > maxT {
-			return fmt.Errorf("%w (%.0fms)", ErrMaxTime, k.cfg.MaxTime.Seconds()*1e3)
+	k.maxT = Time(k.cfg.MaxTime)
+	k.finishErr = nil
+	k.checkPost = false
+	k.runLoop(nil, false)
+	if k.finishErr != nil {
+		k.unwindLive()
+	}
+	return k.finishErr
+}
+
+// loopOutcome is how a runLoop invocation ended, from the caller's view.
+type loopOutcome uint8
+
+const (
+	// loopResumed: the kernel selected the calling thread to run again.
+	loopResumed loopOutcome = iota
+	// loopHandedOff: the token went to another goroutine; the dying caller
+	// must exit.
+	loopHandedOff
+	// loopTerminated: the simulation finished; only Run's goroutine sees
+	// this.
+	loopTerminated
+)
+
+// runLoop drives the event loop on the calling goroutine. Exactly one
+// goroutine holds the control token at any instant and runs this loop;
+// every other coroutine is parked on its resume channel (or, for Run's
+// goroutine, on mainResume). self is the calling thread (nil for Run's
+// goroutine); dying marks the final call from an exiting thread's
+// epilogue, which must hand the token on rather than park.
+//
+// This is the simulator's central performance device: when a blocking
+// primitive re-enters the loop and the next scheduling decision picks the
+// same thread (the overwhelmingly common case — a compute segment ending
+// with the thread keeping its CPU), the loop simply returns and the thread
+// continues, with no channel operation and no goroutine switch. A real
+// thread switch costs one channel handoff instead of the previous two
+// (thread → kernel goroutine → thread). The processed event sequence and
+// every state mutation are identical to the classic kernel-goroutine loop;
+// only which goroutine executes the iterations changes, so simulated
+// outcomes are bit-for-bit the same.
+func (k *Kernel) runLoop(self *Thread, dying bool) loopOutcome {
+	for {
+		if k.checkPost {
+			k.checkPost = false
+			if k.userErr != nil {
+				return k.terminate(self, dying, k.userErr)
+			}
+			if k.live == 0 {
+				return k.terminate(self, dying, nil)
+			}
+			if k.deadlocked() {
+				return k.terminate(self, dying,
+					fmt.Errorf("%w: %s", ErrDeadlock, k.describeBlocked()))
+			}
+		}
+		if len(k.events) == 0 {
+			if k.live > 0 {
+				return k.terminate(self, dying,
+					fmt.Errorf("%w: %s", ErrDeadlock, k.describeBlocked()))
+			}
+			return k.terminate(self, dying, nil)
+		}
+		ev := k.events.pop()
+		if ev.at > k.maxT {
+			return k.terminate(self, dying,
+				fmt.Errorf("%w (%.0fms)", ErrMaxTime, k.cfg.MaxTime.Seconds()*1e3))
 		}
 		k.now = ev.at
 		k.steps++
 		if k.steps > k.cfg.MaxSteps {
-			return fmt.Errorf("%w (%d)", ErrMaxSteps, k.cfg.MaxSteps)
+			return k.terminate(self, dying,
+				fmt.Errorf("%w (%d)", ErrMaxSteps, k.cfg.MaxSteps))
 		}
-		ev.fn()
-		if k.userErr != nil {
-			return k.userErr
-		}
-		if k.live == 0 {
-			return nil
-		}
-		if k.deadlocked() {
-			return fmt.Errorf("%w: %s", ErrDeadlock, k.describeBlocked())
+		k.dispatchEvent(&ev)
+		k.checkPost = true
+		if th := k.handoff; th != nil {
+			k.handoff = nil
+			if th == self {
+				return loopResumed
+			}
+			th.resume <- struct{}{}
+			switch {
+			case dying:
+				return loopHandedOff
+			case self != nil:
+				<-self.resume // woken when scheduled again, or to unwind
+				return loopResumed
+			default:
+				<-k.mainResume // Run's goroutine waits for termination
+				return loopTerminated
+			}
 		}
 	}
-	if k.live > 0 {
-		return fmt.Errorf("%w: %s", ErrDeadlock, k.describeBlocked())
+}
+
+// wake marks th as the thread the event loop hands the control token to
+// once the current event's dispatch completes. Called only from event
+// handlers, at most once per dispatched event.
+func (k *Kernel) wake(th *Thread) {
+	if k.handoff != nil {
+		panic("sim: two thread wake-ups in one event dispatch")
 	}
-	return nil
+	k.handoff = th
+}
+
+// terminate records the simulation outcome and routes the control token
+// back to Run's goroutine. A live (blocked) detector thread parks until
+// unwindLive unwinds it; a dying detector signals and exits.
+func (k *Kernel) terminate(self *Thread, dying bool, err error) loopOutcome {
+	k.finishErr = err
+	if self == nil {
+		return loopTerminated
+	}
+	k.mainResume <- struct{}{}
+	if dying {
+		return loopHandedOff
+	}
+	<-self.resume // parked until unwindLive resumes this thread to unwind
+	return loopResumed
+}
+
+// unwindLive force-unwinds the coroutine of every thread that has not
+// exited. When Run abandons a simulation mid-flight (deadlock, budget
+// exhaustion, propagated panic) the live threads' goroutines are parked on
+// their resume channels and would be leaked for the life of the process —
+// the resource leak a long campaign would otherwise accumulate once a round
+// errors out. Every park site (initial launch, the handoff parks inside
+// runLoop, and terminate) re-checks the kill flag immediately after
+// resuming, so marking the thread killed and resuming it once unwinds the
+// function via the kill panic; the epilogue sees unwinding and hands the
+// token straight back instead of re-entering the loop.
+func (k *Kernel) unwindLive() {
+	k.unwinding = true
+	for _, th := range k.threads {
+		if th.state == StateDone {
+			continue
+		}
+		th.killed = true
+		th.resume <- struct{}{}
+		<-k.mainResume
+		th.state = StateDone
+		k.live--
+	}
+	k.unwinding = false
 }
 
 // deadlocked reports whether no thread can ever make progress again: live
 // threads exist but none is running, ready, or waiting on a timer.
 func (k *Kernel) deadlocked() bool {
-	return k.live > 0 && k.runningCnt == 0 && len(k.ready) == 0 &&
+	return k.live > 0 && k.runningCnt == 0 && k.ready.Len() == 0 &&
 		k.timedCnt == 0 && k.pendingOps == 0 && !k.anyDispatching()
 }
 
@@ -230,38 +400,39 @@ func (k *Kernel) describeBlocked() string {
 func (k *Kernel) startBackground() {
 	if k.cfg.TickPeriod > 0 {
 		for _, c := range k.cpus {
-			k.scheduleTick(c)
+			k.afterKernel(k.cfg.TickPeriod, evTick, nil, c, 0)
 		}
 	}
 	if k.cfg.Noise.MeanInterval > 0 {
 		for _, c := range k.cpus {
-			k.scheduleNoise(c)
+			gap := stats.Exponential(k.rng, k.cfg.Noise.MeanInterval)
+			k.afterKernel(gap, evNoise, nil, c, 0)
 		}
 	}
 }
 
-func (k *Kernel) scheduleTick(c *cpu) {
-	k.after(k.cfg.TickPeriod, func() {
-		if k.live == 0 {
-			return
-		}
-		k.emit(Event{Kind: EvTick, CPU: int32(c.id), Arg: int64(k.cfg.TickCost)})
-		k.stealCPUTime(c, k.cfg.TickCost)
-		k.scheduleTick(c)
-	})
+// tickFire handles one timer interrupt on c and re-arms the next.
+func (k *Kernel) tickFire(c *cpu) {
+	if k.live == 0 {
+		return
+	}
+	k.emit(Event{Kind: EvTick, CPU: int32(c.id), Arg: int64(k.cfg.TickCost)})
+	k.stealCPUTime(c, k.cfg.TickCost)
+	k.afterKernel(k.cfg.TickPeriod, evTick, nil, c, 0)
 }
 
-func (k *Kernel) scheduleNoise(c *cpu) {
+// noiseFire handles one background-activity burst on c and re-arms the
+// next. The RNG draw order (burst duration, then next inter-arrival gap)
+// matches the original closure-based scheduler, preserving seeded streams.
+func (k *Kernel) noiseFire(c *cpu) {
+	if k.live == 0 {
+		return
+	}
+	dur := stats.LogNormal(k.rng, k.cfg.Noise.MeanDuration, 0.5)
+	k.emit(Event{Kind: EvNoise, CPU: int32(c.id), Arg: int64(dur)})
+	k.stealCPUTime(c, dur)
 	gap := stats.Exponential(k.rng, k.cfg.Noise.MeanInterval)
-	k.after(gap, func() {
-		if k.live == 0 {
-			return
-		}
-		dur := stats.LogNormal(k.rng, k.cfg.Noise.MeanDuration, 0.5)
-		k.emit(Event{Kind: EvNoise, CPU: int32(c.id), Arg: int64(dur)})
-		k.stealCPUTime(c, dur)
-		k.scheduleNoise(c)
-	})
+	k.afterKernel(gap, evNoise, nil, c, 0)
 }
 
 // stealCPUTime models an interrupt or background activity occupying CPU c

@@ -1,0 +1,107 @@
+package sim
+
+// readyQueue is the kernel's run queue: strict priority between nice
+// levels, FIFO within a level. The relative order of queued threads is
+// semantically load-bearing — dispatch always takes the front, quantum
+// expiry compares the running thread against the front, and FIFO within a
+// nice level is what gives the paper's attacker predictable scheduling on
+// a freed CPU — so removal must preserve order; a swap-delete would reorder
+// the FIFO and change simulated outcomes. Instead the queue is a ring
+// buffer: popFront is O(1) without reslicing or allocation, and insert and
+// remove shift only the shorter side of the ring (removal was previously an
+// O(n) append-splice that always shifted the whole tail and re-grew the
+// backing array).
+type readyQueue struct {
+	buf  []*Thread
+	head int
+	n    int
+}
+
+// Len returns the number of queued threads.
+func (q *readyQueue) Len() int { return q.n }
+
+func (q *readyQueue) at(i int) *Thread { return q.buf[(q.head+i)%len(q.buf)] }
+
+func (q *readyQueue) set(i int, th *Thread) { q.buf[(q.head+i)%len(q.buf)] = th }
+
+// front returns the next thread to dispatch. Caller checks Len() > 0.
+func (q *readyQueue) front() *Thread { return q.buf[q.head] }
+
+// popFront removes and returns the front thread.
+func (q *readyQueue) popFront() *Thread {
+	th := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	if q.n == 0 {
+		q.head = 0
+	}
+	return th
+}
+
+// insert places th behind every queued thread whose nice value is less than
+// or equal to th's: strict priority between levels, FIFO within a level.
+// The scan runs from the back, so the common case (all threads at the same
+// nice) inserts in O(1) with no shifting.
+func (q *readyQueue) insert(th *Thread) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	i := q.n
+	for i > 0 && q.at(i-1).nice > th.nice {
+		i--
+	}
+	for j := q.n; j > i; j-- {
+		q.set(j, q.at(j-1))
+	}
+	q.set(i, th)
+	q.n++
+}
+
+// remove deletes th from the queue if present, preserving the order of the
+// remaining threads by shifting whichever side of the ring is shorter.
+func (q *readyQueue) remove(th *Thread) {
+	for i := 0; i < q.n; i++ {
+		if q.at(i) != th {
+			continue
+		}
+		if i < q.n-1-i {
+			// Closer to the front: shift the prefix right one slot.
+			for j := i; j > 0; j-- {
+				q.set(j, q.at(j-1))
+			}
+			q.set(0, nil)
+			q.head = (q.head + 1) % len(q.buf)
+		} else {
+			// Closer to the back: shift the suffix left one slot.
+			for j := i; j < q.n-1; j++ {
+				q.set(j, q.at(j+1))
+			}
+			q.set(q.n-1, nil)
+		}
+		q.n--
+		if q.n == 0 {
+			q.head = 0
+		}
+		return
+	}
+}
+
+// grow doubles the ring's capacity, compacting the live window to index 0.
+func (q *readyQueue) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]*Thread, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.at(i)
+	}
+	q.buf, q.head = nb, 0
+}
+
+// reset empties the queue, keeping the backing array for reuse.
+func (q *readyQueue) reset() {
+	clear(q.buf)
+	q.head, q.n = 0, 0
+}

@@ -6,7 +6,7 @@ func (k *Kernel) makeReady(th *Thread) {
 	th.state = StateReady
 	th.blockReason = ""
 	k.emitThread(th, Event{Kind: EvWake, Label: th.name})
-	k.enqueueReady(th)
+	k.ready.insert(th)
 	for _, c := range k.cpus {
 		if c.th == nil {
 			k.dispatchCPU(c)
@@ -15,42 +15,20 @@ func (k *Kernel) makeReady(th *Thread) {
 	}
 }
 
-// enqueueReady inserts th behind all queued threads with nice values less
-// than or equal to its own: strict priority between levels, FIFO within a
-// level.
-func (k *Kernel) enqueueReady(th *Thread) {
-	i := len(k.ready)
-	for i > 0 && k.ready[i-1].nice > th.nice {
-		i--
-	}
-	k.ready = append(k.ready, nil)
-	copy(k.ready[i+1:], k.ready[i:])
-	k.ready[i] = th
-}
-
 // removeReady deletes th from the run queue if present.
-func (k *Kernel) removeReady(th *Thread) {
-	for i, r := range k.ready {
-		if r == th {
-			k.ready = append(k.ready[:i], k.ready[i+1:]...)
-			return
-		}
-	}
-}
+func (k *Kernel) removeReady(th *Thread) { k.ready.remove(th) }
 
 // dispatchCPU assigns the head of the run queue to an idle CPU. The thread
 // begins running after the context-switch latency.
 func (k *Kernel) dispatchCPU(c *cpu) {
-	if c.th != nil || len(k.ready) == 0 {
+	if c.th != nil || k.ready.Len() == 0 {
 		return
 	}
-	th := k.ready[0]
-	k.ready = k.ready[1:]
+	th := k.ready.popFront()
 	c.th = th
 	th.cpu = c.id
 	th.schedGen++
-	gen := th.schedGen
-	k.after(k.cfg.CtxSwitch, func() { k.startRun(c, th, gen) })
+	k.afterKernel(k.cfg.CtxSwitch, evStartRun, th, c, th.schedGen)
 }
 
 // startRun begins execution of th on c once the context switch completes.
@@ -63,12 +41,12 @@ func (k *Kernel) startRun(c *cpu, th *Thread, gen uint64) {
 	th.runStart = k.now
 	k.emitThread(th, Event{Kind: EvDispatch, Label: th.name})
 	if k.cfg.Quantum > 0 {
-		k.after(k.cfg.Quantum, func() { k.quantumExpired(c, th, gen) })
+		k.afterKernel(k.cfg.Quantum, evQuantum, th, c, gen)
 	}
 	if th.computeLeft > 0 {
 		k.scheduleWork(th)
 	} else {
-		k.stepThread(th)
+		k.wake(th)
 	}
 }
 
@@ -82,9 +60,9 @@ func (k *Kernel) quantumExpired(c *cpu, th *Thread, gen uint64) {
 	if th.schedGen != gen || th.state != StateRunning || c.th != th {
 		return
 	}
-	if len(k.ready) == 0 || k.ready[0].nice > th.nice {
+	if k.ready.Len() == 0 || k.ready.front().nice > th.nice {
 		// Nothing of sufficient priority wants the CPU: renew the slice.
-		k.after(k.cfg.Quantum, func() { k.quantumExpired(c, th, gen) })
+		k.afterKernel(k.cfg.Quantum, evQuantum, th, c, gen)
 		return
 	}
 	k.preempt(th)
@@ -102,7 +80,7 @@ func (k *Kernel) preempt(th *Thread) {
 	th.cpu = -1
 	c.th = nil
 	k.emitThread(th, Event{Kind: EvPreempt, Label: th.name, CPU: int32(c.id)})
-	k.enqueueReady(th)
+	k.ready.insert(th)
 	k.dispatchCPU(c)
 }
 
@@ -130,9 +108,8 @@ func (k *Kernel) blockCurrent(th *Thread, reason string) {
 func (k *Kernel) scheduleWork(th *Thread) {
 	th.workPending = true
 	th.workGen++
-	gen := th.workGen
 	doneAt := th.runStart.Add(th.computeLeft)
-	k.schedule(doneAt, func() { k.workDone(th, gen) })
+	k.scheduleKernel(doneAt, evWorkDone, th, nil, th.workGen)
 }
 
 // workDone fires when a compute segment finishes uninterrupted.
@@ -148,7 +125,19 @@ func (k *Kernel) workDone(th *Thread, gen uint64) {
 	if consumed > 0 {
 		k.emitThread(th, Event{Kind: EvCompute, Arg: int64(consumed)})
 	}
-	k.stepThread(th)
+	k.wake(th)
+}
+
+// timerWake fires when a timed block (sleep / simulated I/O) elapses. A
+// stale wake-up — the thread was killed or its block canceled — is
+// invalidated by the generation counter.
+func (k *Kernel) timerWake(th *Thread, gen uint64) {
+	if !th.timerArmed || th.timerGen != gen || th.state != StateBlocked {
+		return
+	}
+	th.timerArmed = false
+	k.timedCnt--
+	k.makeReady(th)
 }
 
 // accrueWork charges the work executed since runStart against the pending
@@ -173,7 +162,7 @@ func (k *Kernel) accrueWork(th *Thread) {
 
 // ReadyCount returns the number of threads waiting in the run queue
 // (excluding those mid-dispatch). Exposed for tests.
-func (k *Kernel) ReadyCount() int { return len(k.ready) }
+func (k *Kernel) ReadyCount() int { return k.ready.Len() }
 
 // idleCPUs returns how many CPUs have no thread assigned. Exposed for tests
 // via IdleCPUs.

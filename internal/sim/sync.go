@@ -9,16 +9,39 @@ import "fmt"
 // attacker's system calls acquires the inode semaphore first delays the
 // other for its full critical section.
 type Sem struct {
-	name    string
-	owner   *Thread
-	waiters []*Thread
+	name string
+	// blockLabel caches "sem:"+name so the contended-acquire path does not
+	// concatenate a fresh block-reason string per blocking event.
+	blockLabel string
+	owner      *Thread
+	waiters    []*Thread
 }
 
 // NewSem creates a semaphore with a debug/trace name.
-func NewSem(name string) *Sem { return &Sem{name: name} }
+func NewSem(name string) *Sem { return &Sem{name: name, blockLabel: "sem:" + name} }
 
 // Owner returns the current owner thread, or nil. Exposed for tests.
 func (s *Sem) Owner() *Thread { return s.owner }
+
+// Rename relabels the semaphore; used when a recycled semaphore serves a
+// new object identity.
+func (s *Sem) Rename(name string) {
+	if s.name == name {
+		return
+	}
+	s.name = name
+	s.blockLabel = "sem:" + name
+}
+
+// ResetState clears the owner and wait queue so a recycled semaphore can
+// serve a new simulation round. The owner of a normally completed run is
+// always nil already; an aborted run's force-unwound threads may still sit
+// in the queue.
+func (s *Sem) ResetState() {
+	s.owner = nil
+	clear(s.waiters)
+	s.waiters = s.waiters[:0]
+}
 
 // Waiters returns the number of queued waiters. Exposed for tests.
 func (s *Sem) Waiters() int { return len(s.waiters) }
@@ -41,7 +64,7 @@ func (s *Sem) Acquire(t *Task) {
 	s.waiters = append(s.waiters, th)
 	k.emitThread(th, Event{Kind: EvSemBlock, Label: s.name})
 	th.blockCancel = func() { s.removeWaiter(th) }
-	k.blockCurrent(th, "sem:"+s.name)
+	k.blockCurrent(th, s.blockLabel)
 	t.yieldTo(yieldBlocked)
 	t.checkKilled()
 	// Release handed us ownership before waking us.
@@ -99,13 +122,14 @@ func (s *Sem) removeWaiter(th *Thread) {
 // It models the lightweight signaling the pipelined attacker (§7) uses to
 // hand the symlink step to its second thread.
 type Flag struct {
-	name    string
-	set     bool
-	waiters []*Thread
+	name       string
+	blockLabel string // cached "flag:"+name, see Sem.blockLabel
+	set        bool
+	waiters    []*Thread
 }
 
 // NewFlag creates a flag with a debug/trace name.
-func NewFlag(name string) *Flag { return &Flag{name: name} }
+func NewFlag(name string) *Flag { return &Flag{name: name, blockLabel: "flag:" + name} }
 
 // IsSet reports whether the flag has been set.
 func (f *Flag) IsSet() bool { return f.set }
@@ -120,7 +144,7 @@ func (f *Flag) Wait(t *Task) {
 	k, th := t.k, t.th
 	f.waiters = append(f.waiters, th)
 	th.blockCancel = func() { f.removeWaiter(th) }
-	k.blockCurrent(th, "flag:"+f.name)
+	k.blockCurrent(th, f.blockLabel)
 	t.yieldTo(yieldBlocked)
 	t.checkKilled()
 }

@@ -59,13 +59,13 @@ func (p *Process) Threads() []*Thread {
 // Alive reports whether any thread of the process has not exited.
 func (p *Process) Alive() bool { return p.liveCnt > 0 }
 
+// yieldKind tells yieldTo what bookkeeping the blocking primitive needs
+// before the thread re-enters the event loop.
 type yieldKind uint8
 
 const (
-	yieldNone yieldKind = iota
-	yieldCompute
+	yieldCompute yieldKind = iota + 1
 	yieldBlocked
-	yieldExit
 )
 
 // killSignal is the panic value used to unwind a killed thread function.
@@ -86,9 +86,15 @@ type Thread struct {
 	schedGen    uint64 // invalidates stale quantum/dispatch events
 
 	resume      chan struct{}
-	yieldKind   yieldKind
 	blockReason string
-	blockCancel func() // dequeues the thread from whatever it waits on
+	blockCancel func() // dequeues the thread from a semaphore/flag wait queue
+
+	// timerArmed and timerGen track a pending timed wake-up (sleep or
+	// simulated I/O). They replace a per-block cancellation closure so the
+	// timer path — the most frequent blocking primitive — schedules
+	// nothing but a compact event record.
+	timerArmed bool
+	timerGen   uint64
 
 	killed bool
 	err    error // panic captured from the thread function
@@ -157,8 +163,10 @@ func (k *Kernel) Spawn(p *Process, name string, fn func(*Task)) *Thread {
 }
 
 // launch starts the coroutine for th. The goroutine parks until the kernel
-// first steps the thread, runs fn, and converts returns/panics/kills into a
-// final exit yield.
+// first hands it the control token, runs fn, then retires the thread in the
+// epilogue and keeps driving the event loop until the token moves on.
+// During unwindLive the epilogue instead hands the token straight back to
+// the unwinder.
 func (k *Kernel) launch(th *Thread, fn func(*Task)) {
 	go func() {
 		<-th.resume
@@ -168,33 +176,17 @@ func (k *Kernel) launch(th *Thread, fn func(*Task)) {
 					th.err = fmt.Errorf("sim: thread %q panicked: %v", th.name, r)
 				}
 			}
-			th.yieldKind = yieldExit
-			k.yield <- struct{}{}
+			if k.unwinding {
+				k.mainResume <- struct{}{}
+				return
+			}
+			k.finishThread(th)
+			k.runLoop(th, true)
 		}()
 		if !th.killed {
 			fn(&Task{k: k, th: th})
 		}
 	}()
-}
-
-// stepThread resumes th's coroutine and waits for it to yield back. The
-// yield reason determines the scheduling consequence. Must only be called
-// from the kernel loop with th running on a CPU (or exiting).
-func (k *Kernel) stepThread(th *Thread) {
-	th.resume <- struct{}{}
-	<-k.yield
-	switch th.yieldKind {
-	case yieldCompute:
-		th.runStart = k.now
-		k.scheduleWork(th)
-	case yieldBlocked:
-		// The blocking primitive already moved the thread off its CPU
-		// (via blockCurrent); nothing more to do here.
-	case yieldExit:
-		k.finishThread(th)
-	default:
-		panic(fmt.Sprintf("sim: invalid yield kind %d from thread %q", th.yieldKind, th.name))
-	}
 }
 
 // finishThread retires an exited thread and triggers process-exit hooks.
@@ -259,7 +251,7 @@ func (k *Kernel) Kill(th *Thread) {
 			c.th = nil
 			th.state = StateBlocked // not schedulable; resumed once to unwind
 			k.dispatchCPU(c)
-			k.stepThread(th)
+			k.wake(th)
 		})
 	case StateReady:
 		k.removeReady(th)
@@ -274,14 +266,19 @@ func (k *Kernel) Kill(th *Thread) {
 		}
 		th.state = StateBlocked
 		k.pendingOps++
-		k.schedule(k.now, func() { k.pendingOps--; k.stepThread(th) })
+		k.schedule(k.now, func() { k.pendingOps--; k.wake(th) })
 	case StateBlocked:
+		if th.timerArmed {
+			th.timerArmed = false
+			th.timerGen++
+			k.timedCnt--
+		}
 		if th.blockCancel != nil {
 			th.blockCancel()
 			th.blockCancel = nil
 		}
 		k.pendingOps++
-		k.schedule(k.now, func() { k.pendingOps--; k.stepThread(th) })
+		k.schedule(k.now, func() { k.pendingOps--; k.wake(th) })
 	}
 }
 
@@ -324,12 +321,18 @@ func (t *Task) checkKilled() {
 	}
 }
 
-// yield hands control to the kernel and parks until the kernel resumes the
-// thread.
+// yieldTo relinquishes the thread's turn: it performs the yield's own
+// bookkeeping (what the kernel-goroutine loop used to do after the yield
+// channel handshake), then drives the shared event loop on this goroutine
+// until the kernel selects this thread to run again — often without any
+// goroutine switch (see runLoop).
 func (t *Task) yieldTo(kind yieldKind) {
-	t.th.yieldKind = kind
-	t.k.yield <- struct{}{}
-	<-t.th.resume
+	k, th := t.k, t.th
+	if kind == yieldCompute {
+		th.runStart = k.now
+		k.scheduleWork(th)
+	}
+	k.runLoop(th, false)
 }
 
 // Compute consumes d of CPU time. The elapsed virtual time may exceed d if
@@ -368,16 +371,9 @@ func (t *Task) blockTimed(reason string, d time.Duration, kind EventKind) {
 	k.emitThread(th, Event{Kind: kind, Label: reason, Arg: int64(d)})
 	k.blockCurrent(th, reason)
 	k.timedCnt++
-	canceled := false
-	th.blockCancel = func() { canceled = true; k.timedCnt-- }
-	k.after(d, func() {
-		if canceled || th.state != StateBlocked {
-			return
-		}
-		k.timedCnt--
-		th.blockCancel = nil
-		k.makeReady(th)
-	})
+	th.timerGen++
+	th.timerArmed = true
+	k.afterKernel(d, evTimerWake, th, nil, th.timerGen)
 	t.yieldTo(yieldBlocked)
 	t.checkKilled()
 }
@@ -387,7 +383,7 @@ func (t *Task) blockTimed(reason string, d time.Duration, kind EventKind) {
 func (t *Task) YieldCPU() {
 	t.checkKilled()
 	k, th := t.k, t.th
-	if len(k.ready) == 0 {
+	if k.ready.Len() == 0 {
 		return
 	}
 	k.preempt(th)

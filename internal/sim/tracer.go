@@ -44,7 +44,9 @@ const (
 	EvIOBlock    // thread blocked on storage I/O (Arg=duration ns)
 )
 
-var eventKindNames = map[EventKind]string{
+// eventKindNames is an array (not a map) so the String lookup on the trace
+// rendering path is a bounds-checked index rather than a hash probe.
+var eventKindNames = [...]string{
 	EvNone: "none", EvSyscallEnter: "enter", EvSyscallExit: "exit",
 	EvSemBlock: "sem-block", EvSemAcquire: "sem-acquire", EvSemRelease: "sem-release",
 	EvDispatch: "dispatch", EvPreempt: "preempt", EvBlock: "block", EvWake: "wake",
@@ -56,8 +58,8 @@ var eventKindNames = map[EventKind]string{
 
 // String returns a short lowercase name for the kind.
 func (k EventKind) String() string {
-	if s, ok := eventKindNames[k]; ok {
-		return s
+	if int(k) < len(eventKindNames) && eventKindNames[k] != "" {
+		return eventKindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -95,7 +97,10 @@ type Tracer interface {
 	Emit(Event)
 }
 
-// SliceTracer appends every event to Events. The zero value is ready to use.
+// SliceTracer appends every event to Events. The zero value is ready to
+// use. Tracing is deliberately lazy: the hot path records only this compact
+// struct — all string rendering (Event.String, timelines, summaries)
+// happens after the run, when and if a human-readable form is requested.
 type SliceTracer struct {
 	Events []Event
 }
@@ -104,6 +109,10 @@ var _ Tracer = (*SliceTracer)(nil)
 
 // Emit implements Tracer.
 func (s *SliceTracer) Emit(e Event) { s.Events = append(s.Events, e) }
+
+// Reset empties the tracer while keeping the backing array, so a campaign
+// worker can reuse one event buffer across thousands of rounds.
+func (s *SliceTracer) Reset() { s.Events = s.Events[:0] }
 
 // CountTracer counts events by kind without retaining them; useful in
 // benchmarks where full traces would dominate memory.

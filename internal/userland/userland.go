@@ -32,7 +32,7 @@ const (
 // Image is the per-process memory image: which libc stub pages have been
 // faulted in. Threads of one process share an Image.
 type Image struct {
-	faulted  map[Page]bool
+	faulted  uint64 // bit i set = page i resident; pages are a tiny fixed enum
 	trapCost time.Duration
 }
 
@@ -40,17 +40,17 @@ type Image struct {
 // costs trapCost. If prefaulted, all pages are already resident — the
 // right model for a long-running victim like vi or gedit.
 func NewImage(trapCost time.Duration, prefaulted bool) *Image {
-	img := &Image{faulted: make(map[Page]bool, 8), trapCost: trapCost}
+	img := &Image{trapCost: trapCost}
 	if prefaulted {
 		for p := PageStat; p <= PageMisc; p++ {
-			img.faulted[p] = true
+			img.faulted |= 1 << p
 		}
 	}
 	return img
 }
 
 // Faulted reports whether a page is resident.
-func (img *Image) Faulted(p Page) bool { return img.faulted[p] }
+func (img *Image) Faulted(p Page) bool { return img.faulted&(1<<p) != 0 }
 
 // Libc is the syscall interface a simulated program uses. It forwards to
 // the simulated file system, charging a page-fault trap on the first use
@@ -84,10 +84,10 @@ func (c *Libc) Fsync(f *fs.File) error {
 
 // fault pages in a stub page on first use, charging the trap.
 func (c *Libc) fault(p Page) {
-	if c.img.faulted[p] {
+	if c.img.faulted&(1<<p) != 0 {
 		return
 	}
-	c.img.faulted[p] = true
+	c.img.faulted |= 1 << p
 	c.task.Trace(sim.Event{Kind: sim.EvTrap, Label: "page-fault", Arg: int64(c.img.trapCost)})
 	c.task.Compute(c.task.Kernel().JitterDuration(c.img.trapCost))
 }
