@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline
+.PHONY: check vet build test race bench bench-baseline bench-sweep
 
 # check is the gate every change must pass: vet, build, the full test
 # suite, and a race-detector pass over the parallel campaign worker pool
@@ -17,7 +17,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ -run Campaign
+	$(GO) test -race ./internal/core/ -run 'Campaign|Sweep|Adaptive|FindRound|OnRound|Aborted'
+	$(GO) test -race ./internal/experiments/ -run 'Sweep|Adaptive'
 	$(GO) test -race ./internal/sim/
 
 # bench runs the per-layer microbenchmarks (see DESIGN.md's Performance
@@ -28,3 +29,9 @@ bench:
 # bench-baseline refreshes the machine-readable per-round cost baseline.
 bench-baseline:
 	$(GO) run ./cmd/tocttou -bench-baseline
+
+# bench-sweep regenerates BENCH_2.json: the Fig 6 sweep timed three ways
+# (pre-sweep baseline, serial campaign loop, sweep scheduler) plus the
+# adaptive budget's savings.
+bench-sweep:
+	$(GO) run ./cmd/tocttou -sweep -adaptive

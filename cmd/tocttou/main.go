@@ -4,8 +4,9 @@
 //
 //	tocttou -list
 //	tocttou -experiment fig6 [-rounds N] [-seed S] [-sizes 100,500,1000]
-//	tocttou -experiment all
+//	tocttou -experiment all [-adaptive [-halfwidth 0.02]]
 //	tocttou -bench-baseline [-bench-out BENCH_1.json]
+//	tocttou -sweep [-adaptive] [-halfwidth 0.02] [-sweep-out BENCH_2.json]
 //
 // Each experiment renders the corresponding table or figure of
 // "Multiprocessors May Reduce System Dependability under File-Based Race
@@ -45,12 +46,19 @@ func run(args []string) error {
 	sizesArg := fl.String("sizes", "", "comma-separated file sizes in KB, where applicable")
 	benchBase := fl.Bool("bench-baseline", false, "measure per-round campaign cost and write a machine-readable baseline")
 	benchOut := fl.String("bench-out", "BENCH_1.json", "output path for -bench-baseline")
+	sweep := fl.Bool("sweep", false, "benchmark the Fig 6 sweep (serial loop vs sweep scheduler) and write a machine-readable record")
+	sweepOut := fl.String("sweep-out", "BENCH_2.json", "output path for -sweep")
+	adaptive := fl.Bool("adaptive", false, "enable adaptive round budgets (sequential stopping at -halfwidth)")
+	halfWidth := fl.Float64("halfwidth", 0.02, "target 95% Wilson half-width on the success rate for -adaptive")
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
 
 	if *benchBase {
 		return benchBaseline(*benchOut)
+	}
+	if *sweep {
+		return benchSweep(*sweepOut, *adaptive, *halfWidth)
 	}
 
 	if *list || *name == "" {
@@ -66,6 +74,12 @@ func run(args []string) error {
 	}
 
 	opt := experiments.Options{Rounds: *rounds, Seed: *seed}
+	if *adaptive {
+		// Opt-in sequential stopping: sweep-based experiments stop each
+		// point once its estimate is tight enough instead of running the
+		// full fixed budget (results then depend on the committed length).
+		opt.AdaptiveHalfWidth = *halfWidth
+	}
 	if *sizesArg != "" {
 		for _, s := range strings.Split(*sizesArg, ",") {
 			kb, err := strconv.Atoi(strings.TrimSpace(s))
@@ -155,5 +169,215 @@ func benchBaseline(out string) error {
 	}
 	fmt.Printf("%s: %d ns/round, %d allocs/round, %d B/round (success %.1f%%)\n",
 		out, rec.NsPerRound, rec.AllocsPerRound, rec.BytesPerRound, rec.SuccessRate*100)
+	return nil
+}
+
+// sweepFixedRecord compares the three ways of running the Fig 6 sweep at
+// one GOMAXPROCS setting: the pre-sweep per-campaign runner (fresh worker
+// set and O(rounds) buffers per point), the current serial RunCampaign
+// loop, and the interleaved sweep scheduler.
+type sweepFixedRecord struct {
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	BaselineNs      int64   `json:"baseline_loop_ns"`
+	SerialNs        int64   `json:"serial_campaign_loop_ns"`
+	SweepNs         int64   `json:"sweep_ns"`
+	SpeedupVsBase   float64 `json:"sweep_speedup_vs_baseline"`
+	SpeedupVsSerial float64 `json:"sweep_speedup_vs_serial"`
+	BitIdentical    bool    `json:"bit_identical"`
+	RoundsPerSecond float64 `json:"sweep_rounds_per_sec"`
+}
+
+// sweepAdaptiveRecord reports what the opt-in sequential-stopping budget
+// saves on the same sweep.
+type sweepAdaptiveRecord struct {
+	HalfWidth       float64 `json:"half_width"`
+	Z               float64 `json:"z"`
+	MinRounds       int     `json:"min_rounds"`
+	FixedTotal      int     `json:"fixed_total_rounds"`
+	RoundsCommitted int     `json:"rounds_committed"`
+	RoundsExecuted  int     `json:"rounds_executed"`
+	RoundsSavedPct  float64 `json:"rounds_saved_pct"`
+	PointsStopped   int     `json:"points_stopped"`
+	WallNs          int64   `json:"wall_ns"`
+	PointsPerSec    float64 `json:"points_per_sec"`
+}
+
+// sweepRecord is the machine-readable -sweep output (BENCH_2.json).
+type sweepRecord struct {
+	Benchmark      string               `json:"benchmark"`
+	Points         int                  `json:"points"`
+	RoundsPerPoint int                  `json:"rounds_per_point"`
+	GoVersion      string               `json:"go_version"`
+	NumCPU         int                  `json:"num_cpu"`
+	Fixed          []sweepFixedRecord   `json:"fixed"`
+	Adaptive       *sweepAdaptiveRecord `json:"adaptive,omitempty"`
+}
+
+// fig6SweepScenarios is the production Fig 6 point set (sizes, seeds,
+// strides exactly as experiments.Fig6 builds them).
+func fig6SweepScenarios() []core.Scenario {
+	sizes := []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	m := machine.Uniprocessor()
+	scs := make([]core.Scenario, len(sizes))
+	for i, kb := range sizes {
+		scs[i] = core.Scenario{
+			Machine:    m,
+			Victim:     victim.NewVi(),
+			Attacker:   attack.NewV1(),
+			UseSyscall: "chown",
+			FileSize:   int64(kb) << 10,
+			Seed:       1007 + int64(i)*7919,
+		}
+	}
+	return scs
+}
+
+// bestOf runs f reps times and returns the fastest wall time.
+func bestOf(reps int, f func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if wall := time.Since(start); best == 0 || wall < best {
+			best = wall
+		}
+	}
+	return best, nil
+}
+
+// benchSweep times the full Fig 6 sweep three ways (pre-sweep baseline
+// loop, serial RunCampaign loop, RunSweep) across GOMAXPROCS settings,
+// verifies the results are bit-identical, optionally measures the
+// adaptive budget's savings, and writes the record to out.
+func benchSweep(out string, adaptive bool, halfWidth float64) error {
+	scs := fig6SweepScenarios()
+	const rounds, reps = 500, 5
+	rec := sweepRecord{
+		Benchmark:      "fig6-uniprocessor-sweep",
+		Points:         len(scs),
+		RoundsPerPoint: rounds,
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+	}
+
+	// Warm the shared pool and the page cache equivalent (seed the lazily
+	// started workers) before timing anything.
+	if _, err := core.RunSweep(scs, 20, core.SweepOptions{}); err != nil {
+		return fmt.Errorf("sweep warmup: %w", err)
+	}
+
+	procsList := []int{1, runtime.NumCPU()}
+	if procsList[1] < 2 {
+		procsList[1] = 2 // exercise the concurrent path even on 1-CPU hosts
+	}
+	for _, procs := range procsList {
+		prev := runtime.GOMAXPROCS(procs)
+		var baseRes, serialRes, sweepRes []core.CampaignResult
+		baseNs, err := bestOf(reps, func() error {
+			baseRes = baseRes[:0]
+			for _, sc := range scs {
+				res, err := core.RunCampaignBaseline(sc, rounds)
+				if err != nil {
+					return err
+				}
+				baseRes = append(baseRes, res)
+			}
+			return nil
+		})
+		if err == nil {
+			var serialWall time.Duration
+			serialWall, err = bestOf(reps, func() error {
+				serialRes = serialRes[:0]
+				for _, sc := range scs {
+					res, err := core.RunCampaign(sc, rounds)
+					if err != nil {
+						return err
+					}
+					serialRes = append(serialRes, res)
+				}
+				return nil
+			})
+			if err == nil {
+				var sweepWall time.Duration
+				sweepWall, err = bestOf(reps, func() error {
+					var serr error
+					sweepRes, serr = core.RunSweep(scs, rounds, core.SweepOptions{})
+					return serr
+				})
+				if err == nil {
+					identical := len(sweepRes) == len(scs)
+					for i := range scs {
+						if baseRes[i] != serialRes[i] || serialRes[i] != sweepRes[i] {
+							identical = false
+						}
+					}
+					rec.Fixed = append(rec.Fixed, sweepFixedRecord{
+						GOMAXPROCS:      procs,
+						BaselineNs:      baseNs.Nanoseconds(),
+						SerialNs:        serialWall.Nanoseconds(),
+						SweepNs:         sweepWall.Nanoseconds(),
+						SpeedupVsBase:   float64(baseNs) / float64(sweepWall),
+						SpeedupVsSerial: float64(serialWall) / float64(sweepWall),
+						BitIdentical:    identical,
+						RoundsPerSecond: float64(len(scs)*rounds) / sweepWall.Seconds(),
+					})
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			return fmt.Errorf("sweep bench at GOMAXPROCS=%d: %w", procs, err)
+		}
+	}
+
+	if adaptive {
+		points := make([]core.SweepPoint, len(scs))
+		for i, sc := range scs {
+			points[i] = core.SweepPoint{Scenario: sc, Rounds: rounds}
+		}
+		stop := core.AdaptiveStop{HalfWidth: halfWidth}
+		start := time.Now()
+		_, stats, err := core.RunSweepPoints(points, core.SweepOptions{Adaptive: stop})
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("adaptive sweep: %w", err)
+		}
+		total := len(scs) * rounds
+		rec.Adaptive = &sweepAdaptiveRecord{
+			HalfWidth:       halfWidth,
+			Z:               1.96,
+			MinRounds:       50,
+			FixedTotal:      total,
+			RoundsCommitted: stats.RoundsCommitted,
+			RoundsExecuted:  stats.RoundsExecuted,
+			RoundsSavedPct:  100 * float64(total-stats.RoundsCommitted) / float64(total),
+			PointsStopped:   stats.PointsStopped,
+			WallNs:          wall.Nanoseconds(),
+			PointsPerSec:    float64(len(scs)) / wall.Seconds(),
+		}
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	for _, f := range rec.Fixed {
+		fmt.Printf("%s: GOMAXPROCS=%d baseline %.1fms, serial %.1fms, sweep %.1fms (%.2fx vs baseline, %.2fx vs serial, bit-identical %v)\n",
+			out, f.GOMAXPROCS,
+			float64(f.BaselineNs)/1e6, float64(f.SerialNs)/1e6, float64(f.SweepNs)/1e6,
+			f.SpeedupVsBase, f.SpeedupVsSerial, f.BitIdentical)
+	}
+	if rec.Adaptive != nil {
+		a := rec.Adaptive
+		fmt.Printf("%s: adaptive @halfwidth %.3f: %d/%d rounds (%.1f%% saved), %d/%d points stopped, %.1fms\n",
+			out, a.HalfWidth, a.RoundsCommitted, a.FixedTotal, a.RoundsSavedPct,
+			a.PointsStopped, rec.Points, float64(a.WallNs)/1e6)
+	}
 	return nil
 }

@@ -2,14 +2,17 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"tocttou/internal/stats"
 )
 
-// seedStride decorrelates per-round RNG streams.
-const seedStride = 1_000_003
+// SeedStride decorrelates per-round RNG streams: round i of a campaign
+// with base seed s runs at seed s + (i+1)*SeedStride. It is exported so
+// callers composing sweeps can verify their per-point base-seed strides
+// keep the derived streams pairwise disjoint (they are whenever distinct
+// points' base seeds differ by less than SeedStride, since equal derived
+// seeds would force the base difference to be a nonzero multiple of it).
+const SeedStride = 1_000_003
 
 // CampaignResult aggregates many rounds of one scenario.
 type CampaignResult struct {
@@ -34,6 +37,35 @@ type CampaignResult struct {
 	// together they estimate Equation 1's P(victim suspended).
 	WindowRounds    int
 	SuspendedRounds int
+}
+
+// addRound folds one completed round into the accumulator. The integer
+// counters commute, but the Welford summaries are float-order-sensitive:
+// callers that want bit-reproducible summaries must fold rounds in
+// ascending round-index order (the sweep engine's reorder buffer
+// guarantees exactly this).
+func (r *CampaignResult) addRound(round Round) {
+	r.Rounds++
+	if round.Success {
+		r.Successes++
+	}
+	if round.LD.Detected {
+		r.Detected++
+		if round.LD.WindowFound && round.LD.T3 > 0 {
+			r.L.Add(round.LD.Lmicros())
+			r.D.Add(round.LD.Dmicros())
+		}
+	}
+	if round.AttackerErr != nil {
+		r.AttackErrors++
+	}
+	if round.WindowOK {
+		r.Window.Add(float64(round.Window) / 1e3)
+		r.WindowRounds++
+		if round.VictimSuspended {
+			r.SuspendedRounds++
+		}
+	}
 }
 
 // PSuspended returns the measured P(victim suspended within the window),
@@ -71,73 +103,29 @@ func RunCampaign(sc Scenario, rounds int) (CampaignResult, error) {
 // RunCampaignRounds is RunCampaign, optionally returning the per-round
 // outcomes (with event traces stripped to keep memory flat) for callers
 // that need distributions rather than summaries.
+//
+// It is a single-point sweep: rounds stream into the summary as they
+// finish (no O(rounds) buffering unless keep is set), and the first
+// failing round cancels the remainder instead of being reported only
+// after every round has run.
 func RunCampaignRounds(sc Scenario, rounds int, keep bool) (CampaignResult, []Round, error) {
 	if rounds <= 0 {
 		return CampaignResult{}, nil, fmt.Errorf("core: campaign needs rounds > 0, got %d", rounds)
 	}
-	results := make([]Round, rounds)
-	errs := make([]error, rounds)
-
-	workers := runtime.NumCPU()
-	if workers > rounds {
-		workers = rounds
+	var kept []Round
+	var opt SweepOptions
+	if keep {
+		kept = make([]Round, 0, rounds)
+		// Commits arrive in round-index order, so kept is the ordered
+		// per-round record the buffered implementation used to build.
+		opt.OnRound = func(_, _ int, r Round) { kept = append(kept, r) }
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One reusable simulation context per worker: kernel, file
-			// system, and trace buffer persist across this worker's rounds.
-			var st roundState
-			for i := range next {
-				rsc := sc
-				rsc.Seed = sc.Seed + int64(i+1)*seedStride
-				results[i], errs[i] = runRound(rsc, &st)
-				// Events alias st's reused trace buffer and would be
-				// overwritten next round (and dominate memory if kept);
-				// everything derived from them was measured in runRound.
-				results[i].Events = nil
-			}
-		}()
+	res, _, err := RunSweepPoints([]SweepPoint{{Scenario: sc, Rounds: rounds}}, opt)
+	if err != nil {
+		if se, ok := sweepErrorAs(err); ok {
+			return CampaignResult{}, nil, fmt.Errorf("core: round %d: %w", se.Round, se.Err)
+		}
+		return CampaignResult{}, nil, err
 	}
-	for i := 0; i < rounds; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	var out CampaignResult
-	for i := 0; i < rounds; i++ {
-		if errs[i] != nil {
-			return CampaignResult{}, nil, fmt.Errorf("core: round %d: %w", i, errs[i])
-		}
-		r := results[i]
-		out.Rounds++
-		if r.Success {
-			out.Successes++
-		}
-		if r.LD.Detected {
-			out.Detected++
-			if r.LD.WindowFound && r.LD.T3 > 0 {
-				out.L.Add(r.LD.Lmicros())
-				out.D.Add(r.LD.Dmicros())
-			}
-		}
-		if r.AttackerErr != nil {
-			out.AttackErrors++
-		}
-		if r.WindowOK {
-			out.Window.Add(float64(r.Window) / 1e3)
-			out.WindowRounds++
-			if r.VictimSuspended {
-				out.SuspendedRounds++
-			}
-		}
-	}
-	if !keep {
-		results = nil
-	}
-	return out, results, nil
+	return res[0], kept, nil
 }

@@ -63,7 +63,7 @@ func TestReusedRoundContextMatchesFresh(t *testing.T) {
 	var st roundState
 	for i := 0; i < 25; i++ {
 		rsc := sc
-		rsc.Seed = sc.Seed + int64(i+1)*seedStride
+		rsc.Seed = sc.Seed + int64(i+1)*SeedStride
 		reused, err := runRound(rsc, &st)
 		if err != nil {
 			t.Fatalf("round %d (reused): %v", i, err)

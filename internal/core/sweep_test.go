@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"tocttou/internal/machine"
+	"tocttou/internal/prog"
+	"tocttou/internal/userland"
+)
+
+// These tests pin down the sweep engine's contract: interleaving many
+// campaigns on the shared pool must be invisible in the results (bit-
+// identical to a serial per-round fold), adaptive stopping must be
+// deterministic and equal a fixed-budget campaign of the committed
+// length, and a failing round must cancel the sweep promptly without
+// leaking pool goroutines.
+
+// serialCampaign is the reference implementation: the pre-sweep serial
+// fold, one RunRound per derived seed, committed in index order.
+func serialCampaign(t *testing.T, sc Scenario, rounds int) CampaignResult {
+	t.Helper()
+	var res CampaignResult
+	for i := 0; i < rounds; i++ {
+		rsc := sc
+		rsc.Seed += int64(i+1) * SeedStride
+		r, err := RunRound(rsc)
+		if err != nil {
+			t.Fatalf("serial round %d: %v", i, err)
+		}
+		res.addRound(r)
+	}
+	return res
+}
+
+// sweepTestPoints mixes machines, sizes, and tracing so the sweep
+// interleaves heterogeneous work (traced rounds stress the reorder
+// buffer's L/D summaries, which are float-order-sensitive).
+func sweepTestPoints() []Scenario {
+	return []Scenario{
+		viSc(machine.Uniprocessor(), 200<<10, 31013, false),
+		viSc(machine.SMP2(), 100<<10, 31013+7919, true),
+		viSc(machine.SMP2(), 1, 31013+2*7919, true),
+		viSc(machine.MultiCore(), 50<<10, 31013+3*7919, false),
+	}
+}
+
+func TestRunSweepMatchesSerialFold(t *testing.T) {
+	scs := sweepTestPoints()
+	const rounds = 80
+	want := make([]CampaignResult, len(scs))
+	for i, sc := range scs {
+		want[i] = serialCampaign(t, sc, rounds)
+	}
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		prev := runtime.GOMAXPROCS(procs)
+		got, err := RunSweep(scs, rounds, SweepOptions{})
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: RunSweep: %v", procs, err)
+		}
+		for i := range scs {
+			if got[i] != want[i] {
+				t.Errorf("GOMAXPROCS=%d point %d: sweep diverged from serial fold:\n got: %+v\nwant: %+v",
+					procs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunSweepPointsPerPointBudgets(t *testing.T) {
+	scs := sweepTestPoints()
+	budgets := []int{25, 60, 10, 45}
+	points := make([]SweepPoint, len(scs))
+	total := 0
+	for i, sc := range scs {
+		points[i] = SweepPoint{Scenario: sc, Rounds: budgets[i]}
+		total += budgets[i]
+	}
+	res, stats, err := RunSweepPoints(points, SweepOptions{})
+	if err != nil {
+		t.Fatalf("RunSweepPoints: %v", err)
+	}
+	for i, b := range budgets {
+		if res[i].Rounds != b {
+			t.Errorf("point %d: committed %d rounds, budget %d", i, res[i].Rounds, b)
+		}
+		if want := serialCampaign(t, scs[i], b); res[i] != want {
+			t.Errorf("point %d: sweep diverged from serial fold:\n got: %+v\nwant: %+v", i, res[i], want)
+		}
+	}
+	if stats.RoundsCommitted != total || stats.RoundsExecuted != total || stats.PointsStopped != 0 {
+		t.Errorf("stats = %+v, want all %d rounds committed and executed, none stopped", stats, total)
+	}
+}
+
+func TestRunSweepRejectsNonPositiveRounds(t *testing.T) {
+	if _, err := RunSweep(sweepTestPoints()[:1], 0, SweepOptions{}); err == nil {
+		t.Fatal("RunSweep with rounds=0 succeeded, want error")
+	}
+	if _, _, err := RunCampaignRounds(sweepTestPoints()[0], -3, false); err == nil {
+		t.Fatal("RunCampaignRounds with rounds=-3 succeeded, want error")
+	}
+}
+
+func TestOnRoundOrderedEventsStripped(t *testing.T) {
+	scs := sweepTestPoints()
+	const rounds = 40
+	next := make([]int, len(scs))
+	opt := SweepOptions{OnRound: func(point, round int, r Round) {
+		// Concurrent calls happen only across points; within a point the
+		// fold lock serializes them in index order.
+		if round != next[point] {
+			t.Errorf("point %d: observed round %d, want %d (in-order commit)", point, round, next[point])
+		}
+		next[point]++
+		if r.Events != nil {
+			t.Errorf("point %d round %d: Events leaked through OnRound", point, round)
+		}
+	}}
+	if _, err := RunSweep(scs, rounds, opt); err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	for p, n := range next {
+		if n != rounds {
+			t.Errorf("point %d: observed %d rounds, want %d", p, n, rounds)
+		}
+	}
+}
+
+func TestCampaignKeepMatchesPerRoundReplay(t *testing.T) {
+	sc := viSc(machine.SMP2(), 50<<10, 40321, true)
+	const rounds = 30
+	res, kept, err := RunCampaignRounds(sc, rounds, true)
+	if err != nil {
+		t.Fatalf("RunCampaignRounds: %v", err)
+	}
+	if len(kept) != rounds {
+		t.Fatalf("kept %d rounds, want %d", len(kept), rounds)
+	}
+	if want := serialCampaign(t, sc, rounds); res != want {
+		t.Fatalf("summary diverged from serial fold:\n got: %+v\nwant: %+v", res, want)
+	}
+	for i, k := range kept {
+		rsc := sc
+		rsc.Seed += int64(i+1) * SeedStride
+		fresh, err := RunRound(rsc)
+		if err != nil {
+			t.Fatalf("replay round %d: %v", i, err)
+		}
+		if k.Events != nil {
+			t.Fatalf("kept round %d retains Events", i)
+		}
+		fresh.Events = nil
+		if k.Success != fresh.Success || k.LD != fresh.LD || k.End != fresh.End ||
+			k.Window != fresh.Window || k.WindowOK != fresh.WindowOK {
+			t.Fatalf("kept round %d differs from fresh replay:\nkept:  %+v\nfresh: %+v", i, k, fresh)
+		}
+	}
+}
+
+func TestAdaptiveStopDeterministicPrefix(t *testing.T) {
+	// vi 100KB on the SMP succeeds ~100% of the time, so the Wilson
+	// interval collapses almost immediately: the point must stop at some
+	// committed length well short of the budget, and its result must be
+	// exactly the fixed-budget campaign of that length.
+	sc := viSc(machine.SMP2(), 100<<10, 50789, false)
+	const budget = 400
+	run := func() (CampaignResult, SweepStats) {
+		res, stats, err := RunSweepPoints(
+			[]SweepPoint{{Scenario: sc, Rounds: budget}},
+			SweepOptions{Adaptive: AdaptiveStop{HalfWidth: 0.05}},
+		)
+		if err != nil {
+			t.Fatalf("adaptive sweep: %v", err)
+		}
+		return res[0], stats
+	}
+	a, stats := run()
+	if stats.PointsStopped != 1 {
+		t.Fatalf("PointsStopped = %d, want 1 (stats %+v)", stats.PointsStopped, stats)
+	}
+	if a.Rounds >= budget {
+		t.Fatalf("adaptive point committed %d rounds, want < %d", a.Rounds, budget)
+	}
+	if a.Rounds < 50 {
+		t.Fatalf("adaptive point committed %d rounds, want >= MinRounds default 50", a.Rounds)
+	}
+	if b, _ := run(); a != b {
+		t.Fatalf("adaptive stopping is nondeterministic:\n a: %+v\n b: %+v", a, b)
+	}
+	// The committed prefix property: same result as a fixed-budget
+	// campaign with exactly that many rounds.
+	if fixed := serialCampaign(t, sc, a.Rounds); a != fixed {
+		t.Fatalf("adaptive result differs from %d-round fixed campaign:\nadaptive: %+v\n   fixed: %+v",
+			a.Rounds, a, fixed)
+	}
+}
+
+// sabotageVictim deletes the privileged file, which the default success
+// check reports as a fixture-corruption round error.
+type sabotageVictim struct{}
+
+func (sabotageVictim) Name() string { return "sabotage" }
+
+func (sabotageVictim) Run(c *userland.Libc, env prog.Env) error {
+	return c.Unlink(env.Passwd)
+}
+
+func failingScenario(seed int64) Scenario {
+	sc := viSc(machine.SMP2(), 4<<10, seed, false)
+	sc.Victim = sabotageVictim{}
+	return sc
+}
+
+func TestSweepFailFastCancelsPromptly(t *testing.T) {
+	const budget = 5000
+	_, stats, err := RunSweepPoints(
+		[]SweepPoint{{Scenario: failingScenario(60077), Rounds: budget}},
+		SweepOptions{},
+	)
+	if err == nil {
+		t.Fatal("sweep over a failing scenario succeeded, want error")
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *SweepError", err)
+	}
+	if se.Point != 0 {
+		t.Errorf("failing point = %d, want 0", se.Point)
+	}
+	// Fail-fast: only rounds already in flight when the first failure
+	// landed may still run; nothing close to the full budget does.
+	if stats.RoundsExecuted >= 100 {
+		t.Errorf("executed %d rounds of a failing campaign, want prompt cancellation (< 100)", stats.RoundsExecuted)
+	}
+}
+
+func TestCampaignRoundsFailFast(t *testing.T) {
+	// Regression for the pre-sweep behavior: RunCampaignRounds used to
+	// report a round error only after running every remaining round.
+	_, _, err := RunCampaignRounds(failingScenario(61253), 5000, false)
+	if err == nil {
+		t.Fatal("failing campaign succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "core: round ") {
+		t.Errorf("error %q does not name the failing round", err)
+	}
+}
+
+func TestAbortedSweepsLeakNoGoroutines(t *testing.T) {
+	abort := func() {
+		_, _, err := RunSweepPoints(
+			[]SweepPoint{{Scenario: failingScenario(62483), Rounds: 5000}},
+			SweepOptions{},
+		)
+		if err == nil {
+			t.Fatal("failing sweep succeeded, want error")
+		}
+	}
+	abort() // warm up the persistent pool workers
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		abort()
+	}
+	// The pool's workers are persistent by design; aborted sweeps must
+	// not strand anything beyond them.
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d across 20 aborted sweeps", before, after)
+	}
+}
+
+func TestSweepErrorReportsEarliestFailure(t *testing.T) {
+	// A healthy point ahead of a failing one: the error must name the
+	// failing point even though the healthy point's rounds interleave.
+	points := []SweepPoint{
+		{Scenario: viSc(machine.SMP2(), 4<<10, 63029, false), Rounds: 50},
+		{Scenario: failingScenario(63031), Rounds: 50},
+	}
+	_, _, err := RunSweepPoints(points, SweepOptions{})
+	if err == nil {
+		t.Fatal("sweep with a failing point succeeded, want error")
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *SweepError", err)
+	}
+	if se.Point != 1 {
+		t.Errorf("failing point = %d, want 1", se.Point)
+	}
+}
+
+func TestFindRoundMatchesSerialScan(t *testing.T) {
+	// Uniprocessor success is a few-percent event, so the first match
+	// sits tens of candidates in — deep enough that several batches and
+	// the early-exit path are exercised.
+	sc := viSc(machine.Uniprocessor(), 200<<10, 70123, true)
+	want := func(r Round) bool { return r.Success }
+	const stride, tries = 9973, 512
+
+	// Reference: the old serial first-match scan.
+	serialIdx := -1
+	for i := 0; i < tries; i++ {
+		rsc := sc
+		rsc.Seed += int64(i) * stride
+		r, err := RunRound(rsc)
+		if err != nil {
+			t.Fatalf("serial scan %d: %v", i, err)
+		}
+		if want(r) {
+			serialIdx = i
+			break
+		}
+	}
+	if serialIdx < 0 {
+		t.Skip("no matching round in range; pick a different seed")
+	}
+	t.Logf("serial scan matched candidate %d", serialIdx)
+	if serialIdx == 0 {
+		t.Fatal("first candidate matches; pick a seed whose match is deeper so batching is exercised")
+	}
+
+	r, seed, n, err := FindRound(sc, tries, stride, want)
+	if err != nil {
+		t.Fatalf("FindRound: %v", err)
+	}
+	if n != serialIdx+1 || seed != sc.Seed+int64(serialIdx)*stride {
+		t.Fatalf("FindRound chose candidate %d (seed %d), serial scan chose %d (seed %d)",
+			n-1, seed, serialIdx, sc.Seed+int64(serialIdx)*stride)
+	}
+	if !want(r) {
+		t.Fatal("FindRound returned a round not matching the predicate")
+	}
+	if len(r.Events) == 0 {
+		t.Fatal("FindRound winner has no Events; the caller owns a fresh re-simulation")
+	}
+}
+
+func TestFindRoundNoMatch(t *testing.T) {
+	sc := viSc(machine.SMP2(), 20<<10, 71233, false)
+	_, _, _, err := FindRound(sc, 16, 9973, func(Round) bool { return false })
+	if err == nil {
+		t.Fatal("FindRound with an unsatisfiable predicate succeeded, want error")
+	}
+}

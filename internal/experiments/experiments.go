@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"tocttou/internal/core"
 )
 
 // Options tunes an experiment run.
@@ -21,6 +23,13 @@ type Options struct {
 	// Sizes overrides the experiment's swept file sizes in KB, where
 	// applicable (nil = default sweep).
 	Sizes []int
+	// AdaptiveHalfWidth, when positive, switches the sweep-based
+	// experiments to sequential stopping: each sweep point stops
+	// spending rounds once the 95% Wilson interval on its success rate
+	// has half-width at most this value. The default 0 keeps the fixed
+	// budgets, so every experiment output stays bit-identical to the
+	// serial per-campaign runner.
+	AdaptiveHalfWidth float64
 }
 
 func (o Options) rounds(def int) int {
@@ -35,6 +44,15 @@ func (o Options) seed(def int64) int64 {
 		return o.Seed
 	}
 	return def
+}
+
+// sweep translates the options into the engine's sweep configuration.
+func (o Options) sweep() core.SweepOptions {
+	var so core.SweepOptions
+	if o.AdaptiveHalfWidth > 0 {
+		so.Adaptive = core.AdaptiveStop{HalfWidth: o.AdaptiveHalfWidth}
+	}
+	return so
 }
 
 // Result is a renderable experiment outcome.

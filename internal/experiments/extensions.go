@@ -58,9 +58,10 @@ func (r *SendmailResult) Render(w io.Writer) error {
 func Sendmail(opt Options) (Result, error) {
 	rounds := opt.rounds(500)
 	seed := opt.seed(15013)
-	out := &SendmailResult{Rounds: rounds}
-	for i, m := range []machine.Profile{machine.Uniprocessor(), machine.SMP2(), machine.MultiCore()} {
-		sc := core.Scenario{
+	machines := []machine.Profile{machine.Uniprocessor(), machine.SMP2(), machine.MultiCore()}
+	scs := make([]core.Scenario, len(machines))
+	for i, m := range machines {
+		scs[i] = core.Scenario{
 			Machine:  m,
 			Victim:   victim.NewMailer(),
 			Attacker: attack.NewFlipFlop(),
@@ -70,17 +71,23 @@ func Sendmail(opt Options) (Result, error) {
 			FileSize:     4 << 10,
 			Seed:         seed + int64(i)*7727,
 		}
-		res, perRound, err := core.RunCampaignRounds(sc, rounds, true)
-		if err != nil {
-			return nil, fmt.Errorf("sendmail on %s: %w", m.Name, err)
+	}
+	// Refused deliveries aren't part of CampaignResult; count them as the
+	// rounds stream past instead of buffering every Round.
+	refused := make([]int, len(machines))
+	so := opt.sweep()
+	so.OnRound = func(point, _ int, r core.Round) {
+		if errors.Is(r.VictimErr, victim.ErrDeliveryRefused) {
+			refused[point]++
 		}
-		refused := 0
-		for _, r := range perRound {
-			if errors.Is(r.VictimErr, victim.ErrDeliveryRefused) {
-				refused++
-			}
-		}
-		out.Rows = append(out.Rows, SendmailRow{Machine: m.Name, Result: res, Refused: refused})
+	}
+	results, err := core.RunSweep(scs, rounds, so)
+	if err != nil {
+		return nil, fmt.Errorf("sendmail: %w", err)
+	}
+	out := &SendmailResult{Rounds: rounds}
+	for i, m := range machines {
+		out.Rows = append(out.Rows, SendmailRow{Machine: m.Name, Result: results[i], Refused: refused[i]})
 	}
 	return out, nil
 }
@@ -146,27 +153,11 @@ func (r *Eq1Result) Render(w io.Writer) error {
 func Eq1(opt Options) (Result, error) {
 	rounds := opt.rounds(200)
 	seed := opt.seed(16033)
-	out := &Eq1Result{Rounds: rounds}
-
-	add := func(label, term string, sc core.Scenario) error {
-		res, err := core.RunCampaign(sc, rounds)
-		if err != nil {
-			return fmt.Errorf("eq1 %q: %w", label, err)
-		}
-		out.Rows = append(out.Rows, Eq1Row{
-			Label: label, Term: term,
-			PSuspended: res.PSuspended(), Observed: res.Rate(),
-		})
-		return nil
-	}
 
 	// First term: on the uniprocessor, success ≈ P(victim suspended).
 	upSc := core.Scenario{
 		Machine: machine.Uniprocessor(), Victim: victim.NewVi(), Attacker: attack.NewV1(),
 		UseSyscall: "chown", FileSize: 500 << 10, Seed: seed, Trace: true,
-	}
-	if err := add("uniprocessor, vi 500KB, no load", "P(susp): success ≈ it", upSc); err != nil {
-		return nil, err
 	}
 
 	// Second term: on the SMP with a 1-byte file the window is ~100µs and
@@ -176,9 +167,6 @@ func Eq1(opt Options) (Result, error) {
 		Machine: machine.SMP2(), Victim: victim.NewVi(), Attacker: attack.NewV1(),
 		UseSyscall: "chown", FileSize: 1, Seed: seed + 104717, Trace: true,
 	}
-	if err := add("SMP, vi 1 byte, no load", "P(sched|running) ≈ 1", smpSc); err != nil {
-		return nil, err
-	}
 
 	loaded := smpSc
 	loaded.Seed += 104717
@@ -186,15 +174,34 @@ func Eq1(opt Options) (Result, error) {
 	// Let the editor phase span several quanta so the window opens at a
 	// uniform point of the hog/attacker CPU rotation.
 	loaded.VictimStartupMax = 350 * time.Millisecond
-	if err := add("SMP, vi 1 byte, 3 CPU hogs", "P(sched|running) < 1 under load", loaded); err != nil {
-		return nil, err
-	}
 
 	prioritized := loaded
 	prioritized.Seed += 104717
 	prioritized.AttackerNice = -10
-	if err := add("SMP, vi 1 byte, 3 hogs, attacker nice -10", "priority re-dedicates a CPU", prioritized); err != nil {
-		return nil, err
+
+	configs := []struct {
+		label, term string
+		sc          core.Scenario
+	}{
+		{"uniprocessor, vi 500KB, no load", "P(susp): success ≈ it", upSc},
+		{"SMP, vi 1 byte, no load", "P(sched|running) ≈ 1", smpSc},
+		{"SMP, vi 1 byte, 3 CPU hogs", "P(sched|running) < 1 under load", loaded},
+		{"SMP, vi 1 byte, 3 hogs, attacker nice -10", "priority re-dedicates a CPU", prioritized},
 	}
-	return &Eq1Result{Rows: out.Rows, Rounds: rounds}, nil
+	scs := make([]core.Scenario, len(configs))
+	for i, c := range configs {
+		scs[i] = c.sc
+	}
+	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("eq1: %w", err)
+	}
+	out := &Eq1Result{Rounds: rounds}
+	for i, c := range configs {
+		out.Rows = append(out.Rows, Eq1Row{
+			Label: c.label, Term: c.term,
+			PSuspended: results[i].PSuspended(), Observed: results[i].Rate(),
+		})
+	}
+	return out, nil
 }

@@ -174,20 +174,11 @@ func (r *TimelineResult) Render(w io.Writer) error {
 	return err
 }
 
-// findRound searches seeds for a traced round matching pred.
+// findRound searches seeds for a traced round matching pred, evaluating
+// candidates on the shared worker pool. The first-match semantics (and
+// the seed stride) are those of the old serial scan.
 func findRound(sc core.Scenario, want func(core.Round) bool) (core.Round, int64, int, error) {
-	for i := 0; i < 512; i++ {
-		rsc := sc
-		rsc.Seed = sc.Seed + int64(i)*9973
-		r, err := core.RunRound(rsc)
-		if err != nil {
-			return core.Round{}, 0, 0, err
-		}
-		if want(r) {
-			return r, rsc.Seed, i + 1, nil
-		}
-	}
-	return core.Round{}, 0, 0, fmt.Errorf("no round matching the requested outcome in 512 tries")
+	return core.FindRound(sc, 512, 9973, want)
 }
 
 // renderTimeline draws the window-centric portion of a round's trace.

@@ -48,18 +48,6 @@ func Headline(opt Options) (Result, error) {
 	seed := opt.seed(13001)
 	out := &HeadlineResult{}
 
-	add := func(scenario, machineName, ref string, sc core.Scenario) error {
-		res, err := core.RunCampaign(sc, rounds)
-		if err != nil {
-			return fmt.Errorf("headline %s/%s: %w", scenario, machineName, err)
-		}
-		out.Rows = append(out.Rows, HeadlineRow{
-			Scenario: scenario, Machine: machineName,
-			Rate: res.Rate(), Rounds: rounds, PaperRef: ref,
-		})
-		return nil
-	}
-
 	steps := []struct {
 		scenario, machineName, ref string
 		sc                         core.Scenario
@@ -76,10 +64,19 @@ func Headline(opt Options) (Result, error) {
 		{"gedit v1", "multi-core 4-way", "~0%", geditScenario(machine.MultiCore(), attack.NewV1(), seed+6, false)},
 		{"gedit v2", "multi-core 4-way", "many successes", geditScenario(machine.MultiCore(), attack.NewV2(), seed+7, false)},
 	}
-	for _, s := range steps {
-		if err := add(s.scenario, s.machineName, s.ref, s.sc); err != nil {
-			return nil, err
-		}
+	scs := make([]core.Scenario, len(steps))
+	for i, s := range steps {
+		scs[i] = s.sc
+	}
+	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("headline: %w", err)
+	}
+	for i, s := range steps {
+		out.Rows = append(out.Rows, HeadlineRow{
+			Scenario: s.scenario, Machine: s.machineName,
+			Rate: results[i].Rate(), Rounds: rounds, PaperRef: s.ref,
+		})
 	}
 	return out, nil
 }
@@ -151,23 +148,21 @@ func DefenseEvaluation(opt Options) (Result, error) {
 		{"gedit v1 / SMP", geditScenario(machine.SMP2(), attack.NewV1(), seed+2, false)},
 		{"gedit v2 / multi-core", geditScenario(machine.MultiCore(), attack.NewV2(), seed+3, false)},
 	}
+	// Three sweep points per case: undefended, enforcing, delaying.
+	scs := make([]core.Scenario, 0, 3*len(cases))
 	for _, c := range cases {
-		base, err := core.RunCampaign(c.sc, rounds)
-		if err != nil {
-			return nil, fmt.Errorf("defense baseline %s: %w", c.name, err)
-		}
 		guarded := c.sc
 		guarded.NewGuard = func() fs.Guard { return defense.New(defense.Enforce) }
-		gres, err := core.RunCampaign(guarded, rounds)
-		if err != nil {
-			return nil, fmt.Errorf("defense enforced %s: %w", c.name, err)
-		}
 		delayed := c.sc
 		delayed.NewGuard = func() fs.Guard { return defense.New(defense.Delay) }
-		dres, err := core.RunCampaign(delayed, rounds)
-		if err != nil {
-			return nil, fmt.Errorf("defense delayed %s: %w", c.name, err)
-		}
+		scs = append(scs, c.sc, guarded, delayed)
+	}
+	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("defense: %w", err)
+	}
+	for i, c := range cases {
+		base, gres, dres := results[3*i], results[3*i+1], results[3*i+2]
 		out.Rows = append(out.Rows, DefenseRow{
 			Scenario: c.name,
 			Baseline: base.Rate(),

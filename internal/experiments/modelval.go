@@ -65,14 +65,32 @@ func ModelValidation(opt Options) (Result, error) {
 		errN++
 	}
 
+	// All seven validation campaigns run as one sweep; the points keep
+	// their historical base seeds, so every observed rate is bit-identical
+	// to the old serial-campaign version.
+	up := machine.Uniprocessor()
+	upSizes := []int{100, 500, 1000}
+	var scs []core.Scenario
+	for i, kb := range upSizes {
+		scs = append(scs, viScenario(up, kb, seed+int64(i)*6311, false))
+	}
+	scs = append(scs, core.Scenario{
+		Machine: up, Victim: victim.NewAlwaysSuspended(), Attacker: attack.NewV1(),
+		UseSyscall: "chown", FileSize: 100 << 10, Seed: seed + 999,
+	})
+	t1sc := viScenario(machine.SMP2(), 0, seed+1777, true)
+	t1sc.FileSize = 1
+	scs = append(scs, t1sc)
+	scs = append(scs, viScenario(machine.SMP2(), 100, seed+2888, true))
+	scs = append(scs, geditScenario(machine.SMP2(), attack.NewV1(), seed+3999, true))
+	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+
 	// Uniprocessor vi at three sizes: Equation 1's first term only, with
 	// P(suspended) from quantum phase + stall model.
-	up := machine.Uniprocessor()
-	for i, kb := range []int{100, 500, 1000} {
-		res, err := core.RunCampaign(viScenario(up, kb, seed+int64(i)*6311, false), rounds)
-		if err != nil {
-			return nil, fmt.Errorf("model up %dKB: %w", kb, err)
-		}
+	for i, kb := range upSizes {
 		window := viWindowEstimate(up, int64(kb)<<10)
 		stall := model.StallProbability(int64(kb)<<10, up.Latency.WriteStallProbPerKB)
 		eq := model.Uniprocessor(model.UniprocessorSuspension(window, up.Quantum, stall), 1, 1)
@@ -82,33 +100,20 @@ func ModelValidation(opt Options) (Result, error) {
 		}
 		quant(ModelPoint{
 			Scenario:  fmt.Sprintf("vi / uniprocessor / %dKB", kb),
-			Predicted: pred, Observed: res.Rate(),
+			Predicted: pred, Observed: results[i].Rate(),
 			Note: "Eq.1 first term (P(susp)·1·1)",
 		})
 	}
 
 	// Always-suspended victim: Equation 1 upper bound P(susp)=1.
-	rpmSc := core.Scenario{
-		Machine: up, Victim: victim.NewAlwaysSuspended(), Attacker: attack.NewV1(),
-		UseSyscall: "chown", FileSize: 100 << 10, Seed: seed + 999,
-	}
-	rpmRes, err := core.RunCampaign(rpmSc, rounds)
-	if err != nil {
-		return nil, fmt.Errorf("model rpm: %w", err)
-	}
 	quant(ModelPoint{
 		Scenario:  "rpm-like / uniprocessor / 100KB",
-		Predicted: 1.0, Observed: rpmRes.Rate(),
+		Predicted: 1.0, Observed: results[3].Rate(),
 		Note: "P(victim suspended)=1 ⇒ Eq.1 ≈ 1 (§3.2)",
 	})
 
 	// SMP vi, 1 byte: formula (1) with measured L/D variance.
-	t1sc := viScenario(machine.SMP2(), 0, seed+1777, true)
-	t1sc.FileSize = 1
-	t1res, err := core.RunCampaign(t1sc, rounds)
-	if err != nil {
-		return nil, fmt.Errorf("model vi 1B: %w", err)
-	}
+	t1res := results[4]
 	quant(ModelPoint{
 		Scenario:  "vi / SMP / 1 byte",
 		Predicted: model.MultiprocessorSuccess(t1res.L, t1res.D, seed),
@@ -117,10 +122,7 @@ func ModelValidation(opt Options) (Result, error) {
 	})
 
 	// SMP vi, 100KB: L >> D, formula (1) saturates at 1.
-	t2res, err := core.RunCampaign(viScenario(machine.SMP2(), 100, seed+2888, true), rounds)
-	if err != nil {
-		return nil, fmt.Errorf("model vi 100KB: %w", err)
-	}
+	t2res := results[5]
 	quant(ModelPoint{
 		Scenario:  "vi / SMP / 100KB",
 		Predicted: model.LDRate(t2res.L.Mean(), t2res.D.Mean()),
@@ -130,10 +132,7 @@ func ModelValidation(opt Options) (Result, error) {
 
 	// SMP gedit: the conservative clamp(L/D) — under-predicts, exactly
 	// as the paper's Table 2 discussion observes.
-	gres, err := core.RunCampaign(geditScenario(machine.SMP2(), attack.NewV1(), seed+3999, true), rounds)
-	if err != nil {
-		return nil, fmt.Errorf("model gedit smp: %w", err)
-	}
+	gres := results[6]
 	out.Points = append(out.Points, ModelPoint{
 		Scenario:  "gedit / SMP",
 		Predicted: model.LDRate(gres.L.Mean(), gres.D.Mean()),

@@ -64,24 +64,27 @@ func Patched(opt Options) (Result, error) {
 		{"vi 100KB / SMP / attack v1", victim.NewVi(), victim.NewViFixed(), "chown", 100},
 		{"gedit 2KB / SMP / attack v1", victim.NewGedit(), victim.NewGeditFixed(), "chmod", geditFileKB},
 	}
+	// Each case contributes two sweep points: the vulnerable baseline and
+	// the fd-patched victim under the same attacker.
+	scs := make([]core.Scenario, 0, 2*len(cases))
 	for i, c := range cases {
 		base := core.Scenario{
 			Machine: machine.SMP2(), Victim: c.vulnerable, Attacker: attack.NewV1(),
 			UseSyscall: c.use, FileSize: c.sizeKB << 10,
 			Seed: seed + int64(i)*104729,
 		}
-		vres, err := core.RunCampaign(base, rounds)
-		if err != nil {
-			return nil, fmt.Errorf("patched baseline %s: %w", c.name, err)
-		}
 		fixed := base
 		fixed.Victim = c.patched
 		fixed.Seed += 7919
 		fixed.Trace = true // count whether a window is even detectable
-		pres, err := core.RunCampaign(fixed, rounds)
-		if err != nil {
-			return nil, fmt.Errorf("patched %s: %w", c.name, err)
-		}
+		scs = append(scs, base, fixed)
+	}
+	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("patched: %w", err)
+	}
+	for i, c := range cases {
+		vres, pres := results[2*i], results[2*i+1]
 		out.Rows = append(out.Rows, PatchedRow{
 			Scenario:        c.name,
 			Vulnerable:      vres.Rate(),

@@ -75,52 +75,40 @@ func SessionStudy(opt Options) (Result, error) {
 	seed := opt.seed(17041)
 	m := machine.Uniprocessor()
 	const sizeKB = 200
+	saves := []int{1, 2, 5, 10, 20}
 
-	runFor := func(saves int, s int64) (float64, error) {
-		var v = victim.NewVi()
-		sc := core.Scenario{
-			Machine: m, Attacker: attack.NewV1(),
+	base := func(s int64) core.Scenario {
+		return core.Scenario{
+			Machine: m, Victim: victim.NewVi(), Attacker: attack.NewV1(),
 			UseSyscall: "chown", FileSize: sizeKB << 10, Seed: s,
 		}
-		if saves == 1 {
-			sc.Victim = v
-		} else {
-			sc.Victim = victim.NewSession(v, saves)
-		}
-		res, err := core.RunCampaign(sc, rounds)
-		if err != nil {
-			return 0, err
-		}
-		return res.Rate(), nil
 	}
 
 	// The single-save rate anchors the geometric baseline; estimate it
 	// with extra rounds so the whole comparison isn't hostage to its
-	// sampling noise.
-	p1, err := func() (float64, error) {
-		sc := core.Scenario{
-			Machine: m, Victim: victim.NewVi(), Attacker: attack.NewV1(),
-			UseSyscall: "chown", FileSize: sizeKB << 10, Seed: seed,
-		}
-		anchor := rounds * 4
-		if anchor < 600 {
-			anchor = 600
-		}
-		res, err := core.RunCampaign(sc, anchor)
-		if err != nil {
-			return 0, err
-		}
-		return res.Rate(), nil
-	}()
-	if err != nil {
-		return nil, fmt.Errorf("session k=1: %w", err)
+	// sampling noise. It runs as one more sweep point with a bigger
+	// budget, interleaved with the session points.
+	anchor := rounds * 4
+	if anchor < 600 {
+		anchor = 600
 	}
-	out := &SessionResult{Rounds: rounds, PerSave: p1}
-	for i, k := range []int{1, 2, 5, 10, 20} {
-		obs, err := runFor(k, seed+int64(i+1)*104729)
-		if err != nil {
-			return nil, fmt.Errorf("session k=%d: %w", k, err)
+	points := make([]core.SweepPoint, 0, len(saves)+1)
+	points = append(points, core.SweepPoint{Scenario: base(seed), Rounds: anchor})
+	for i, k := range saves {
+		sc := base(seed + int64(i+1)*104729)
+		if k != 1 {
+			sc.Victim = victim.NewSession(victim.NewVi(), k)
 		}
+		points = append(points, core.SweepPoint{Scenario: sc, Rounds: rounds})
+	}
+	results, _, err := core.RunSweepPoints(points, opt.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	p1 := results[0].Rate()
+	out := &SessionResult{Rounds: rounds, PerSave: p1}
+	for i, k := range saves {
+		obs := results[i+1].Rate()
 		geo := 1 - math.Pow(1-p1, float64(k))
 		out.Rows = append(out.Rows, SessionRow{Saves: k, Observed: obs, Geometric: geo})
 		if gap := math.Abs(obs - geo); gap > out.MaxAbsGap {
@@ -176,20 +164,24 @@ func (r *GapSweepResult) Render(w io.Writer) error {
 func GapSweep(opt Options) (Result, error) {
 	rounds := opt.rounds(300)
 	seed := opt.seed(18047)
-	out := &GapSweepResult{Rounds: rounds}
-	for i, us := range []int{0, 1, 2, 3, 5, 8, 12, 16, 24} {
+	gaps := []int{0, 1, 2, 3, 5, 8, 12, 16, 24}
+	scs := make([]core.Scenario, len(gaps))
+	for i, us := range gaps {
 		m := machine.MultiCore()
 		m.GeditRenameChmodGap = time.Duration(us) * time.Microsecond
-		sc := core.Scenario{
+		scs[i] = core.Scenario{
 			Machine: m, Victim: victim.NewGedit(), Attacker: attack.NewV2(),
 			UseSyscall: "chmod", FileSize: geditFileKB << 10,
 			Seed: seed + int64(i)*9973,
 		}
-		res, err := core.RunCampaign(sc, rounds)
-		if err != nil {
-			return nil, fmt.Errorf("gapsweep %dµs: %w", us, err)
-		}
-		out.Rows = append(out.Rows, GapRow{GapMicros: float64(us), Observed: res.Rate()})
+	}
+	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("gapsweep: %w", err)
+	}
+	out := &GapSweepResult{Rounds: rounds}
+	for i, us := range gaps {
+		out.Rows = append(out.Rows, GapRow{GapMicros: float64(us), Observed: results[i].Rate()})
 	}
 	return out, nil
 }

@@ -91,18 +91,22 @@ func Fig6(opt Options) (Result, error) {
 	rounds := opt.rounds(500)
 	seed := opt.seed(1007)
 	m := machine.Uniprocessor()
+	scs := make([]core.Scenario, len(sizes))
+	for i, kb := range sizes {
+		scs[i] = viScenario(m, kb, seed+int64(i)*7919, false)
+	}
+	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
 	out := &Fig6Result{Rounds: rounds}
 	for i, kb := range sizes {
-		res, err := core.RunCampaign(viScenario(m, kb, seed+int64(i)*7919, false), rounds)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 size %dKB: %w", kb, err)
-		}
 		// Model prediction: window ≈ measured-on-SMP per-KB growth; use
 		// the analytic window estimate from the vi calibration.
 		window := viWindowEstimate(m, int64(kb)<<10)
 		stall := model.StallProbability(int64(kb)<<10, m.Latency.WriteStallProbPerKB)
 		pred := model.UniprocessorSuspension(window, m.Quantum, stall)
-		out.Rows = append(out.Rows, SweepRow{SizeKB: kb, Result: res, Predicted: pred})
+		out.Rows = append(out.Rows, SweepRow{SizeKB: kb, Result: results[i], Predicted: pred})
 	}
 	return out, nil
 }
@@ -162,13 +166,17 @@ func ViSMPSweep(opt Options) (Result, error) {
 	rounds := opt.rounds(100)
 	seed := opt.seed(2003)
 	m := machine.SMP2()
+	scs := make([]core.Scenario, len(sizes))
+	for i, kb := range sizes {
+		scs[i] = viScenario(m, kb, seed+int64(i)*104729, false)
+	}
+	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("vismp: %w", err)
+	}
 	out := &ViSMPResult{Rounds: rounds}
 	for i, kb := range sizes {
-		res, err := core.RunCampaign(viScenario(m, kb, seed+int64(i)*104729, false), rounds)
-		if err != nil {
-			return nil, fmt.Errorf("vismp size %dKB: %w", kb, err)
-		}
-		out.Rows = append(out.Rows, SweepRow{SizeKB: kb, Result: res})
+		out.Rows = append(out.Rows, SweepRow{SizeKB: kb, Result: results[i]})
 	}
 	return out, nil
 }
@@ -230,16 +238,20 @@ func Fig7(opt Options) (Result, error) {
 	rounds := opt.rounds(100)
 	seed := opt.seed(3001)
 	m := machine.SMP2()
+	scs := make([]core.Scenario, len(sizes))
+	for i, kb := range sizes {
+		scs[i] = viScenario(m, kb, seed+int64(i)*7907, true)
+	}
+	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
 	out := &Fig7Result{Rounds: rounds}
 	var xs, ls []float64
 	for i, kb := range sizes {
-		res, err := core.RunCampaign(viScenario(m, kb, seed+int64(i)*7907, true), rounds)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 size %dKB: %w", kb, err)
-		}
-		out.Rows = append(out.Rows, SweepRow{SizeKB: kb, Result: res})
+		out.Rows = append(out.Rows, SweepRow{SizeKB: kb, Result: results[i]})
 		xs = append(xs, float64(kb))
-		ls = append(ls, res.L.Mean())
+		ls = append(ls, results[i].L.Mean())
 	}
 	_, slope, _ := model.LinearFit(xs, ls)
 	corr, _ := model.Correlation(xs, ls)
