@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline bench-sweep
+.PHONY: check vet build test race bench bench-baseline bench-sweep bench-guard
 
 # check is the gate every change must pass: vet, build, the full test
 # suite, and a race-detector pass over the parallel campaign worker pool
@@ -35,3 +35,10 @@ bench-baseline:
 # adaptive budget's savings.
 bench-sweep:
 	$(GO) run ./cmd/tocttou -sweep -adaptive
+
+# bench-guard re-times the Fig 6 sweep against the committed BENCH_2.json
+# and fails if it is more than 10% slower at any recorded GOMAXPROCS.
+# Wall-time baselines only transfer between comparable hosts; regenerate
+# the record with bench-sweep when moving machines.
+bench-guard:
+	$(GO) run ./cmd/tocttou -bench-guard

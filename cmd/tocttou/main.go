@@ -3,10 +3,12 @@
 // Usage:
 //
 //	tocttou -list
-//	tocttou -experiment fig6 [-rounds N] [-seed S] [-sizes 100,500,1000]
-//	tocttou -experiment all [-adaptive [-halfwidth 0.02]]
+//	tocttou -experiment fig6 [-rounds N] [-seed S] [-sizes 100,500,1000] [-metrics]
+//	tocttou -experiment all [-adaptive [-halfwidth 0.02] [-minrounds 50]]
+//	tocttou -trace-out trace.jsonl [-trace-scenario vi-smp] [-trace-kinds enter,exit] [-trace-pid 2] [-trace-path /tmp/x]
 //	tocttou -bench-baseline [-bench-out BENCH_1.json]
 //	tocttou -sweep [-adaptive] [-halfwidth 0.02] [-sweep-out BENCH_2.json]
+//	tocttou -bench-guard [-bench-against BENCH_2.json] [-bench-tolerance 0.10]
 //
 // Each experiment renders the corresponding table or figure of
 // "Multiprocessors May Reduce System Dependability under File-Based Race
@@ -27,6 +29,9 @@ import (
 	"tocttou/internal/core"
 	"tocttou/internal/experiments"
 	"tocttou/internal/machine"
+	"tocttou/internal/prog"
+	"tocttou/internal/sim"
+	"tocttou/internal/trace"
 	"tocttou/internal/victim"
 )
 
@@ -50,15 +55,58 @@ func run(args []string) error {
 	sweepOut := fl.String("sweep-out", "BENCH_2.json", "output path for -sweep")
 	adaptive := fl.Bool("adaptive", false, "enable adaptive round budgets (sequential stopping at -halfwidth)")
 	halfWidth := fl.Float64("halfwidth", 0.02, "target 95% Wilson half-width on the success rate for -adaptive")
+	minRounds := fl.Int("minrounds", 0, "minimum rounds per point before -adaptive may stop it (0 = engine default)")
+	showMetrics := fl.Bool("metrics", false, "append kernel counters and window/D/L histograms to supporting experiments")
+	traceOut := fl.String("trace-out", "", "run one traced round and write its events as JSONL to this file")
+	traceScen := fl.String("trace-scenario", "vi-smp", "scenario for -trace-out: vi-uni, vi-smp, gedit-v1, gedit-v2")
+	traceKinds := fl.String("trace-kinds", "", "comma-separated event kinds to keep in -trace-out (default all)")
+	tracePID := fl.Int("trace-pid", 0, "restrict -trace-out to one pid (0 = all)")
+	tracePath := fl.String("trace-path", "", "restrict -trace-out to events on this exact path")
+	benchGuard := fl.Bool("bench-guard", false, "re-time the Fig 6 sweep and fail if it regressed vs -bench-against")
+	benchAgainst := fl.String("bench-against", "BENCH_2.json", "committed baseline record for -bench-guard")
+	benchTol := fl.Float64("bench-tolerance", 0.10, "allowed fractional slowdown for -bench-guard")
 	if err := fl.Parse(args); err != nil {
 		return err
+	}
+
+	// Reject contradictory or out-of-range adaptive settings up front
+	// instead of silently running with them.
+	var halfWidthSet, minRoundsSet bool
+	fl.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "halfwidth":
+			halfWidthSet = true
+		case "minrounds":
+			minRoundsSet = true
+		}
+	})
+	if halfWidthSet && !*adaptive {
+		return fmt.Errorf("-halfwidth only applies with -adaptive; add -adaptive or drop -halfwidth")
+	}
+	if minRoundsSet && !*adaptive {
+		return fmt.Errorf("-minrounds only applies with -adaptive; add -adaptive or drop -minrounds")
+	}
+	if *adaptive && (*halfWidth <= 0 || *halfWidth >= 1) {
+		return fmt.Errorf("-halfwidth must be strictly between 0 and 1 (a success-rate half-width), got %v", *halfWidth)
+	}
+	if *minRounds < 0 {
+		return fmt.Errorf("-minrounds must be >= 0, got %d", *minRounds)
+	}
+	if *benchTol <= 0 {
+		return fmt.Errorf("-bench-tolerance must be > 0, got %v", *benchTol)
 	}
 
 	if *benchBase {
 		return benchBaseline(*benchOut)
 	}
 	if *sweep {
-		return benchSweep(*sweepOut, *adaptive, *halfWidth)
+		return benchSweep(*sweepOut, *adaptive, *halfWidth, *minRounds)
+	}
+	if *benchGuard {
+		return benchGuardRun(*benchAgainst, *benchTol)
+	}
+	if *traceOut != "" {
+		return traceExport(*traceOut, *traceScen, *seed, *traceKinds, *tracePID, *tracePath)
 	}
 
 	if *list || *name == "" {
@@ -73,12 +121,13 @@ func run(args []string) error {
 		return nil
 	}
 
-	opt := experiments.Options{Rounds: *rounds, Seed: *seed}
+	opt := experiments.Options{Rounds: *rounds, Seed: *seed, Metrics: *showMetrics}
 	if *adaptive {
 		// Opt-in sequential stopping: sweep-based experiments stop each
 		// point once its estimate is tight enough instead of running the
 		// full fixed budget (results then depend on the committed length).
 		opt.AdaptiveHalfWidth = *halfWidth
+		opt.MinRounds = *minRounds
 	}
 	if *sizesArg != "" {
 		for _, s := range strings.Split(*sizesArg, ",") {
@@ -172,6 +221,150 @@ func benchBaseline(out string) error {
 	return nil
 }
 
+// traceScenario builds the traced round a -trace-out export runs. The
+// scenarios mirror the experiment drivers' standard configurations.
+func traceScenario(name string, seed int64) (core.Scenario, error) {
+	if seed == 0 {
+		seed = 9001
+	}
+	vi := func(m machine.Profile, kb int) core.Scenario {
+		return core.Scenario{
+			Machine:    m,
+			Victim:     victim.NewVi(),
+			Attacker:   attack.NewV1(),
+			UseSyscall: "chown",
+			FileSize:   int64(kb) << 10,
+			Seed:       seed,
+			Trace:      true,
+		}
+	}
+	gedit := func(m machine.Profile, attacker prog.Program) core.Scenario {
+		return core.Scenario{
+			Machine:    m,
+			Victim:     victim.NewGedit(),
+			Attacker:   attacker,
+			UseSyscall: "chmod",
+			FileSize:   2 << 10,
+			Seed:       seed,
+			Trace:      true,
+		}
+	}
+	switch name {
+	case "vi-uni":
+		return vi(machine.Uniprocessor(), 100), nil
+	case "vi-smp":
+		return vi(machine.SMP2(), 100), nil
+	case "gedit-v1":
+		return gedit(machine.SMP2(), attack.NewV1()), nil
+	case "gedit-v2":
+		return gedit(machine.MultiCore(), attack.NewV2()), nil
+	default:
+		return core.Scenario{}, fmt.Errorf("unknown -trace-scenario %q (have vi-uni, vi-smp, gedit-v1, gedit-v2)", name)
+	}
+}
+
+// traceExport runs one traced round and streams its events as JSONL,
+// optionally filtered by kind, pid, and path.
+func traceExport(out, scenario string, seed int64, kindsArg string, pid int, path string) error {
+	sc, err := traceScenario(scenario, seed)
+	if err != nil {
+		return err
+	}
+	filter := trace.Filter{PID: int32(pid), Path: path}
+	if kindsArg != "" {
+		for _, name := range strings.Split(kindsArg, ",") {
+			name = strings.TrimSpace(name)
+			kind, ok := sim.ParseEventKind(name)
+			if !ok {
+				return fmt.Errorf("unknown event kind %q in -trace-kinds (use the names traces print: enter, exit, sem-block, dispatch, name-bind, ...)", name)
+			}
+			filter.Kinds = append(filter.Kinds, kind)
+		}
+	}
+	round, err := core.RunRound(sc)
+	if err != nil {
+		return fmt.Errorf("trace round: %w", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	jw := trace.NewJSONLWriter(f, filter)
+	for _, e := range round.Events {
+		jw.Emit(e)
+	}
+	if err := jw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: wrote %d of %d events (%s, seed %d, success %v)\n",
+		out, jw.Count(), len(round.Events), scenario, sc.Seed, round.Success)
+	return nil
+}
+
+// benchGuardRun re-times the Fig 6 sweep with the committed record's
+// configuration and fails when the current build is more than tol slower
+// than the baseline's sweep_ns at the same GOMAXPROCS. Records the
+// baseline lacks (e.g. a Table 2 timing) are reported and skipped rather
+// than failed.
+func benchGuardRun(baselinePath string, tol float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench-guard: read baseline: %w", err)
+	}
+	var base sweepRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench-guard: parse %s: %w", baselinePath, err)
+	}
+	if len(base.Fixed) == 0 {
+		return fmt.Errorf("bench-guard: %s has no fixed sweep records to guard against", baselinePath)
+	}
+	scs := fig6SweepScenarios()
+	if base.Points != len(scs) {
+		return fmt.Errorf("bench-guard: baseline has %d points, current Fig 6 sweep has %d — regenerate %s with -sweep",
+			base.Points, len(scs), baselinePath)
+	}
+	rounds := base.RoundsPerPoint
+	if rounds <= 0 {
+		return fmt.Errorf("bench-guard: baseline rounds_per_point = %d", rounds)
+	}
+	if _, err := core.RunSweep(scs, 20, core.SweepOptions{}); err != nil {
+		return fmt.Errorf("bench-guard warmup: %w", err)
+	}
+	const reps = 3
+	var failures []string
+	for _, f := range base.Fixed {
+		prev := runtime.GOMAXPROCS(f.GOMAXPROCS)
+		wall, err := bestOf(reps, func() error {
+			_, serr := core.RunSweep(scs, rounds, core.SweepOptions{})
+			return serr
+		})
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			return fmt.Errorf("bench-guard at GOMAXPROCS=%d: %w", f.GOMAXPROCS, err)
+		}
+		ratio := float64(wall.Nanoseconds()) / float64(f.SweepNs)
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("GOMAXPROCS=%d: %.1fms vs baseline %.1fms (%.2fx)",
+				f.GOMAXPROCS, float64(wall.Nanoseconds())/1e6, float64(f.SweepNs)/1e6, ratio))
+		}
+		fmt.Printf("bench-guard %s GOMAXPROCS=%d: %.1fms vs baseline %.1fms (%.2fx, tolerance %.2fx) %s\n",
+			base.Benchmark, f.GOMAXPROCS,
+			float64(wall.Nanoseconds())/1e6, float64(f.SweepNs)/1e6, ratio, 1+tol, verdict)
+	}
+	fmt.Printf("bench-guard: baseline %s carries no Table 2 timing; nothing further to compare\n", baselinePath)
+	if len(failures) > 0 {
+		return fmt.Errorf("bench-guard: sweep regressed beyond %.0f%% tolerance:\n  %s",
+			tol*100, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 // sweepFixedRecord compares the three ways of running the Fig 6 sweep at
 // one GOMAXPROCS setting: the pre-sweep per-campaign runner (fresh worker
 // set and O(rounds) buffers per point), the current serial RunCampaign
@@ -251,7 +444,7 @@ func bestOf(reps int, f func() error) (time.Duration, error) {
 // loop, serial RunCampaign loop, RunSweep) across GOMAXPROCS settings,
 // verifies the results are bit-identical, optionally measures the
 // adaptive budget's savings, and writes the record to out.
-func benchSweep(out string, adaptive bool, halfWidth float64) error {
+func benchSweep(out string, adaptive bool, halfWidth float64, minRounds int) error {
 	scs := fig6SweepScenarios()
 	const rounds, reps = 500, 5
 	rec := sweepRecord{
@@ -337,18 +530,22 @@ func benchSweep(out string, adaptive bool, halfWidth float64) error {
 		for i, sc := range scs {
 			points[i] = core.SweepPoint{Scenario: sc, Rounds: rounds}
 		}
-		stop := core.AdaptiveStop{HalfWidth: halfWidth}
+		stop := core.AdaptiveStop{HalfWidth: halfWidth, MinRounds: minRounds}
 		start := time.Now()
 		_, stats, err := core.RunSweepPoints(points, core.SweepOptions{Adaptive: stop})
 		wall := time.Since(start)
 		if err != nil {
 			return fmt.Errorf("adaptive sweep: %w", err)
 		}
+		recMin := minRounds
+		if recMin == 0 {
+			recMin = 50 // the engine's default minimum
+		}
 		total := len(scs) * rounds
 		rec.Adaptive = &sweepAdaptiveRecord{
 			HalfWidth:       halfWidth,
 			Z:               1.96,
-			MinRounds:       50,
+			MinRounds:       recMin,
 			FixedTotal:      total,
 			RoundsCommitted: stats.RoundsCommitted,
 			RoundsExecuted:  stats.RoundsExecuted,

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tocttou/internal/metrics"
 	"tocttou/internal/stats"
 )
 
@@ -37,6 +38,12 @@ type CampaignResult struct {
 	// together they estimate Equation 1's P(victim suspended).
 	WindowRounds    int
 	SuspendedRounds int
+	// Metrics is the observability summary of the campaign: Welford
+	// mean/variance of the per-round kernel counters plus log₂ histograms
+	// of the window/D/L latencies (latencies require a traced scenario).
+	// It folds in commit order, so it is bit-identical across GOMAXPROCS
+	// like the rest of the result.
+	Metrics metrics.Point
 }
 
 // addRound folds one completed round into the accumulator. The integer
@@ -66,6 +73,7 @@ func (r *CampaignResult) addRound(round Round) {
 			r.SuspendedRounds++
 		}
 	}
+	r.Metrics.Observe(round.Kernel, round.End, round.LD, round.Window, round.WindowOK)
 }
 
 // PSuspended returns the measured P(victim suspended within the window),

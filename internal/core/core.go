@@ -146,6 +146,11 @@ type Round struct {
 	// not invalidate the round.
 	VictimErr   error
 	AttackerErr error
+	// Kernel is the simulated kernel's counter block for the round:
+	// dispatches, preemptions, semaphore contention, traps, interrupt and
+	// noise occupancy, and per-CPU busy time. Always populated — the
+	// counters are maintained inline by the kernel, tracer or not.
+	Kernel sim.KernelStats
 	// Events is the raw trace when tracing was enabled.
 	Events []sim.Event
 	// VictimPID and AttackerPID identify the processes in the trace.
@@ -272,6 +277,7 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 		VictimPID:   int32(victimProc.PID),
 		AttackerPID: int32(attackerProc.PID),
 		End:         k.Now(),
+		Kernel:      k.Stats(),
 	}
 	if sc.SuccessCheck != nil {
 		round.Success = sc.SuccessCheck(f, p, sc.AttackerUID)

@@ -90,7 +90,7 @@ func TestReusedRoundContextMatchesFresh(t *testing.T) {
 			reused.Window != fresh.Window || reused.WindowOK != fresh.WindowOK ||
 			reused.VictimSuspended != fresh.VictimSuspended ||
 			reused.VictimPID != fresh.VictimPID || reused.AttackerPID != fresh.AttackerPID ||
-			reused.End != fresh.End {
+			reused.End != fresh.End || reused.Kernel != fresh.Kernel {
 			t.Fatalf("round %d: reused context changed the outcome:\nreused: %+v\n fresh: %+v",
 				i, reused, fresh)
 		}

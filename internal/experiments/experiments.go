@@ -30,6 +30,15 @@ type Options struct {
 	// budgets, so every experiment output stays bit-identical to the
 	// serial per-campaign runner.
 	AdaptiveHalfWidth float64
+	// MinRounds, when positive, sets the adaptive stopper's minimum
+	// rounds per point before the interval test applies.
+	MinRounds int
+	// Metrics appends the kernel-metrics section (per-point counter
+	// summaries plus window/D/L histograms) to experiments that support
+	// it. Scenarios that default to untraced run traced so the latency
+	// histograms populate; tracing is a pure observer, so success rates
+	// and counters are unchanged.
+	Metrics bool
 }
 
 func (o Options) rounds(def int) int {
@@ -50,7 +59,7 @@ func (o Options) seed(def int64) int64 {
 func (o Options) sweep() core.SweepOptions {
 	var so core.SweepOptions
 	if o.AdaptiveHalfWidth > 0 {
-		so.Adaptive = core.AdaptiveStop{HalfWidth: o.AdaptiveHalfWidth}
+		so.Adaptive = core.AdaptiveStop{HalfWidth: o.AdaptiveHalfWidth, MinRounds: o.MinRounds}
 	}
 	return so
 }

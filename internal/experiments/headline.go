@@ -9,6 +9,7 @@ import (
 	"tocttou/internal/defense"
 	"tocttou/internal/fs"
 	"tocttou/internal/machine"
+	"tocttou/internal/metrics"
 	"tocttou/internal/report"
 )
 
@@ -19,6 +20,8 @@ type HeadlineRow struct {
 	Rate     float64
 	Rounds   int
 	PaperRef string
+	// Result is the full campaign outcome behind Rate.
+	Result core.CampaignResult
 }
 
 // HeadlineResult is the paper's main claim in one table: the same attacks
@@ -26,6 +29,8 @@ type HeadlineRow struct {
 // multiprocessors.
 type HeadlineResult struct {
 	Rows []HeadlineRow
+	// ShowMetrics appends the kernel-metrics section to the rendering.
+	ShowMetrics bool
 }
 
 // Name implements Result.
@@ -39,14 +44,26 @@ func (r *HeadlineResult) Render(w io.Writer) error {
 	for _, row := range r.Rows {
 		tbl.AddRow(row.Scenario, row.Machine, fmt.Sprintf("%.1f%%", row.Rate*100), row.PaperRef)
 	}
-	return tbl.Render(w)
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	if !r.ShowMetrics {
+		return nil
+	}
+	labels := make([]string, len(r.Rows))
+	pts := make([]metrics.Point, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = row.Scenario + " / " + row.Machine
+		pts[i] = row.Result.Metrics
+	}
+	return report.MetricsSection(w, labels, pts)
 }
 
 // Headline runs the cross-machine comparison.
 func Headline(opt Options) (Result, error) {
 	rounds := opt.rounds(400)
 	seed := opt.seed(13001)
-	out := &HeadlineResult{}
+	out := &HeadlineResult{ShowMetrics: opt.Metrics}
 
 	steps := []struct {
 		scenario, machineName, ref string
@@ -67,6 +84,11 @@ func Headline(opt Options) (Result, error) {
 	scs := make([]core.Scenario, len(steps))
 	for i, s := range steps {
 		scs[i] = s.sc
+		if opt.Metrics {
+			// Trace so the window/D/L histograms populate; tracing is a
+			// pure observer and leaves the success rates unchanged.
+			scs[i].Trace = true
+		}
 	}
 	results, err := core.RunSweep(scs, rounds, opt.sweep())
 	if err != nil {
@@ -76,6 +98,7 @@ func Headline(opt Options) (Result, error) {
 		out.Rows = append(out.Rows, HeadlineRow{
 			Scenario: s.scenario, Machine: s.machineName,
 			Rate: results[i].Rate(), Rounds: rounds, PaperRef: s.ref,
+			Result: results[i],
 		})
 	}
 	return out, nil

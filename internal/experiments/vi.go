@@ -9,6 +9,7 @@ import (
 	"tocttou/internal/attack"
 	"tocttou/internal/core"
 	"tocttou/internal/machine"
+	"tocttou/internal/metrics"
 	"tocttou/internal/model"
 	"tocttou/internal/report"
 	"tocttou/internal/stats"
@@ -36,11 +37,24 @@ type SweepRow struct {
 	Predicted float64
 }
 
+// renderRowMetrics appends the observability block for size-swept rows.
+func renderRowMetrics(w io.Writer, rows []SweepRow) error {
+	labels := make([]string, len(rows))
+	pts := make([]metrics.Point, len(rows))
+	for i, row := range rows {
+		labels[i] = fmt.Sprintf("%d KB", row.SizeKB)
+		pts[i] = row.Result.Metrics
+	}
+	return report.MetricsSection(w, labels, pts)
+}
+
 // Fig6Result reproduces the paper's Figure 6: vi attack success rate on a
 // uniprocessor as a function of file size.
 type Fig6Result struct {
 	Rows   []SweepRow
 	Rounds int
+	// ShowMetrics appends the kernel-metrics section to the rendering.
+	ShowMetrics bool
 }
 
 // Name implements Result.
@@ -79,7 +93,13 @@ func (r *Fig6Result) Render(w io.Writer) error {
 			{Name: "model", Ys: preds},
 		},
 	}
-	return chart.Render(w)
+	if err := chart.Render(w); err != nil {
+		return err
+	}
+	if !r.ShowMetrics {
+		return nil
+	}
+	return renderRowMetrics(w, r.Rows)
 }
 
 // Fig6 runs the uniprocessor vi sweep.
@@ -93,13 +113,15 @@ func Fig6(opt Options) (Result, error) {
 	m := machine.Uniprocessor()
 	scs := make([]core.Scenario, len(sizes))
 	for i, kb := range sizes {
-		scs[i] = viScenario(m, kb, seed+int64(i)*7919, false)
+		// With -metrics the sweep runs traced so the window/D/L histograms
+		// populate; tracing observes without perturbing the simulation.
+		scs[i] = viScenario(m, kb, seed+int64(i)*7919, opt.Metrics)
 	}
 	results, err := core.RunSweep(scs, rounds, opt.sweep())
 	if err != nil {
 		return nil, fmt.Errorf("fig6: %w", err)
 	}
-	out := &Fig6Result{Rounds: rounds}
+	out := &Fig6Result{Rounds: rounds, ShowMetrics: opt.Metrics}
 	for i, kb := range sizes {
 		// Model prediction: window ≈ measured-on-SMP per-KB growth; use
 		// the analytic window estimate from the vi calibration.
@@ -190,6 +212,8 @@ type Fig7Result struct {
 	// ≈16.5 µs/KB. Corr is the L-vs-size Pearson correlation.
 	Slope float64
 	Corr  float64
+	// ShowMetrics appends the kernel-metrics section to the rendering.
+	ShowMetrics bool
 }
 
 // Name implements Result.
@@ -226,7 +250,13 @@ func (r *Fig7Result) Render(w io.Writer) error {
 			{Name: "D", Ys: ds},
 		},
 	}
-	return chart.Render(w)
+	if err := chart.Render(w); err != nil {
+		return err
+	}
+	if !r.ShowMetrics {
+		return nil
+	}
+	return renderRowMetrics(w, r.Rows)
 }
 
 // Fig7 runs the traced SMP sweep and fits L's growth.
@@ -246,7 +276,7 @@ func Fig7(opt Options) (Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}
-	out := &Fig7Result{Rounds: rounds}
+	out := &Fig7Result{Rounds: rounds, ShowMetrics: opt.Metrics}
 	var xs, ls []float64
 	for i, kb := range sizes {
 		out.Rows = append(out.Rows, SweepRow{SizeKB: kb, Result: results[i]})

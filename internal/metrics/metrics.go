@@ -1,0 +1,160 @@
+// Package metrics aggregates the simulator's always-on observability data
+// across the rounds of a sweep point: the kernel's KernelStats counter
+// block (scheduling, synchronization, interrupts, CPU time) and the
+// trace-derived latencies of the paper's §3.4 — vulnerability-window
+// length, detection latency D, and laxity L.
+//
+// Everything here is deterministic by construction. Scalar figures fold
+// with Welford running summaries and latencies additionally land in
+// fixed-bucket log₂ histograms (plain arrays, no allocation after the
+// Point itself exists). Folding order matters for the float summaries, so
+// callers must observe rounds in ascending round-index order — exactly the
+// commit order the sweep engine's reorder buffer guarantees — which makes
+// a Point bit-identical regardless of GOMAXPROCS or pool interleaving.
+package metrics
+
+import (
+	"math/bits"
+	"time"
+
+	"tocttou/internal/sim"
+	"tocttou/internal/stats"
+	"tocttou/internal/trace"
+)
+
+// HistBuckets is the bucket count of the log₂ latency histograms. Bucket i
+// covers [2^i, 2^(i+1)) microseconds, so 32 buckets span 1µs to ~71
+// virtual minutes — beyond the simulator's time budget.
+const HistBuckets = 32
+
+// Hist is a fixed-bucket log₂ histogram over microsecond latencies. The
+// zero value is empty and ready to use; it is a comparable plain value
+// (fixed arrays, no pointers) so aggregates containing it can be compared
+// with == in determinism tests.
+type Hist struct {
+	// Neg counts negative observations (a failed race has laxity L < 0:
+	// the victim reached its use call before the attack landed).
+	Neg int64
+	// Sub counts sub-microsecond observations in [0, 1).
+	Sub int64
+	// Buckets[i] counts observations in [2^i, 2^(i+1)) µs; the top bucket
+	// also absorbs anything beyond the histogram's range.
+	Buckets [HistBuckets]int64
+}
+
+// Add records one observation in microseconds.
+func (h *Hist) Add(us float64) {
+	switch {
+	case us < 0:
+		h.Neg++
+	case us < 1:
+		h.Sub++
+	default:
+		b := bits.Len64(uint64(us)) - 1
+		if b >= HistBuckets {
+			b = HistBuckets - 1
+		}
+		h.Buckets[b]++
+	}
+}
+
+// N returns the number of observations recorded.
+func (h *Hist) N() int64 {
+	n := h.Neg + h.Sub
+	for _, c := range h.Buckets {
+		n += c
+	}
+	return n
+}
+
+// Merge folds other's counts into h (for pooling per-point histograms
+// into one display histogram; counts are order-insensitive).
+func (h *Hist) Merge(other Hist) {
+	h.Neg += other.Neg
+	h.Sub += other.Sub
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// BucketLo returns the inclusive lower edge of bucket i in µs.
+func BucketLo(i int) float64 { return float64(int64(1) << i) }
+
+// BucketHi returns the exclusive upper edge of bucket i in µs.
+func BucketHi(i int) float64 { return float64(int64(1) << (i + 1)) }
+
+// Point is the metrics summary of one sweep point (one campaign): Welford
+// mean/variance summaries of the per-round kernel counters, and summaries
+// plus log₂ histograms of the per-round derived latencies. The latency
+// section only populates for traced scenarios (L, D, and the window are
+// measured from the event log); the kernel counters are always on.
+//
+// Point is a comparable value: two campaigns folded in the same order over
+// identical rounds produce Points equal under ==.
+type Point struct {
+	// Rounds counts observed rounds.
+	Rounds int64
+
+	// Per-round scheduling and interrupt activity.
+	Dispatches  stats.Summary // completed CPU dispatches per round
+	Preemptions stats.Summary // preemptions per round
+	Traps       stats.Summary // page-fault traps per round
+	Ticks       stats.Summary // timer interrupts per round
+	NoiseBursts stats.Summary // softirq/daemon bursts per round
+
+	// Per-round synchronization activity.
+	SemBlocks   stats.Summary // contended semaphore acquisitions per round
+	SemAcquires stats.Summary // total semaphore acquisitions per round
+	SemWaitUs   stats.Summary // total semaphore wait per round (µs)
+
+	// Per-round CPU-time accounting (µs of virtual time).
+	TickUs  stats.Summary // interrupt handling cost per round
+	NoiseUs stats.Summary // softirq/daemon occupancy per round
+	BusyUs  stats.Summary // user compute executed per round, all CPUs
+	IdleUs  stats.Summary // non-compute CPU time per round, all CPUs
+
+	// Derived race latencies (traced rounds only).
+	WindowUs stats.Summary // vulnerability-window length (µs)
+	DUs      stats.Summary // detection latency D (µs)
+	LUs      stats.Summary // laxity L (µs); can be negative on failure
+
+	WindowHist Hist
+	DHist      Hist
+	LHist      Hist
+}
+
+// Observe folds one completed round: its kernel counter snapshot, its end
+// time (for idle derivation), and its trace-derived measurements. Rounds
+// must be observed in ascending round-index order for bit-reproducible
+// summaries.
+func (p *Point) Observe(ks sim.KernelStats, end sim.Time, ld trace.LDResult, window time.Duration, windowOK bool) {
+	p.Rounds++
+	p.Dispatches.Add(float64(ks.Dispatches))
+	p.Preemptions.Add(float64(ks.Preemptions))
+	p.Traps.Add(float64(ks.Traps))
+	p.Ticks.Add(float64(ks.Ticks))
+	p.NoiseBursts.Add(float64(ks.NoiseBursts))
+	p.SemBlocks.Add(float64(ks.SemBlocks))
+	p.SemAcquires.Add(float64(ks.SemAcquires))
+	p.SemWaitUs.Add(float64(ks.SemWaitNs) / 1e3)
+	p.TickUs.Add(float64(ks.TickNs) / 1e3)
+	p.NoiseUs.Add(float64(ks.NoiseNs) / 1e3)
+	p.BusyUs.Add(float64(ks.BusyTotalNs()) / 1e3)
+	p.IdleUs.Add(float64(ks.IdleNs(end)) / 1e3)
+
+	if windowOK {
+		us := float64(window) / 1e3
+		p.WindowUs.Add(us)
+		p.WindowHist.Add(us)
+	}
+	if ld.Detected && ld.WindowFound && ld.T3 > 0 {
+		p.DUs.Add(ld.Dmicros())
+		p.DHist.Add(ld.Dmicros())
+		p.LUs.Add(ld.Lmicros())
+		p.LHist.Add(ld.Lmicros())
+	}
+}
+
+// Traced reports whether any round contributed derived latencies (i.e.
+// the scenario ran with tracing enabled and a window was observed).
+func (p *Point) Traced() bool { return p.WindowUs.N() > 0 || p.DUs.N() > 0 }

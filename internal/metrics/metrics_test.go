@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tocttou/internal/sim"
+	"tocttou/internal/trace"
+)
+
+func TestHistBucketing(t *testing.T) {
+	var h Hist
+	cases := []struct {
+		us     float64
+		bucket int // -2 = Neg, -1 = Sub, else Buckets index
+	}{
+		{-3.5, -2},
+		{-0.001, -2},
+		{0, -1},
+		{0.999, -1},
+		{1, 0},
+		{1.999, 0},
+		{2, 1},
+		{3.99, 1},
+		{4, 2},
+		{1024, 10},
+		{math.Ldexp(1, HistBuckets-1), HistBuckets - 1},
+		{math.Ldexp(1, HistBuckets+4), HistBuckets - 1}, // overflow clamps to top
+	}
+	for _, c := range cases {
+		before := h
+		h.Add(c.us)
+		switch c.bucket {
+		case -2:
+			if h.Neg != before.Neg+1 {
+				t.Errorf("Add(%v): Neg not incremented", c.us)
+			}
+		case -1:
+			if h.Sub != before.Sub+1 {
+				t.Errorf("Add(%v): Sub not incremented", c.us)
+			}
+		default:
+			if h.Buckets[c.bucket] != before.Buckets[c.bucket]+1 {
+				t.Errorf("Add(%v): bucket %d not incremented (hist %+v)", c.us, c.bucket, h)
+			}
+		}
+	}
+	if h.N() != int64(len(cases)) {
+		t.Errorf("N = %d, want %d", h.N(), len(cases))
+	}
+}
+
+func TestHistBucketEdges(t *testing.T) {
+	for i := 0; i < HistBuckets; i++ {
+		if BucketHi(i) != 2*BucketLo(i) {
+			t.Errorf("bucket %d edges [%v, %v) are not an octave", i, BucketLo(i), BucketHi(i))
+		}
+	}
+	if BucketLo(0) != 1 {
+		t.Errorf("bucket 0 starts at %v, want 1", BucketLo(0))
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Add(-1)
+	a.Add(0.5)
+	a.Add(8)
+	b.Add(8)
+	b.Add(100)
+	a.Merge(b)
+	if a.N() != 5 || a.Neg != 1 || a.Sub != 1 || a.Buckets[3] != 2 || a.Buckets[6] != 1 {
+		t.Errorf("merged hist wrong: %+v", a)
+	}
+}
+
+func TestPointObserveGating(t *testing.T) {
+	ks := sim.KernelStats{Dispatches: 3, Ticks: 10, CPUs: 2}
+	var p Point
+
+	// Untraced round: counters fold, latencies don't.
+	p.Observe(ks, sim.Time(1000), trace.LDResult{}, 0, false)
+	if p.Rounds != 1 || p.Dispatches.Mean() != 3 {
+		t.Fatalf("counters not folded: %+v", p)
+	}
+	if p.Traced() || p.WindowHist.N() != 0 || p.LHist.N() != 0 {
+		t.Fatalf("untraced observe leaked latencies: %+v", p)
+	}
+
+	// Window without a completed race: window folds, L/D don't.
+	p.Observe(ks, sim.Time(1000), trace.LDResult{WindowFound: true}, 5*time.Microsecond, true)
+	if p.WindowHist.N() != 1 || p.DHist.N() != 0 {
+		t.Fatalf("window gating wrong: %+v", p)
+	}
+
+	// Full race: all three latency channels fold.
+	ld := trace.LDResult{
+		Detected: true, WindowFound: true, T3: 100,
+		D: 30 * time.Microsecond, L: -2 * time.Microsecond,
+	}
+	p.Observe(ks, sim.Time(1000), ld, 5*time.Microsecond, true)
+	if p.DHist.N() != 1 || p.LHist.N() != 1 || p.LHist.Neg != 1 {
+		t.Fatalf("race latencies not folded (negative L must land in Neg): %+v", p)
+	}
+	if !p.Traced() {
+		t.Error("point with latencies must report Traced")
+	}
+}
+
+func TestPointComparable(t *testing.T) {
+	mk := func() Point {
+		var p Point
+		p.Observe(sim.KernelStats{Dispatches: 1, CPUs: 1}, 100, trace.LDResult{}, 0, false)
+		return p
+	}
+	if mk() != mk() {
+		t.Error("identical observation sequences must compare equal under ==")
+	}
+}

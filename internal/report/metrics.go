@@ -1,0 +1,170 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tocttou/internal/metrics"
+	"tocttou/internal/stats"
+)
+
+// meanSD formats a summary as "mean±sd", or "-" when empty.
+func meanSD(s stats.Summary) string {
+	if s.N() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f±%.1f", s.Mean(), s.Stdev())
+}
+
+// KernelMetricsTable renders the per-round kernel counter summaries of a
+// set of sweep points, one row per point. labels and pts run in parallel.
+func KernelMetricsTable(w io.Writer, title string, labels []string, pts []metrics.Point) error {
+	tbl := &Table{
+		Title: title,
+		Headers: []string{
+			"point", "rounds", "dispatch", "preempt", "trap", "tick",
+			"sem-blk", "sem-wait µs", "busy µs", "idle µs",
+		},
+	}
+	for i, p := range pts {
+		tbl.AddRow(
+			labels[i],
+			fmt.Sprintf("%d", p.Rounds),
+			meanSD(p.Dispatches),
+			meanSD(p.Preemptions),
+			meanSD(p.Traps),
+			meanSD(p.Ticks),
+			meanSD(p.SemBlocks),
+			meanSD(p.SemWaitUs),
+			meanSD(p.BusyUs),
+			meanSD(p.IdleUs),
+		)
+	}
+	return tbl.Render(w)
+}
+
+// LatencyMetricsTable renders the trace-derived latency summaries (window
+// length, detection latency D, laxity L) of a set of sweep points.
+func LatencyMetricsTable(w io.Writer, title string, labels []string, pts []metrics.Point) error {
+	tbl := &Table{
+		Title: title,
+		Headers: []string{
+			"point", "windows", "window µs", "races", "D µs", "L µs",
+		},
+	}
+	for i, p := range pts {
+		tbl.AddRow(
+			labels[i],
+			fmt.Sprintf("%d", p.WindowUs.N()),
+			meanSD(p.WindowUs),
+			fmt.Sprintf("%d", p.DUs.N()),
+			meanSD(p.DUs),
+			meanSD(p.LUs),
+		)
+	}
+	return tbl.Render(w)
+}
+
+// RenderHist draws a log₂ latency histogram as labeled count bars. Empty
+// buckets between the first and last populated ones still print, so the
+// distribution's shape (including gaps) is visible.
+func RenderHist(w io.Writer, title string, h metrics.Hist) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, h.N())
+	if h.N() == 0 {
+		b.WriteString("  (no samples)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	lo, hi := -1, -1
+	maxCount := h.Neg
+	if h.Sub > maxCount {
+		maxCount = h.Sub
+	}
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const barWidth = 40
+	bar := func(c int64) string {
+		n := int(c * barWidth / maxCount)
+		if c > 0 && n == 0 {
+			n = 1
+		}
+		return strings.Repeat("#", n)
+	}
+	row := func(label string, c int64) {
+		fmt.Fprintf(&b, "  %16s %8d %s\n", label, c, bar(c))
+	}
+	if h.Neg > 0 {
+		row("< 0", h.Neg)
+	}
+	if h.Sub > 0 || lo == 0 {
+		row("[0, 1)", h.Sub)
+	}
+	for i := lo; i >= 0 && i <= hi; i++ {
+		label := fmt.Sprintf("[%.0f, %.0f)", metrics.BucketLo(i), metrics.BucketHi(i))
+		if i == metrics.HistBuckets-1 {
+			label = fmt.Sprintf("≥ %.0f", metrics.BucketLo(i))
+		}
+		row(label, h.Buckets[i])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MetricsSection renders the standard observability block for a set of
+// sweep points: the kernel counter table, and — when any point carries
+// trace-derived latencies — the latency table plus histograms of the
+// window length, detection latency D, and laxity L pooled across points
+// (histogram counts merge exactly; pooling loses no information).
+func MetricsSection(w io.Writer, labels []string, pts []metrics.Point) error {
+	if _, err := fmt.Fprintf(w, "\nKernel metrics (per-round mean±sd, all µs virtual time)\n\n"); err != nil {
+		return err
+	}
+	if err := KernelMetricsTable(w, "", labels, pts); err != nil {
+		return err
+	}
+	traced := false
+	for i := range pts {
+		if pts[i].Traced() {
+			traced = true
+			break
+		}
+	}
+	if !traced {
+		_, err := fmt.Fprintf(w, "\n(no traced rounds: window/D/L latencies unavailable)\n")
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if err := LatencyMetricsTable(w, "", labels, pts); err != nil {
+		return err
+	}
+	var window, d, l metrics.Hist
+	for i := range pts {
+		window.Merge(pts[i].WindowHist)
+		d.Merge(pts[i].DHist)
+		l.Merge(pts[i].LHist)
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if err := RenderHist(w, "vulnerability window (µs, log₂ buckets, pooled)", window); err != nil {
+		return err
+	}
+	if err := RenderHist(w, "detection latency D (µs, log₂ buckets, pooled)", d); err != nil {
+		return err
+	}
+	return RenderHist(w, "laxity L (µs, log₂ buckets, pooled)", l)
+}

@@ -99,6 +99,8 @@ type Kernel struct {
 	jitter stats.Jitter
 	tracer Tracer
 
+	stats KernelStats // always-on observability counters (see stats.go)
+
 	threads []*Thread
 	procs   []*Process
 	nextPID int
@@ -144,6 +146,7 @@ func New(cfg Config) *Kernel {
 	for i := range k.cpus {
 		k.cpus[i] = &cpu{id: i}
 	}
+	k.stats.reset(cfg.CPUs)
 	return k
 }
 
@@ -173,6 +176,7 @@ func (k *Kernel) Reset(cfg Config) {
 			c.th = nil
 		}
 	}
+	k.stats.reset(cfg.CPUs)
 	k.rng.Seed(cfg.Seed)
 	k.jitter = stats.Jitter{Rel: cfg.Jitter}
 	k.tracer = cfg.Tracer
@@ -416,6 +420,8 @@ func (k *Kernel) tickFire(c *cpu) {
 	if k.live == 0 {
 		return
 	}
+	k.stats.Ticks++
+	k.stats.TickNs += int64(k.cfg.TickCost)
 	k.emit(Event{Kind: EvTick, CPU: int32(c.id), Arg: int64(k.cfg.TickCost)})
 	k.stealCPUTime(c, k.cfg.TickCost)
 	k.afterKernel(k.cfg.TickPeriod, evTick, nil, c, 0)
@@ -429,6 +435,8 @@ func (k *Kernel) noiseFire(c *cpu) {
 		return
 	}
 	dur := stats.LogNormal(k.rng, k.cfg.Noise.MeanDuration, 0.5)
+	k.stats.NoiseBursts++
+	k.stats.NoiseNs += int64(dur)
 	k.emit(Event{Kind: EvNoise, CPU: int32(c.id), Arg: int64(dur)})
 	k.stealCPUTime(c, dur)
 	gap := stats.Exponential(k.rng, k.cfg.Noise.MeanInterval)

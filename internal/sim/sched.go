@@ -38,6 +38,7 @@ func (k *Kernel) startRun(c *cpu, th *Thread, gen uint64) {
 	}
 	th.state = StateRunning
 	k.runningCnt++
+	k.stats.Dispatches++
 	th.runStart = k.now
 	k.emitThread(th, Event{Kind: EvDispatch, Label: th.name})
 	if k.cfg.Quantum > 0 {
@@ -76,6 +77,7 @@ func (k *Kernel) preempt(th *Thread) {
 	th.workPending = false
 	th.state = StateReady
 	k.runningCnt--
+	k.stats.Preemptions++
 	th.schedGen++
 	th.cpu = -1
 	c.th = nil
@@ -119,6 +121,7 @@ func (k *Kernel) workDone(th *Thread, gen uint64) {
 	}
 	consumed := th.computeLeft
 	th.cpuTime += consumed
+	k.stats.addBusy(th.cpu, consumed)
 	th.computeLeft = 0
 	th.workPending = false
 	th.runStart = k.now
@@ -154,6 +157,7 @@ func (k *Kernel) accrueWork(th *Thread) {
 		}
 		th.computeLeft -= consumed
 		th.cpuTime += consumed
+		k.stats.addBusy(th.cpu, consumed)
 		if consumed > 0 {
 			k.emitThread(th, Event{Kind: EvCompute, Arg: int64(consumed)})
 		}

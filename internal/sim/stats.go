@@ -1,0 +1,89 @@
+package sim
+
+import "time"
+
+// MaxStatCPUs is the per-CPU accounting capacity of KernelStats. It is a
+// fixed array bound (not a slice) so the counter block stays a plain
+// comparable value that is reset by a single struct assignment and copied
+// out without allocating. Simulated machines use at most 4 CPUs; a config
+// beyond the capacity folds the excess processors into the last slot.
+const MaxStatCPUs = 8
+
+// KernelStats is the kernel's always-on observability counter block: the
+// per-round scheduling, synchronization, interrupt, and CPU-time figures
+// the paper's event analyses (§5–§6) are built from. The kernel maintains
+// it inline — plain integer fields bumped on the hot scheduling paths, no
+// map, no allocation, no tracer required — and Kernel.Reset clears it with
+// the rest of the machine state, so every simulation round starts from
+// zero and campaign-level aggregation stays a pure fold over rounds.
+type KernelStats struct {
+	// Dispatches counts completed CPU dispatches (a thread starting to
+	// run after context-switch latency, mirroring EvDispatch).
+	Dispatches int64
+	// Preemptions counts quantum-expiry and voluntary-yield preemptions
+	// (mirroring EvPreempt).
+	Preemptions int64
+	// SemBlocks counts contended semaphore acquisitions (the caller had
+	// to block; mirrors EvSemBlock), SemAcquires all acquisitions.
+	SemBlocks   int64
+	SemAcquires int64
+	// SemWaitNs totals the virtual time threads spent blocked on
+	// semaphores — the §3.4 "competition for the semaphore" cost.
+	SemWaitNs int64
+	// Traps counts page-fault traps (libc stub demand paging, §6.2.2).
+	Traps int64
+	// Ticks counts timer interrupts; TickNs totals their handling cost.
+	Ticks  int64
+	TickNs int64
+	// NoiseBursts counts softirq/daemon activity bursts; NoiseNs totals
+	// the virtual time they occupied CPUs.
+	NoiseBursts int64
+	NoiseNs     int64
+	// CPUs records the simulated processor count, and BusyNs[i] the
+	// virtual time CPU i spent executing user compute. Idle time is
+	// derived: end×CPUs − ΣBusyNs (see IdleNs).
+	CPUs   int32
+	BusyNs [MaxStatCPUs]int64
+}
+
+// reset clears the counters for a machine with the given CPU count.
+func (s *KernelStats) reset(cpus int) {
+	*s = KernelStats{CPUs: int32(cpus)}
+}
+
+// addBusy charges d of executed compute to CPU id.
+func (s *KernelStats) addBusy(id int, d time.Duration) {
+	if id < 0 {
+		return
+	}
+	if id >= MaxStatCPUs {
+		id = MaxStatCPUs - 1
+	}
+	s.BusyNs[id] += int64(d)
+}
+
+// BusyTotalNs returns the summed per-CPU busy time.
+func (s *KernelStats) BusyTotalNs() int64 {
+	var t int64
+	for _, b := range s.BusyNs {
+		t += b
+	}
+	return t
+}
+
+// IdleNs derives the aggregate idle time at instant end: the virtual time
+// the machine's CPUs were not executing user compute (scheduling latency,
+// blocked threads, and true idleness; interrupt and noise occupancy is
+// reported separately via TickNs/NoiseNs).
+func (s *KernelStats) IdleNs(end Time) int64 {
+	idle := int64(end)*int64(s.CPUs) - s.BusyTotalNs()
+	if idle < 0 {
+		idle = 0
+	}
+	return idle
+}
+
+// Stats returns a snapshot of the kernel's counter block. The returned
+// value is independent of the kernel; reading it after Run reports the
+// completed simulation's totals.
+func (k *Kernel) Stats() KernelStats { return k.stats }

@@ -55,6 +55,7 @@ func (s *Sem) Acquire(t *Task) {
 	if s.owner == nil {
 		s.owner = th
 		th.owned = append(th.owned, s)
+		k.stats.SemAcquires++
 		k.emitThread(th, Event{Kind: EvSemAcquire, Label: s.name})
 		return
 	}
@@ -62,6 +63,8 @@ func (s *Sem) Acquire(t *Task) {
 		panic(fmt.Sprintf("sim: thread %q recursively acquired semaphore %q", th.name, s.name))
 	}
 	s.waiters = append(s.waiters, th)
+	k.stats.SemBlocks++
+	blockedAt := k.now
 	k.emitThread(th, Event{Kind: EvSemBlock, Label: s.name})
 	th.blockCancel = func() { s.removeWaiter(th) }
 	k.blockCurrent(th, s.blockLabel)
@@ -69,6 +72,8 @@ func (s *Sem) Acquire(t *Task) {
 	t.checkKilled()
 	// Release handed us ownership before waking us.
 	th.owned = append(th.owned, s)
+	k.stats.SemAcquires++
+	k.stats.SemWaitNs += int64(k.now.Sub(blockedAt))
 	k.emitThread(th, Event{Kind: EvSemAcquire, Label: s.name})
 }
 

@@ -391,8 +391,15 @@ func (t *Task) YieldCPU() {
 	t.checkKilled()
 }
 
-// Trace emits a trace event stamped with the thread's identity.
-func (t *Task) Trace(ev Event) { t.k.emitThread(t.th, ev) }
+// Trace emits a trace event stamped with the thread's identity. Page-fault
+// traps are additionally tallied in the kernel's always-on counter block,
+// with or without a tracer attached.
+func (t *Task) Trace(ev Event) {
+	if ev.Kind == EvTrap {
+		t.k.stats.Traps++
+	}
+	t.k.emitThread(t.th, ev)
+}
 
 // Mark emits an EvMark event with the given label.
 func (t *Task) Mark(label string) { t.Trace(Event{Kind: EvMark, Label: label}) }

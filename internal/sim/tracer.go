@@ -64,6 +64,28 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// eventKindByName inverts eventKindNames for parsing serialized traces.
+var eventKindByName = func() map[string]EventKind {
+	m := make(map[string]EventKind, len(eventKindNames))
+	for k, name := range eventKindNames {
+		if name != "" {
+			m[name] = EventKind(k)
+		}
+	}
+	return m
+}()
+
+// ParseEventKind resolves the short name produced by EventKind.String back
+// to the kind, for trace import (JSONL decoders) and CLI kind filters.
+func ParseEventKind(name string) (EventKind, bool) {
+	k, ok := eventKindByName[name]
+	return k, ok
+}
+
+// EventKindCount is the number of defined event kinds (for filters that
+// iterate or bitmask over kinds).
+const EventKindCount = len(eventKindNames)
+
 // Event is one timestamped trace record.
 type Event struct {
 	T     Time

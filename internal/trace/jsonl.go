@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"tocttou/internal/sim"
+)
+
+// Filter selects which events a JSONL export keeps. The zero value keeps
+// everything.
+type Filter struct {
+	// Kinds restricts to the listed event kinds; empty means all kinds.
+	Kinds []sim.EventKind
+	// PID restricts to one process; 0 means all processes.
+	PID int32
+	// Path restricts to events carrying exactly this path; "" means all.
+	Path string
+}
+
+// compile flattens the kind list into a mask for O(1) matching.
+func (f Filter) compile() (mask [sim.EventKindCount]bool, anyKind bool) {
+	if len(f.Kinds) == 0 {
+		return mask, true
+	}
+	for _, k := range f.Kinds {
+		if int(k) < len(mask) {
+			mask[k] = true
+		}
+	}
+	return mask, false
+}
+
+// Match reports whether the filter keeps the event.
+func (f Filter) Match(e sim.Event) bool {
+	if len(f.Kinds) > 0 {
+		ok := false
+		for _, k := range f.Kinds {
+			if e.Kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.PID != 0 && e.PID != f.PID {
+		return false
+	}
+	if f.Path != "" && e.Path != f.Path {
+		return false
+	}
+	return true
+}
+
+// JSONLWriter streams events as one JSON object per line. It implements
+// sim.Tracer, so it can be attached directly to a kernel and write events
+// as the round executes, with no intermediate event slice. Encoding is
+// hand-appended into one reused buffer: the only steady-state allocations
+// are bufio's flushes to the underlying writer.
+//
+// Schema per line (keys in this order):
+//
+//	{"t_ns":<int64>,"kind":"<EventKind.String>","cpu":N,"pid":N,"tid":N,
+//	 "label":"...","path":"...","arg":N}
+//
+// label and path are omitted when empty, arg when zero. t_ns is the
+// event's virtual timestamp in integer nanoseconds, so a decode is exact
+// (no float round-trip).
+type JSONLWriter struct {
+	bw       *bufio.Writer
+	buf      []byte
+	kindMask [sim.EventKindCount]bool
+	anyKind  bool
+	pid      int32
+	path     string
+	count    int64
+	err      error
+}
+
+var _ sim.Tracer = (*JSONLWriter)(nil)
+
+// NewJSONLWriter wraps w for streaming export of events passing the filter.
+// Call Flush when the run completes; errors from the underlying writer are
+// sticky and reported there.
+func NewJSONLWriter(w io.Writer, f Filter) *JSONLWriter {
+	jw := &JSONLWriter{
+		bw:   bufio.NewWriterSize(w, 1<<16),
+		buf:  make([]byte, 0, 192),
+		pid:  f.PID,
+		path: f.Path,
+	}
+	jw.kindMask, jw.anyKind = f.compile()
+	return jw
+}
+
+// Emit implements sim.Tracer.
+func (jw *JSONLWriter) Emit(e sim.Event) {
+	if jw.err != nil {
+		return
+	}
+	if !jw.anyKind && (int(e.Kind) >= len(jw.kindMask) || !jw.kindMask[e.Kind]) {
+		return
+	}
+	if jw.pid != 0 && e.PID != jw.pid {
+		return
+	}
+	if jw.path != "" && e.Path != jw.path {
+		return
+	}
+	buf := append(jw.buf[:0], `{"t_ns":`...)
+	buf = strconv.AppendInt(buf, int64(e.T), 10)
+	buf = append(buf, `,"kind":`...)
+	buf = appendJSONString(buf, e.Kind.String())
+	buf = append(buf, `,"cpu":`...)
+	buf = strconv.AppendInt(buf, int64(e.CPU), 10)
+	buf = append(buf, `,"pid":`...)
+	buf = strconv.AppendInt(buf, int64(e.PID), 10)
+	buf = append(buf, `,"tid":`...)
+	buf = strconv.AppendInt(buf, int64(e.TID), 10)
+	if e.Label != "" {
+		buf = append(buf, `,"label":`...)
+		buf = appendJSONString(buf, e.Label)
+	}
+	if e.Path != "" {
+		buf = append(buf, `,"path":`...)
+		buf = appendJSONString(buf, e.Path)
+	}
+	if e.Arg != 0 {
+		buf = append(buf, `,"arg":`...)
+		buf = strconv.AppendInt(buf, e.Arg, 10)
+	}
+	buf = append(buf, '}', '\n')
+	jw.buf = buf
+	if _, err := jw.bw.Write(buf); err != nil {
+		jw.err = err
+		return
+	}
+	jw.count++
+}
+
+// Count returns the number of events written so far.
+func (jw *JSONLWriter) Count() int64 { return jw.count }
+
+// Flush drains the buffer and returns the first error encountered during
+// the export, if any.
+func (jw *JSONLWriter) Flush() error {
+	if jw.err != nil {
+		return jw.err
+	}
+	jw.err = jw.bw.Flush()
+	return jw.err
+}
+
+// appendJSONString appends s as a JSON string literal, escaping the
+// characters JSON requires (quotes, backslashes, control bytes). Event
+// labels and paths are ASCII in practice, so the fast path is a straight
+// byte copy.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '"' && c != '\\' && c >= 0x20 {
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		switch c {
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+		start = i + 1
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+// WriteJSONL exports an already-recorded event slice through the filter.
+func WriteJSONL(w io.Writer, events []sim.Event, f Filter) error {
+	jw := NewJSONLWriter(w, f)
+	for _, e := range events {
+		jw.Emit(e)
+	}
+	return jw.Flush()
+}
+
+// jsonlEvent mirrors the export schema for decoding.
+type jsonlEvent struct {
+	TNs   int64  `json:"t_ns"`
+	Kind  string `json:"kind"`
+	CPU   int32  `json:"cpu"`
+	PID   int32  `json:"pid"`
+	TID   int32  `json:"tid"`
+	Label string `json:"label"`
+	Path  string `json:"path"`
+	Arg   int64  `json:"arg"`
+}
+
+// ReadJSONL decodes a JSONL export back into events. Blank lines are
+// skipped; an unknown kind name or malformed line is an error naming the
+// offending line number.
+func ReadJSONL(r io.Reader) ([]sim.Event, error) {
+	var events []sim.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(line, &je); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", lineno, err)
+		}
+		kind, ok := sim.ParseEventKind(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("trace: jsonl line %d: unknown event kind %q", lineno, je.Kind)
+		}
+		events = append(events, sim.Event{
+			T: sim.Time(je.TNs), Kind: kind,
+			CPU: je.CPU, PID: je.PID, TID: je.TID,
+			Label: je.Label, Path: je.Path, Arg: je.Arg,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: jsonl line %d: %w", lineno, err)
+	}
+	return events, nil
+}

@@ -1,0 +1,351 @@
+package trace_test
+
+// Regression tests for the binary-searched Log queries and the export
+// paths, run against a real recorded round trace rather than a synthetic
+// one: the queries must answer identically to straightforward linear
+// reference scans, and the JSONL export must round-trip exactly.
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tocttou/internal/attack"
+	"tocttou/internal/core"
+	"tocttou/internal/machine"
+	"tocttou/internal/sim"
+	"tocttou/internal/trace"
+	"tocttou/internal/victim"
+)
+
+// recordRound runs one traced vi round on the SMP testbed and returns its
+// event log. The scenario matches the paper's Figure 7 setup so the trace
+// exercises every event kind the queries care about.
+func recordRound(t testing.TB) []sim.Event {
+	t.Helper()
+	round, err := core.RunRound(core.Scenario{
+		Machine:    machine.SMP2(),
+		Victim:     victim.NewVi(),
+		Attacker:   attack.NewV1(),
+		UseSyscall: "chown",
+		FileSize:   512 << 10,
+		Seed:       424243,
+		Trace:      true,
+	})
+	if err != nil {
+		t.Fatalf("record round: %v", err)
+	}
+	if len(round.Events) < 100 {
+		t.Fatalf("recorded only %d events; want a substantial trace", len(round.Events))
+	}
+	return round.Events
+}
+
+// The naive references below are the pre-optimization linear scans; the
+// binary-searched implementations must agree with them on every probe.
+
+func naiveFirstSyscall(events []sim.Event, kind sim.EventKind, pid int32, name, path string, from sim.Time) (sim.Time, bool) {
+	for _, e := range events {
+		if e.T < from || e.Kind != kind || e.PID != pid || e.Label != name {
+			continue
+		}
+		if path != "" && e.Path != path {
+			continue
+		}
+		return e.T, true
+	}
+	return 0, false
+}
+
+func naiveLastSyscallEnterBefore(events []sim.Event, pid int32, name, path string, limit sim.Time) (sim.Time, bool) {
+	var found bool
+	var at sim.Time
+	for _, e := range events {
+		if e.T >= limit {
+			break
+		}
+		if e.Kind != sim.EvSyscallEnter || e.PID != pid || e.Label != name {
+			continue
+		}
+		if path != "" && e.Path != path {
+			continue
+		}
+		at, found = e.T, true
+	}
+	return at, found
+}
+
+func naiveSuspendedInWindow(events []sim.Event, pid int32, from, to sim.Time) bool {
+	for _, e := range events {
+		if e.T < from {
+			continue
+		}
+		if e.T > to {
+			break
+		}
+		if e.PID != pid {
+			continue
+		}
+		switch e.Kind {
+		case sim.EvPreempt, sim.EvBlock, sim.EvIOBlock, sim.EvSemBlock:
+			return true
+		}
+	}
+	return false
+}
+
+func TestQueriesMatchNaiveOnRecordedTrace(t *testing.T) {
+	events := recordRound(t)
+	l := trace.New(events)
+
+	// Every (pid, syscall, path) combination present in the trace, plus a
+	// few that are not.
+	type key struct {
+		pid  int32
+		name string
+		path string
+	}
+	keys := map[key]bool{}
+	for _, e := range events {
+		if e.Kind == sim.EvSyscallEnter {
+			keys[key{e.PID, e.Label, ""}] = true
+			keys[key{e.PID, e.Label, e.Path}] = true
+		}
+	}
+	keys[key{1, "open", "/no/such/path"}] = true
+	keys[key{99, "open", ""}] = true
+
+	// Probe times: boundaries, every 7th event's timestamp and its ±1ns
+	// neighbors — these land exactly on, just before, and just after real
+	// events, the off-by-one hot spots for a binary-searched bound.
+	probes := []sim.Time{0, 1, events[len(events)-1].T, events[len(events)-1].T + 1}
+	for i := 0; i < len(events); i += 7 {
+		probes = append(probes, events[i].T-1, events[i].T, events[i].T+1)
+	}
+
+	checked := 0
+	for k := range keys {
+		for _, from := range probes {
+			gotT, gotOK := l.FirstSyscallEnter(k.pid, k.name, k.path, from)
+			wantT, wantOK := naiveFirstSyscall(events, sim.EvSyscallEnter, k.pid, k.name, k.path, from)
+			if gotT != wantT || gotOK != wantOK {
+				t.Fatalf("FirstSyscallEnter(%d, %q, %q, %v) = %v,%v; naive %v,%v",
+					k.pid, k.name, k.path, from, gotT, gotOK, wantT, wantOK)
+			}
+			gotT, gotOK = l.FirstSyscallExit(k.pid, k.name, k.path, from)
+			wantT, wantOK = naiveFirstSyscall(events, sim.EvSyscallExit, k.pid, k.name, k.path, from)
+			if gotT != wantT || gotOK != wantOK {
+				t.Fatalf("FirstSyscallExit(%d, %q, %q, %v) = %v,%v; naive %v,%v",
+					k.pid, k.name, k.path, from, gotT, gotOK, wantT, wantOK)
+			}
+			gotT, gotOK = l.LastSyscallEnterBefore(k.pid, k.name, k.path, from)
+			wantT, wantOK = naiveLastSyscallEnterBefore(events, k.pid, k.name, k.path, from)
+			if gotT != wantT || gotOK != wantOK {
+				t.Fatalf("LastSyscallEnterBefore(%d, %q, %q, %v) = %v,%v; naive %v,%v",
+					k.pid, k.name, k.path, from, gotT, gotOK, wantT, wantOK)
+			}
+			checked += 3
+		}
+	}
+	for _, pid := range []int32{1, 2, 99} {
+		for i := 0; i < len(probes); i += 3 {
+			for j := i; j < len(probes); j += 5 {
+				from, to := probes[i], probes[j]
+				if got, want := l.SuspendedInWindow(pid, from, to), naiveSuspendedInWindow(events, pid, from, to); got != want {
+					t.Fatalf("SuspendedInWindow(%d, %v, %v) = %v; naive %v", pid, from, to, got, want)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d query probes executed; regression coverage too thin", checked)
+	}
+}
+
+// TestWriteCSVMatchesEncodingCSV pins the hand-rolled CSV writer to the
+// exact byte output of the encoding/csv implementation it replaced,
+// including quoting of awkward fields.
+func TestWriteCSVMatchesEncodingCSV(t *testing.T) {
+	events := recordRound(t)
+	events = append(events,
+		sim.Event{T: 1, Kind: sim.EvMark, Label: `comma,inside`, Path: `quote"inside`},
+		sim.Event{T: 2, Kind: sim.EvMark, Label: " leading-space", Arg: -7},
+	)
+
+	var got bytes.Buffer
+	if err := trace.WriteCSV(&got, events); err != nil {
+		t.Fatal(err)
+	}
+
+	var want bytes.Buffer
+	cw := csv.NewWriter(&want)
+	cw.Write([]string{"t_us", "kind", "cpu", "pid", "tid", "label", "path", "arg"})
+	for _, e := range events {
+		cw.Write([]string{
+			fmt.Sprintf("%.3f", e.T.Micros()),
+			e.Kind.String(),
+			strconv.Itoa(int(e.CPU)),
+			strconv.Itoa(int(e.PID)),
+			strconv.Itoa(int(e.TID)),
+			e.Label,
+			e.Path,
+			strconv.FormatInt(e.Arg, 10),
+		})
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("CSV output diverged from encoding/csv reference\ngot  %d bytes\nwant %d bytes", got.Len(), want.Len())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := recordRound(t)
+	events = append(events, sim.Event{
+		T: events[len(events)-1].T + 1, Kind: sim.EvMark,
+		Label: "odd \"label\"\twith\nescapes\x01", Path: `C:\not\a\unix\path`, Arg: -42,
+	})
+
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, events, trace.Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round-trip length = %d, want %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Fatalf("event %d round-trip mismatch:\ngot  %+v\nwant %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestJSONLFilter(t *testing.T) {
+	events := recordRound(t)
+	// Derive the probe filters from the trace itself so each one is
+	// guaranteed to select a non-empty, proper subset.
+	var somePID int32
+	var somePath string
+	for _, e := range events {
+		if e.Kind == sim.EvSyscallEnter && e.PID != 0 && e.Path != "" {
+			somePID, somePath = e.PID, e.Path
+			break
+		}
+	}
+	if somePID == 0 || somePath == "" {
+		t.Fatal("recorded trace has no syscall with a pid and path")
+	}
+	filters := []trace.Filter{
+		{Kinds: []sim.EventKind{sim.EvSyscallEnter, sim.EvSyscallExit}},
+		{PID: somePID},
+		{Path: somePath},
+		{Kinds: []sim.EventKind{sim.EvSyscallEnter}, PID: somePID, Path: somePath},
+	}
+	for _, f := range filters {
+		var buf bytes.Buffer
+		if err := trace.WriteJSONL(&buf, events, f); err != nil {
+			t.Fatal(err)
+		}
+		back, err := trace.ReadJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []sim.Event
+		for _, e := range events {
+			if f.Match(e) {
+				want = append(want, e)
+			}
+		}
+		if len(back) != len(want) {
+			t.Fatalf("filter %+v kept %d events, want %d", f, len(back), len(want))
+		}
+		for i := range want {
+			if back[i] != want[i] {
+				t.Fatalf("filter %+v event %d mismatch", f, i)
+			}
+		}
+		if len(f.Kinds) > 0 && len(want) == 0 {
+			t.Fatalf("filter %+v matched nothing; pick a filter the trace exercises", f)
+		}
+	}
+}
+
+func TestReadJSONLRejectsMalformed(t *testing.T) {
+	if _, err := trace.ReadJSONL(strings.NewReader(`{"t_ns":1,"kind":"no-such-kind"}` + "\n")); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if _, err := trace.ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed JSON must error")
+	}
+	events, err := trace.ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Errorf("blank lines = %v, %v; want empty, nil", events, err)
+	}
+}
+
+// bigTrace tiles one recorded round out to n events for export benchmarks.
+func bigTrace(tb testing.TB, n int) []sim.Event {
+	base := recordRound(tb)
+	out := make([]sim.Event, 0, n)
+	var shift sim.Time
+	for len(out) < n {
+		for _, e := range base {
+			if len(out) >= n {
+				break
+			}
+			e.T += shift
+			out = append(out, e)
+		}
+		shift = out[len(out)-1].T + 1
+	}
+	return out
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	events := bigTrace(b, 65536)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := trace.WriteCSV(io.Discard, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(events)))
+}
+
+func BenchmarkWriteJSONL(b *testing.B) {
+	events := bigTrace(b, 65536)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := trace.WriteJSONL(io.Discard, events, trace.Filter{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(events)))
+}
+
+func BenchmarkLogQueries(b *testing.B) {
+	events := bigTrace(b, 65536)
+	l := trace.New(events)
+	last := events[len(events)-1].T
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := sim.Time(int64(i) % int64(last))
+		l.FirstSyscallEnter(1, "chown", "", from)
+		l.FirstSyscallExit(1, "chown", "", from)
+		l.LastSyscallEnterBefore(2, "stat", "", from)
+	}
+}
