@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline bench-sweep bench-guard
+.PHONY: check vet build test race bench bench-baseline bench-sweep bench-guard golden golden-check
 
 # check is the gate every change must pass: vet, build, the full test
 # suite, and a race-detector pass over the parallel campaign worker pool
@@ -17,9 +17,9 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ -run 'Campaign|Sweep|Adaptive|FindRound|OnRound|Aborted'
+	$(GO) test -race ./internal/core/ -run 'Campaign|Sweep|Adaptive|FindRound|OnRound|Aborted|Explore'
 	$(GO) test -race ./internal/experiments/ -run 'Sweep|Adaptive'
-	$(GO) test -race ./internal/sim/
+	$(GO) test -race ./internal/sim/ ./internal/metrics/ ./internal/trace/ ./internal/explore/
 
 # bench runs the per-layer microbenchmarks (see DESIGN.md's Performance
 # section for the benchstat comparison workflow).
@@ -42,3 +42,18 @@ bench-sweep:
 # the record with bench-sweep when moving machines.
 bench-guard:
 	$(GO) run ./cmd/tocttou -bench-guard
+
+# golden refreshes the committed experiment snapshots. Run it after a
+# deliberate output change and review the diff before committing.
+GOLDEN_EXPERIMENTS = fig6,headline,eq1-exact
+golden:
+	$(GO) run ./cmd/tocttou -experiment $(GOLDEN_EXPERIMENTS) -golden testdata/golden
+
+# golden-check regenerates the snapshots into a scratch directory and
+# diffs them against the committed ones, failing on any drift.
+golden-check:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/tocttou -experiment $(GOLDEN_EXPERIMENTS) -golden $$tmp && \
+	diff -ru testdata/golden $$tmp && \
+	rm -rf $$tmp && \
+	echo "golden-check: snapshots match"

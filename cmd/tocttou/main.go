@@ -5,6 +5,8 @@
 //	tocttou -list
 //	tocttou -experiment fig6 [-rounds N] [-seed S] [-sizes 100,500,1000] [-metrics]
 //	tocttou -experiment all [-adaptive [-halfwidth 0.02] [-minrounds 50]]
+//	tocttou -experiment fig6,headline,eq1-exact -golden testdata/golden
+//	tocttou -explore [-sizes 100,500] [-explore-phases 24] [-preemption-bound 1] [-witness-out prefix]
 //	tocttou -trace-out trace.jsonl [-trace-scenario vi-smp] [-trace-kinds enter,exit] [-trace-pid 2] [-trace-path /tmp/x]
 //	tocttou -bench-baseline [-bench-out BENCH_1.json]
 //	tocttou -sweep [-adaptive] [-halfwidth 0.02] [-sweep-out BENCH_2.json]
@@ -65,19 +67,30 @@ func run(args []string) error {
 	benchGuard := fl.Bool("bench-guard", false, "re-time the Fig 6 sweep and fail if it regressed vs -bench-against")
 	benchAgainst := fl.String("bench-against", "BENCH_2.json", "committed baseline record for -bench-guard")
 	benchTol := fl.Float64("bench-tolerance", 0.10, "allowed fractional slowdown for -bench-guard")
+	explore := fl.Bool("explore", false, "exhaustively enumerate the schedule space of fig6 uniprocessor points (-sizes) and report exact win probabilities")
+	explorePhases := fl.Int("explore-phases", 0, "startup-phase slots for -explore (0 = engine default)")
+	preemptionBound := fl.Int("preemption-bound", 0, "max injected background preemptions per explored round (0 = none)")
+	witnessOut := fl.String("witness-out", "", "path prefix for -explore witness traces (<prefix>-<point>-win.jsonl / -lose.jsonl)")
+	goldenDir := fl.String("golden", "", "write each -experiment rendering to <dir>/<name>.txt instead of stdout")
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
 
 	// Reject contradictory or out-of-range adaptive settings up front
 	// instead of silently running with them.
-	var halfWidthSet, minRoundsSet bool
+	var halfWidthSet, minRoundsSet, explorePhasesSet, preemptionBoundSet, witnessOutSet bool
 	fl.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "halfwidth":
 			halfWidthSet = true
 		case "minrounds":
 			minRoundsSet = true
+		case "explore-phases":
+			explorePhasesSet = true
+		case "preemption-bound":
+			preemptionBoundSet = true
+		case "witness-out":
+			witnessOutSet = true
 		}
 	})
 	if halfWidthSet && !*adaptive {
@@ -85,6 +98,24 @@ func run(args []string) error {
 	}
 	if minRoundsSet && !*adaptive {
 		return fmt.Errorf("-minrounds only applies with -adaptive; add -adaptive or drop -minrounds")
+	}
+	if explorePhasesSet && !*explore {
+		return fmt.Errorf("-explore-phases only applies with -explore")
+	}
+	if preemptionBoundSet && !*explore {
+		return fmt.Errorf("-preemption-bound only applies with -explore")
+	}
+	if witnessOutSet && !*explore {
+		return fmt.Errorf("-witness-out only applies with -explore")
+	}
+	if *explorePhases < 0 {
+		return fmt.Errorf("-explore-phases must be >= 0, got %d", *explorePhases)
+	}
+	if *preemptionBound < 0 {
+		return fmt.Errorf("-preemption-bound must be >= 0, got %d", *preemptionBound)
+	}
+	if *goldenDir != "" && *name == "" {
+		return fmt.Errorf("-golden requires -experiment (the experiments to snapshot)")
 	}
 	if *adaptive && (*halfWidth <= 0 || *halfWidth >= 1) {
 		return fmt.Errorf("-halfwidth must be strictly between 0 and 1 (a success-rate half-width), got %v", *halfWidth)
@@ -94,6 +125,17 @@ func run(args []string) error {
 	}
 	if *benchTol <= 0 {
 		return fmt.Errorf("-bench-tolerance must be > 0, got %v", *benchTol)
+	}
+
+	var sizes []int
+	if *sizesArg != "" {
+		for _, s := range strings.Split(*sizesArg, ",") {
+			kb, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || kb <= 0 {
+				return fmt.Errorf("bad size %q", s)
+			}
+			sizes = append(sizes, kb)
+		}
 	}
 
 	if *benchBase {
@@ -107,6 +149,9 @@ func run(args []string) error {
 	}
 	if *traceOut != "" {
 		return traceExport(*traceOut, *traceScen, *seed, *traceKinds, *tracePID, *tracePath)
+	}
+	if *explore {
+		return exploreRun(sizes, *seed, *explorePhases, *preemptionBound, *rounds, *witnessOut)
 	}
 
 	if *list || *name == "" {
@@ -129,25 +174,43 @@ func run(args []string) error {
 		opt.AdaptiveHalfWidth = *halfWidth
 		opt.MinRounds = *minRounds
 	}
-	if *sizesArg != "" {
-		for _, s := range strings.Split(*sizesArg, ",") {
-			kb, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || kb <= 0 {
-				return fmt.Errorf("bad size %q", s)
-			}
-			opt.Sizes = append(opt.Sizes, kb)
-		}
-	}
+	opt.Sizes = sizes
 
-	names := []string{*name}
-	if *name == "all" {
+	names := strings.Split(*name, ",")
+	for i, n := range names {
+		names[i] = strings.TrimSpace(n)
+	}
+	if len(names) == 1 && names[0] == "all" {
 		names = experiments.Names()
+	}
+	if *goldenDir != "" {
+		if err := os.MkdirAll(*goldenDir, 0o755); err != nil {
+			return err
+		}
 	}
 	for _, n := range names {
 		started := time.Now()
 		res, err := experiments.Run(n, opt)
 		if err != nil {
 			return err
+		}
+		if *goldenDir != "" {
+			// Golden snapshots carry the rendering only — no wall-time
+			// header, so reruns diff clean.
+			path := *goldenDir + "/" + n + ".txt"
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := res.Render(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+			continue
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n", n, time.Since(started).Seconds())
 		if err := res.Render(os.Stdout); err != nil {
@@ -156,6 +219,95 @@ func run(args []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// exploreRun exhaustively enumerates the schedule space of fig6-style
+// uniprocessor vi points and prints each point's exact win probability
+// next to its Monte Carlo cross-check. With a witness prefix it also
+// exports the minimal winning and losing schedules as replayable JSONL
+// traces.
+func exploreRun(sizes []int, seed int64, phases, preemptionBound, mcRounds int, witnessPrefix string) error {
+	if len(sizes) == 0 {
+		sizes = []int{100, 500}
+	}
+	if seed == 0 {
+		seed = 23003
+	}
+	opt := core.ExploreOptions{
+		PhaseSlots:      phases,
+		PreemptionBound: preemptionBound,
+		MCRounds:        mcRounds,
+	}
+	m := machine.Uniprocessor()
+	for i, kb := range sizes {
+		sc := core.Scenario{
+			Machine:    m,
+			Victim:     victim.NewVi(),
+			Attacker:   attack.NewV1(),
+			UseSyscall: "chown",
+			FileSize:   int64(kb) << 10,
+			Seed:       seed + int64(i),
+		}
+		started := time.Now()
+		res, err := core.ExploreCampaign(sc, opt)
+		if err != nil {
+			return fmt.Errorf("explore vi %dKB: %w", kb, err)
+		}
+		label := fmt.Sprintf("vi-%dkb-up", kb)
+		fmt.Printf("%s: exact P(win) = %.6f — %d paths, %d choice points, %d merged, depth %d (%.1fs)\n",
+			label, res.ExactProb(),
+			res.Paths, res.ChoicePoints, res.Merged, res.MaxDepth,
+			time.Since(started).Seconds())
+		if res.MCRounds > 0 {
+			lo, hi := res.MCInterval()
+			verdict := "agrees"
+			if !res.AgreesWithMC() {
+				verdict = "DISAGREES"
+			}
+			fmt.Printf("%s: MC cross-check %.6f over %d rounds, 95%% CI [%.4f, %.4f] — %s\n",
+				label, res.MC.Proportion().Rate(), res.MCRounds, lo, hi, verdict)
+		}
+		for _, w := range []struct {
+			kind    string
+			witness *core.ScheduleWitness
+		}{{"win", res.Win}, {"lose", res.Lose}} {
+			if w.witness == nil {
+				fmt.Printf("%s: no %sning schedule exists\n", label, w.kind)
+				continue
+			}
+			p, _ := w.witness.Prob.Float64()
+			fmt.Printf("%s: minimal %s schedule: %d decision(s), P=%.6f\n",
+				label, w.kind, len(w.witness.Script), p)
+			if witnessPrefix == "" {
+				continue
+			}
+			path := fmt.Sprintf("%s-%s-%s.jsonl", witnessPrefix, label, w.kind)
+			if err := writeWitness(path, w.witness); err != nil {
+				return err
+			}
+			fmt.Printf("%s: wrote %s (%d events)\n", label, path, len(w.witness.Round.Events))
+		}
+	}
+	return nil
+}
+
+// writeWitness exports a witness round's traced events as JSONL. The
+// embedded EvChoice records carry the schedule, so the file replays via
+// trace.ReadJSONL + core.ScheduleFromEvents + core.ReplaySchedule.
+func writeWitness(path string, w *core.ScheduleWitness) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	jw := trace.NewJSONLWriter(f, trace.Filter{})
+	for _, e := range w.Round.Events {
+		jw.Emit(e)
+	}
+	if err := jw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // benchRecord is the machine-readable perf baseline one -bench-baseline run

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -98,6 +99,30 @@ type Scenario struct {
 	// internal/defense). A fresh guard per round keeps campaign rounds
 	// independent and parallel-safe.
 	NewGuard func() fs.Guard
+	// Chooser, when non-nil, replaces every stochastic element of the
+	// round with an explicit choice point: the victim's startup phase
+	// (see PhaseSlots), dispatch ties, semaphore wake order, storage
+	// stalls (fixed median duration, bounded by StallBound), and
+	// background noise (see NoiseSlots). Implementations must be safe
+	// for concurrent use when the scenario runs in a campaign
+	// (sim.RandomChooser and other stateless choosers are).
+	Chooser sim.Chooser
+	// PhaseSlots discretizes the victim's uniform startup delay into
+	// that many equally likely slots (midpoints of [0, VictimStartupMax))
+	// when a Chooser is set. Zero keeps the continuous RNG draw.
+	PhaseSlots int
+	// NoiseSlots forwards the bounded noise-injection model to the
+	// kernel when a Chooser is set (see sim.NoiseSlotConfig).
+	NoiseSlots sim.NoiseSlotConfig
+	// StallBound caps chooser-driven storage stalls per round
+	// (sim.Config.StallBound); 0 = unbounded.
+	StallBound int
+	// Horizon, when positive, truncates the round at that virtual time
+	// and evaluates the outcome as-is (the attack either already landed
+	// or it lost). Exploration uses it to bound the schedule tree of
+	// loaded scenarios, where delay branches otherwise stretch rounds —
+	// and stack choice points — without limit.
+	Horizon time.Duration
 	// Paths overrides the fixture layout when non-zero.
 	Paths *Paths
 }
@@ -192,6 +217,12 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 		simTracer = tracer
 	}
 	simCfg := sc.Machine.SimConfig(sc.Seed, simTracer)
+	simCfg.Chooser = sc.Chooser
+	simCfg.NoiseSlots = sc.NoiseSlots
+	simCfg.StallBound = sc.StallBound
+	if sc.Horizon > 0 {
+		simCfg.MaxTime = sc.Horizon
+	}
 	fsCfg := fs.Config{
 		Latency:               sc.Machine.Latency,
 		TrackContent:          sc.TrackContent,
@@ -235,7 +266,16 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 	victimImg := userland.NewImage(sc.Machine.TrapCost, true)
 	attackerImg := userland.NewImage(sc.Machine.TrapCost, false)
 
-	startup := stats.UniformDuration(k.RNG(), 0, sc.VictimStartupMax)
+	var startup time.Duration
+	if sc.Chooser != nil && sc.PhaseSlots > 0 {
+		// Discretized phase: a uniform pick among slot midpoints, so
+		// exploration enumerates the phases exactly and a RandomChooser
+		// campaign samples the identical distribution.
+		slot := k.ChooseIndex(sim.ChoosePhase, sc.PhaseSlots, nil)
+		startup = time.Duration(int64(2*slot+1) * int64(sc.VictimStartupMax) / int64(2*sc.PhaseSlots))
+	} else {
+		startup = stats.UniformDuration(k.RNG(), 0, sc.VictimStartupMax)
+	}
 	var victimErr, attackerErr error
 	k.Spawn(victimProc, "victim", func(t *sim.Task) {
 		// Editor activity before the save: randomizes the window's phase
@@ -251,11 +291,14 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 	if sc.LoadThreads > 0 {
 		loadProc = k.NewProcess("load", 2000, 2000)
 		for i := 0; i < sc.LoadThreads; i++ {
-			k.Spawn(loadProc, hogName(i), func(t *sim.Task) {
+			hog := k.Spawn(loadProc, hogName(i), func(t *sim.Task) {
 				for !t.Killed() {
 					t.Compute(200 * time.Microsecond)
 				}
 			})
+			// The hogs run identical closures, so exploration may merge
+			// dispatch picks among hogs with equal remaining compute.
+			hog.SetScheduleClass(1)
 		}
 	}
 	k.OnProcessExit(func(proc *sim.Process) {
@@ -268,7 +311,10 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 		}
 	})
 	if err := k.Run(); err != nil {
-		return Round{}, fmt.Errorf("core: round simulation: %w", err)
+		// Hitting a configured horizon is a truncated round, not a failure.
+		if sc.Horizon <= 0 || !errors.Is(err, sim.ErrMaxTime) {
+			return Round{}, fmt.Errorf("core: round simulation: %w", err)
+		}
 	}
 
 	round := Round{

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"math/big"
+	"reflect"
+	"testing"
+	"time"
+
+	"tocttou/internal/machine"
+	"tocttou/internal/trace"
+)
+
+// TestExploreCampaignNaiveMatchesPruned: on a real vi round with
+// background load, pruned exploration (hog dispatch-class merging) and
+// naive full enumeration must compute the identical exact win probability.
+// The loaded round needs a short quantum (so the victim regains the CPU)
+// and a horizon (delay branches otherwise stack choice points without
+// bound); P(win) is a nontrivial ~0.25 here, so the equality below
+// compares a real quantity, not 0 == 0.
+func TestExploreCampaignNaiveMatchesPruned(t *testing.T) {
+	sc := viSc(machine.Uniprocessor(), 100<<10, 601, false)
+	sc.LoadThreads = 2
+	sc.VictimStartupMax = time.Millisecond
+	sc.Machine.Quantum = time.Millisecond
+	opt := ExploreOptions{PhaseSlots: 2, MCRounds: -1, Horizon: 5 * time.Millisecond}
+	pruned, err := ExploreCampaign(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Naive = true
+	naive, err := ExploreCampaign(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Exact.Cmp(naive.Exact) != 0 {
+		t.Fatalf("pruned exact %s != naive exact %s",
+			pruned.Exact.RatString(), naive.Exact.RatString())
+	}
+	if pruned.Exact.Sign() <= 0 || pruned.Exact.Cmp(big.NewRat(1, 1)) >= 0 {
+		t.Fatalf("degenerate exact probability %s", pruned.Exact.RatString())
+	}
+	if pruned.Merged == 0 {
+		t.Fatal("expected dispatch-class merges from the two interchangeable hogs")
+	}
+	if pruned.Paths >= naive.Paths {
+		t.Fatalf("pruning saved nothing: %d paths vs naive %d", pruned.Paths, naive.Paths)
+	}
+}
+
+// TestExploreCampaignNoiseNaiveMatchesPruned covers the no-op noise-slot
+// prune on the real system: with a preemption bound the kernel elides
+// choice points at slots where a burst could not change anything; that
+// elision must not move the exact probability.
+func TestExploreCampaignNoiseNaiveMatchesPruned(t *testing.T) {
+	sc := viSc(machine.Uniprocessor(), 100<<10, 607, false)
+	sc.VictimStartupMax = 2 * time.Millisecond
+	opt := ExploreOptions{PhaseSlots: 2, PreemptionBound: 1, MCRounds: -1}
+	pruned, err := ExploreCampaign(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Naive = true
+	naive, err := ExploreCampaign(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Exact.Cmp(naive.Exact) != 0 {
+		t.Fatalf("pruned exact %s != naive exact %s",
+			pruned.Exact.RatString(), naive.Exact.RatString())
+	}
+	if pruned.Exact.Sign() <= 0 {
+		t.Fatalf("degenerate exact probability %s", pruned.Exact.RatString())
+	}
+	if pruned.Paths >= naive.Paths {
+		t.Fatalf("no-op prune saved nothing: %d paths vs naive %d", pruned.Paths, naive.Paths)
+	}
+}
+
+// TestExploreCampaignAgreesWithMC: the exact probability must land inside
+// the Monte Carlo cross-check's 95% Wilson interval, on both a marginal
+// uniprocessor point and a near-certain SMP point.
+func TestExploreCampaignAgreesWithMC(t *testing.T) {
+	cases := []struct {
+		name string
+		m    machine.Profile
+	}{
+		{"uniprocessor", machine.Uniprocessor()},
+		{"smp2", machine.SMP2()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := viSc(tc.m, 100<<10, 613, false)
+			res, err := ExploreCampaign(sc, ExploreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AgreesWithMC() {
+				lo, hi := res.MCInterval()
+				t.Fatalf("exact %.6f outside MC 95%% interval [%.6f, %.6f] (%d/%d rounds)",
+					res.ExactProb(), lo, hi, res.MC.Successes, res.MCRounds)
+			}
+		})
+	}
+}
+
+// TestExploreWitnessRoundTrip: a winning witness must survive JSONL export
+// and re-import, and the recovered schedule must replay to a win — the
+// acceptance path for -witness-out files.
+func TestExploreWitnessRoundTrip(t *testing.T) {
+	sc := viSc(machine.Uniprocessor(), 500<<10, 617, false)
+	opt := ExploreOptions{PhaseSlots: 8, MCRounds: -1}
+	res, err := ExploreCampaign(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Win == nil {
+		t.Fatal("expected a winning witness at 500KB")
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, res.Win.Round.Events, trace.Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := ScheduleFromEvents(events)
+	if !reflect.DeepEqual(script, res.Win.Script) {
+		t.Fatalf("schedule did not round-trip: got %v, want %v", script, res.Win.Script)
+	}
+	r, err := ReplaySchedule(ExploreScenario(sc, opt), script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Success {
+		t.Fatal("replayed winning schedule did not win")
+	}
+	// The losing witness replays the same way.
+	if res.Lose != nil {
+		r, err := ReplaySchedule(ExploreScenario(sc, opt), res.Lose.Script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Success {
+			t.Fatal("replayed losing schedule won")
+		}
+	}
+}
+
+// TestExploreWitnessProbabilities: witness probabilities are genuine leaf
+// weights — positive, at most the total win probability for the winning
+// witness.
+func TestExploreWitnessProbabilities(t *testing.T) {
+	sc := viSc(machine.Uniprocessor(), 500<<10, 619, false)
+	res, err := ExploreCampaign(sc, ExploreOptions{PhaseSlots: 8, MCRounds: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Win == nil || res.Lose == nil {
+		t.Fatal("expected both witnesses at a marginal point")
+	}
+	if res.Win.Prob.Sign() <= 0 || res.Win.Prob.Cmp(res.Exact) > 0 {
+		t.Fatalf("win witness prob %s not in (0, exact=%s]",
+			res.Win.Prob.RatString(), res.Exact.RatString())
+	}
+	if res.Lose.Prob.Sign() <= 0 {
+		t.Fatalf("lose witness prob %s not positive", res.Lose.Prob.RatString())
+	}
+}

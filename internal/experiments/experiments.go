@@ -80,25 +80,26 @@ var registry = map[string]struct {
 	run  Runner
 	desc string
 }{
-	"fig6":     {Fig6, "vi attack success rate vs file size on a uniprocessor (paper Fig. 6)"},
-	"vismp":    {ViSMPSweep, "vi attack success on the SMP across 20KB-1MB (paper §5: 100%)"},
-	"fig7":     {Fig7, "L and D vs file size for vi SMP attacks (paper Fig. 7)"},
-	"table1":   {Table1, "vi SMP attack with 1-byte files: L, D, success (paper Table 1)"},
-	"table2":   {Table2, "gedit SMP attack: L, D, predicted vs observed (paper Table 2)"},
-	"geditup":  {GeditUniprocessor, "gedit attack on a uniprocessor (paper §4.2: ~0%)"},
-	"fig8":     {Fig8, "failed gedit attack v1 timeline on the multi-core (paper Fig. 8)"},
-	"geditmc1": {GeditMulticoreV1, "gedit attack v1 campaign on the multi-core (paper §6.2.1: ~0%)"},
-	"fig10":    {Fig10, "successful gedit attack v2 timeline on the multi-core (paper Fig. 10)"},
-	"geditmc2": {GeditMulticoreV2, "gedit attack v2 campaign on the multi-core (paper §6.2.2)"},
-	"fig11":    {Fig11, "pipelined vs sequential attack timing (paper Fig. 11)"},
-	"model":    {ModelValidation, "Equation 1 / formula (1) predictions vs simulated rates"},
-	"headline": {Headline, "uniprocessor vs multiprocessor success rates for all scenarios"},
-	"sendmail": {Sendmail, "blind flip-flop attack on a sendmail-style <lstat, open> pair (paper §1, extension)"},
-	"eq1":      {Eq1, "Equation 1 term study: suspension, load, and attacker priority (extension)"},
-	"session":  {SessionStudy, "per-session risk over repeated saves: 1-(1-p)^k (extension)"},
-	"gapsweep": {GapSweep, "gedit v2 success vs rename→chmod gap width (extension)"},
-	"patched":  {Patched, "fd-based fchown/fchmod application fix vs the same attacks (extension)"},
-	"defense":  {DefenseEvaluation, "attack success with the EDGI-style defense enabled (extension)"},
+	"fig6":      {Fig6, "vi attack success rate vs file size on a uniprocessor (paper Fig. 6)"},
+	"vismp":     {ViSMPSweep, "vi attack success on the SMP across 20KB-1MB (paper §5: 100%)"},
+	"fig7":      {Fig7, "L and D vs file size for vi SMP attacks (paper Fig. 7)"},
+	"table1":    {Table1, "vi SMP attack with 1-byte files: L, D, success (paper Table 1)"},
+	"table2":    {Table2, "gedit SMP attack: L, D, predicted vs observed (paper Table 2)"},
+	"geditup":   {GeditUniprocessor, "gedit attack on a uniprocessor (paper §4.2: ~0%)"},
+	"fig8":      {Fig8, "failed gedit attack v1 timeline on the multi-core (paper Fig. 8)"},
+	"geditmc1":  {GeditMulticoreV1, "gedit attack v1 campaign on the multi-core (paper §6.2.1: ~0%)"},
+	"fig10":     {Fig10, "successful gedit attack v2 timeline on the multi-core (paper Fig. 10)"},
+	"geditmc2":  {GeditMulticoreV2, "gedit attack v2 campaign on the multi-core (paper §6.2.2)"},
+	"fig11":     {Fig11, "pipelined vs sequential attack timing (paper Fig. 11)"},
+	"model":     {ModelValidation, "Equation 1 / formula (1) predictions vs simulated rates"},
+	"headline":  {Headline, "uniprocessor vs multiprocessor success rates for all scenarios"},
+	"sendmail":  {Sendmail, "blind flip-flop attack on a sendmail-style <lstat, open> pair (paper §1, extension)"},
+	"eq1":       {Eq1, "Equation 1 term study: suspension, load, and attacker priority (extension)"},
+	"eq1-exact": {Eq1Exact, "exact Equation 1 validation: exhaustive schedule-space enumeration vs MC vs model (extension)"},
+	"session":   {SessionStudy, "per-session risk over repeated saves: 1-(1-p)^k (extension)"},
+	"gapsweep":  {GapSweep, "gedit v2 success vs rename→chmod gap width (extension)"},
+	"patched":   {Patched, "fd-based fchown/fchmod application fix vs the same attacks (extension)"},
+	"defense":   {DefenseEvaluation, "attack success with the EDGI-style defense enabled (extension)"},
 }
 
 // Names returns the registered experiment names, sorted.

@@ -1,0 +1,266 @@
+// Package explore is a stateless model checker for the simulation kernel:
+// it exhaustively enumerates every scheduling/model choice point a
+// sim.Chooser is consulted for (dispatch picks at quantum boundaries,
+// semaphore wake order, noise-injection slots, storage stalls, the
+// victim's startup phase) over a bounded round, in the style of stateless
+// systematic-testing tools — each path is a fresh run of the program with
+// a scripted prefix, so no simulator state is ever saved or restored.
+//
+// Every leaf carries an exact rational probability (the product of its
+// decisions' weights: 1/N per uniform pick, fixed-point p per Bernoulli
+// branch), so the summed attacker win probability is exact, not sampled.
+// DPOR-style pruning folds provably-equivalent alternatives — dispatch
+// picks among interchangeable threads (Choice.Class tokens) and no-op
+// noise slots (pruned kernel-side) — into one weighted representative;
+// Options.Naive disables both so tests can verify the folds preserve the
+// distribution bit for bit.
+package explore
+
+import (
+	"fmt"
+	"math/big"
+
+	"tocttou/internal/sim"
+)
+
+// Decision is one resolved choice point on an explored path.
+type Decision struct {
+	Kind sim.ChoiceKind
+	// N is the alternative count the kernel offered.
+	N int
+	// Index is the alternative taken.
+	Index int
+}
+
+// Witness is a replayable schedule: the decision taken at every choice
+// point of one explored path, with the path's exact probability.
+type Witness struct {
+	Decisions []Decision
+	Prob      *big.Rat
+}
+
+// Script returns the raw alternative indices in consult order, ready for a
+// sim.ScriptChooser replay.
+func (w *Witness) Script() []int {
+	s := make([]int, len(w.Decisions))
+	for i, d := range w.Decisions {
+		s[i] = d.Index
+	}
+	return s
+}
+
+// RunFunc executes one bounded round driven by ch and reports whether the
+// attacker won. It must be deterministic given the chooser's answers: the
+// same answer prefix must reproduce the same choice-point sequence.
+type RunFunc func(ch sim.Chooser) (win bool, err error)
+
+// Options tunes an exploration.
+type Options struct {
+	// Naive disables equivalence-class merging, enumerating every
+	// alternative of every choice point individually.
+	Naive bool
+	// MaxPaths aborts exploration when the executed path count exceeds it
+	// (0 = default 1<<20). Bounded windows keep trees small; the cap is a
+	// runaway guard, not a sampling knob — exceeding it is an error, never
+	// a silent truncation.
+	MaxPaths int
+}
+
+const defaultMaxPaths = 1 << 20
+
+// Result is the outcome of an exhaustive exploration.
+type Result struct {
+	// PWin is the exact attacker win probability: the sum of the path
+	// probabilities of all winning leaves.
+	PWin *big.Rat
+	// Paths is the number of leaves executed (after merging).
+	Paths int
+	// ChoicePoints is the number of distinct choice-tree nodes visited.
+	ChoicePoints int
+	// Merged counts alternatives folded into class representatives.
+	Merged int
+	// MaxDepth is the longest decision sequence seen.
+	MaxDepth int
+	// Win and Lose are minimal (fewest-decision, first-found) witnesses;
+	// nil when no path with that outcome exists.
+	Win, Lose *Witness
+}
+
+// alt is one representative alternative at a choice point, weighted
+// num/den (its merged class multiplicity over N, or its fixed-point
+// Bernoulli probability over sim.ProbScale).
+type alt struct {
+	index    int
+	num, den int64
+}
+
+// point records one choice point on the current DFS path.
+type point struct {
+	kind sim.ChoiceKind
+	n    int
+	alts []alt
+	next int // index into alts of the branch the current path takes
+}
+
+// engine is the DFS driver; it is also the sim.Chooser handed to RunFunc.
+// points[:prefix] replay the decisions of the path under exploration;
+// consults beyond the prefix discover fresh choice points depth-first
+// (always alternative 0 of the representative list).
+type engine struct {
+	naive  bool
+	points []point
+	depth  int
+	prefix int
+	merged int
+	nodes  int
+	err    error
+}
+
+// Choose implements sim.Chooser.
+func (e *engine) Choose(_ *sim.Kernel, c sim.Choice) int {
+	d := e.depth
+	e.depth++
+	if d < e.prefix {
+		p := &e.points[d]
+		if p.kind != c.Kind || p.n != c.N {
+			if e.err == nil {
+				e.err = fmt.Errorf("explore: nondeterministic replay at choice %d: recorded %s/%d, run offered %s/%d",
+					d, p.kind, p.n, c.Kind, c.N)
+			}
+			return 0
+		}
+		return p.alts[p.next].index
+	}
+	e.nodes++
+	p := point{kind: c.Kind, n: c.N, alts: e.buildAlts(c)}
+	e.points = append(e.points, p)
+	return p.alts[0].index
+}
+
+// buildAlts lists the representative alternatives of a choice point with
+// their exact weights.
+func (e *engine) buildAlts(c sim.Choice) []alt {
+	if c.PNum > 0 {
+		// Bernoulli: the kernel only consults for 0 < p < 1, so both
+		// branches have positive weight. No-occur first: minimal
+		// witnesses then prefer quiet schedules.
+		return []alt{
+			{index: 0, num: int64(sim.ProbScale - c.PNum), den: sim.ProbScale},
+			{index: 1, num: int64(c.PNum), den: sim.ProbScale},
+		}
+	}
+	alts := make([]alt, 0, c.N)
+	if e.naive || c.Class == nil {
+		for i := 0; i < c.N; i++ {
+			alts = append(alts, alt{index: i, num: 1, den: int64(c.N)})
+		}
+		return alts
+	}
+	// Fold alternatives sharing an equivalence token into their first
+	// occurrence, accumulating its multiplicity. Linear scan: tie groups
+	// are tiny.
+	for i := 0; i < c.N; i++ {
+		tok := c.Class[i]
+		found := false
+		for j := range alts {
+			if c.Class[alts[j].index] == tok {
+				alts[j].num++
+				e.merged++
+				found = true
+				break
+			}
+		}
+		if !found {
+			alts = append(alts, alt{index: i, num: 1, den: int64(c.N)})
+		}
+	}
+	return alts
+}
+
+// pathProb returns the exact probability of the current path.
+func pathProb(points []point) *big.Rat {
+	prob := new(big.Rat).SetInt64(1)
+	var term big.Rat
+	for i := range points {
+		a := points[i].alts[points[i].next]
+		prob.Mul(prob, term.SetFrac64(a.num, a.den))
+	}
+	return prob
+}
+
+// snapshot captures the current path as a witness.
+func snapshot(points []point, prob *big.Rat) *Witness {
+	w := &Witness{Decisions: make([]Decision, len(points)), Prob: prob}
+	for i := range points {
+		w.Decisions[i] = Decision{
+			Kind:  points[i].kind,
+			N:     points[i].n,
+			Index: points[i].alts[points[i].next].index,
+		}
+	}
+	return w
+}
+
+// Explore exhaustively enumerates run's choice tree by depth-first search
+// with prefix replay and returns the exact win probability. As a built-in
+// soundness check it verifies the leaf probabilities sum to exactly 1 —
+// any unweighted merge, missed branch, or nondeterministic replay breaks
+// that invariant loudly instead of skewing the result.
+func Explore(run RunFunc, opt Options) (*Result, error) {
+	maxPaths := opt.MaxPaths
+	if maxPaths <= 0 {
+		maxPaths = defaultMaxPaths
+	}
+	e := &engine{naive: opt.Naive}
+	res := &Result{PWin: new(big.Rat)}
+	total := new(big.Rat)
+	one := new(big.Rat).SetInt64(1)
+	for {
+		e.depth = 0
+		e.prefix = len(e.points)
+		win, err := run(e)
+		if err != nil {
+			return nil, fmt.Errorf("explore: path %d failed: %w", res.Paths, err)
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		if e.depth < e.prefix {
+			return nil, fmt.Errorf("explore: nondeterministic replay: path %d consulted %d choice points, previous path recorded %d",
+				res.Paths, e.depth, e.prefix)
+		}
+		res.Paths++
+		if res.Paths > maxPaths {
+			return nil, fmt.Errorf("explore: exceeded MaxPaths=%d — shrink the window (fewer phase slots, tighter stall/preemption bounds) or raise the cap", maxPaths)
+		}
+		if len(e.points) > res.MaxDepth {
+			res.MaxDepth = len(e.points)
+		}
+		prob := pathProb(e.points)
+		total.Add(total, prob)
+		wit := &res.Lose
+		if win {
+			res.PWin.Add(res.PWin, prob)
+			wit = &res.Win
+		}
+		if *wit == nil || len(e.points) < len((*wit).Decisions) {
+			*wit = snapshot(e.points, prob)
+		}
+		// Backtrack to the deepest point with an unexplored alternative.
+		i := len(e.points) - 1
+		for i >= 0 && e.points[i].next+1 >= len(e.points[i].alts) {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		e.points[i].next++
+		e.points = e.points[:i+1]
+	}
+	res.ChoicePoints = e.nodes
+	res.Merged = e.merged
+	if total.Cmp(one) != 0 {
+		return nil, fmt.Errorf("explore: leaf probabilities sum to %s, not 1 — inconsistently weighted choice point", total.RatString())
+	}
+	return res, nil
+}

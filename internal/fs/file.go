@@ -158,9 +158,18 @@ func (fl *File) writeCommon(t *sim.Task, n int64, b []byte) error {
 		node.isem().Acquire(t)
 		cost := f.cfg.Latency.WriteBase + perKB(f.cfg.Latency.WritePerKB, n)
 		t.Compute(t.Kernel().JitterDuration(cost))
-		if p := f.cfg.Latency.WriteStallProbPerKB * float64(n) / 1024.0; p > 0 && stats.Bernoulli(t.RNG(), p) {
-			stall := stats.LogNormal(t.RNG(), f.cfg.Latency.StallMedian, 0.7)
-			t.BlockIO(stall)
+		if p := f.cfg.Latency.WriteStallProbPerKB * float64(n) / 1024.0; p > 0 {
+			if k := t.Kernel(); k.ChooserActive() {
+				// Under a chooser the stall is a first-class Bernoulli
+				// choice point with a fixed (median) duration, so schedule
+				// exploration can weight both branches exactly.
+				if k.ChooseBernoulli(sim.ChooseStall, p) {
+					t.BlockIO(f.cfg.Latency.StallMedian)
+				}
+			} else if stats.Bernoulli(t.RNG(), p) {
+				stall := stats.LogNormal(t.RNG(), f.cfg.Latency.StallMedian, 0.7)
+				t.BlockIO(stall)
+			}
 		}
 		if f.cfg.TrackContent {
 			if b != nil {
@@ -304,7 +313,10 @@ func (fl *File) Sync(t *sim.Task) error {
 			return pathErr("fsync", fl.path, EBADF)
 		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.SyscallEntry))
-		stall := stats.LogNormal(t.RNG(), f.cfg.Latency.StallMedian, 0.5)
+		stall := f.cfg.Latency.StallMedian
+		if !t.Kernel().ChooserActive() {
+			stall = stats.LogNormal(t.RNG(), f.cfg.Latency.StallMedian, 0.5)
+		}
 		t.BlockIO(stall)
 		return nil
 	}()

@@ -1,0 +1,285 @@
+package sim
+
+import "fmt"
+
+// ChoiceKind classifies the scheduling/model choice points a Chooser is
+// consulted for. Together they cover every source of nondeterminism a
+// round has once a Chooser replaces the seeded RNG: the victim's startup
+// phase, dispatch picks among tied ready threads, semaphore wake order,
+// storage stalls, and background-noise injection slots.
+type ChoiceKind uint8
+
+const (
+	// ChoosePhase selects the victim's startup-phase slot (uniform N-way).
+	ChoosePhase ChoiceKind = iota + 1
+	// ChooseDispatch selects which member of the front nice-level tie
+	// group of the run queue gets a freed CPU (uniform N-way).
+	ChooseDispatch
+	// ChooseSemWake selects which semaphore waiter receives ownership on
+	// release (uniform N-way).
+	ChooseSemWake
+	// ChooseStall decides whether a storage write stalls on dirty
+	// throttling (Bernoulli; alternative 1 = stall).
+	ChooseStall
+	// ChooseNoise decides whether a background-noise slot fires a burst
+	// (Bernoulli; alternative 1 = fire).
+	ChooseNoise
+)
+
+// String returns a short stable name for the kind; it labels EvChoice
+// trace events, so witnesses are self-describing.
+func (c ChoiceKind) String() string {
+	switch c {
+	case ChoosePhase:
+		return "phase"
+	case ChooseDispatch:
+		return "dispatch"
+	case ChooseSemWake:
+		return "sem-wake"
+	case ChooseStall:
+		return "stall"
+	case ChooseNoise:
+		return "noise-slot"
+	default:
+		return fmt.Sprintf("choice(%d)", uint8(c))
+	}
+}
+
+// ProbScale is the fixed-point denominator for Bernoulli choice
+// probabilities. Dyadic probabilities keep exact (rational) exploration
+// weights representable without float rounding disputes.
+const ProbScale = 1 << 32
+
+// FixedProb converts p to a fixed-point numerator over ProbScale, clamped
+// to [0, ProbScale].
+func FixedProb(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return ProbScale
+	default:
+		return uint64(p * ProbScale)
+	}
+}
+
+// Choice describes one choice point handed to a Chooser.
+type Choice struct {
+	// Kind is the choice-point category.
+	Kind ChoiceKind
+	// N is the number of alternatives; the chooser returns an index in
+	// [0, N).
+	N int
+	// PNum, when nonzero, marks a Bernoulli choice: alternative 1 occurs
+	// with probability PNum/ProbScale and alternative 0 otherwise. Zero
+	// means all N alternatives are equally likely.
+	PNum uint64
+	// Class, when non-nil, tags each alternative with an equivalence
+	// token: alternatives carrying equal tokens provably lead to
+	// indistinguishable round outcomes (interchangeable threads), so an
+	// exploring chooser may pick one representative and weight it by the
+	// token's multiplicity. The slice is only valid during the Choose
+	// call.
+	Class []uint64
+}
+
+// Chooser resolves choice points. Installing one in Config.Chooser
+// switches the kernel (and the layers above it that check ChooserActive)
+// from RNG-driven sampling to explicit choice points. Implementations used
+// in concurrent campaigns must be safe for use from multiple rounds at
+// once; stateless choosers like RandomChooser are.
+type Chooser interface {
+	// Choose returns the index of the alternative to take, in [0, c.N).
+	// k is the consulting kernel, so stateless implementations can use
+	// its deterministic RNG.
+	Choose(k *Kernel, c Choice) int
+}
+
+// RandomChooser samples every choice point from the kernel's seeded RNG
+// with exactly the probabilities an exhaustive exploration assigns the
+// alternatives. A Monte Carlo campaign under RandomChooser therefore
+// estimates the same quantity exact exploration computes, making the two
+// directly comparable.
+type RandomChooser struct{}
+
+// Choose implements Chooser.
+func (RandomChooser) Choose(k *Kernel, c Choice) int {
+	if c.PNum > 0 {
+		if uint64(k.rng.Uint32()) < c.PNum {
+			return 1
+		}
+		return 0
+	}
+	if c.N <= 1 {
+		return 0
+	}
+	return k.rng.Intn(c.N)
+}
+
+// ScriptChooser replays a recorded schedule: the i-th consulted choice
+// point takes Script[i]. Exhausted or out-of-range entries fall back to
+// alternative 0 and are counted in Overruns, so a stale script fails
+// loudly at the caller instead of panicking mid-simulation.
+type ScriptChooser struct {
+	Script []int
+	// Overruns counts consults the script could not answer.
+	Overruns int
+
+	pos int
+}
+
+// Choose implements Chooser.
+func (s *ScriptChooser) Choose(_ *Kernel, c Choice) int {
+	if s.pos >= len(s.Script) {
+		s.Overruns++
+		return 0
+	}
+	idx := s.Script[s.pos]
+	s.pos++
+	if idx < 0 || idx >= c.N {
+		s.Overruns++
+		return 0
+	}
+	return idx
+}
+
+// Consumed returns how many script entries have been used.
+func (s *ScriptChooser) Consumed() int { return s.pos }
+
+// ChooserActive reports whether a Chooser drives this kernel's
+// nondeterminism. Layers above the kernel (fs stalls, the round harness)
+// consult it to decide between RNG sampling and explicit choice points.
+func (k *Kernel) ChooserActive() bool { return k.cfg.Chooser != nil }
+
+// ChooseIndex consults the chooser for a uniform n-way choice and emits an
+// EvChoice trace event recording the pick. class may be nil. Requires an
+// installed Chooser; n <= 1 short-circuits without consulting it.
+func (k *Kernel) ChooseIndex(kind ChoiceKind, n int, class []uint64) int {
+	if n <= 1 {
+		return 0
+	}
+	idx := k.cfg.Chooser.Choose(k, Choice{Kind: kind, N: n, Class: class})
+	if idx < 0 || idx >= n {
+		panic(fmt.Sprintf("sim: chooser returned %d for a %d-way %s choice", idx, n, kind))
+	}
+	k.emit(Event{Kind: EvChoice, Label: kind.String(), Arg: int64(idx)})
+	return idx
+}
+
+// ChooseBernoulli consults the chooser for an event of probability p
+// (quantized to ProbScale) and reports whether it occurs. Probability 0
+// and 1 short-circuit without a choice point, so exploration never
+// branches on impossible or certain events. ChooseStall consults count
+// against Config.StallBound: once the bound is reached further stalls are
+// forced off without a choice point — the truncation that keeps large
+// windows explorable. Requires an installed Chooser.
+func (k *Kernel) ChooseBernoulli(kind ChoiceKind, p float64) bool {
+	pnum := FixedProb(p)
+	if pnum == 0 {
+		return false
+	}
+	if pnum >= ProbScale {
+		return true
+	}
+	if kind == ChooseStall && k.cfg.StallBound > 0 && k.stallsFired >= k.cfg.StallBound {
+		return false
+	}
+	idx := k.cfg.Chooser.Choose(k, Choice{Kind: kind, N: 2, PNum: pnum})
+	if idx != 0 && idx != 1 {
+		panic(fmt.Sprintf("sim: chooser returned %d for a Bernoulli %s choice", idx, kind))
+	}
+	k.emit(Event{Kind: EvChoice, Label: kind.String(), Arg: int64(idx)})
+	if idx == 1 {
+		if kind == ChooseStall {
+			k.stallsFired++
+		}
+		return true
+	}
+	return false
+}
+
+// classToken summarizes everything that distinguishes two ready threads
+// for future scheduling purposes. Threads with schedule class 0 (the
+// default) are always unique; threads sharing a nonzero class are
+// interchangeable exactly when their remaining compute is also equal —
+// then swapping which one is picked yields isomorphic continuations, so
+// the token packs (class, computeLeft). The top bit separates the unique
+// namespace from the class namespace.
+func classToken(th *Thread) uint64 {
+	if th.schedClass == 0 || th.computeLeft >= 1<<47 {
+		return 1<<63 | uint64(uint32(th.id))
+	}
+	return uint64(th.schedClass)<<47 | uint64(th.computeLeft)
+}
+
+// chooseDispatch lets the chooser pick any member of the run queue's front
+// nice-level tie group — the scheduler's dispatch choice point. FIFO order
+// within the group carries no semantic weight once scheduling is
+// nondeterministic, so every member is a legal pick.
+func (k *Kernel) chooseDispatch() *Thread {
+	g := k.ready.tieLen()
+	if g == 1 {
+		return k.ready.popFront()
+	}
+	if cap(k.classBuf) < g {
+		k.classBuf = make([]uint64, g)
+	}
+	buf := k.classBuf[:g]
+	for i := range buf {
+		buf[i] = classToken(k.ready.at(i))
+	}
+	return k.ready.popAt(k.ChooseIndex(ChooseDispatch, g, buf))
+}
+
+// chooseWaiter picks which semaphore waiter receives ownership.
+func (k *Kernel) chooseWaiter(waiters []*Thread) int {
+	if k.cfg.Chooser == nil || len(waiters) <= 1 {
+		return 0
+	}
+	if cap(k.classBuf) < len(waiters) {
+		k.classBuf = make([]uint64, len(waiters))
+	}
+	buf := k.classBuf[:len(waiters)]
+	for i, w := range waiters {
+		buf[i] = classToken(w)
+	}
+	return k.ChooseIndex(ChooseSemWake, len(waiters), buf)
+}
+
+// noiseSlotFire handles one background-noise deliberation slot on c: with
+// the configured probability a burst of fixed length steals the CPU, up to
+// the configured bound of fired bursts per run (the preemption bound).
+// Slots where a burst provably cannot affect the round — no thread is
+// mid-compute on c, so stealCPUTime would be a no-op and neither branch
+// changes any future-visible state — are skipped without consulting the
+// chooser when PruneNoops is set; naive exploration can disable the knob
+// to verify the equivalence.
+func (k *Kernel) noiseSlotFire(c *cpu) {
+	if k.live == 0 {
+		return
+	}
+	ns := k.cfg.NoiseSlots
+	k.afterKernel(ns.Period, evNoiseSlot, nil, c, 0)
+	if ns.Bound > 0 && k.noiseInjected >= ns.Bound {
+		return
+	}
+	th := c.th
+	noop := th == nil || th.state != StateRunning || !th.workPending
+	if noop && ns.PruneNoops {
+		return
+	}
+	if !k.ChooseBernoulli(ChooseNoise, ns.Prob) {
+		return
+	}
+	if noop {
+		// Fired on an idle slot: nothing to delay, and no preemption
+		// budget consumed — the branch is indistinguishable from not
+		// firing, which is exactly why PruneNoops may skip it.
+		return
+	}
+	k.noiseInjected++
+	k.stats.NoiseBursts++
+	k.stats.NoiseNs += int64(ns.Burst)
+	k.emit(Event{Kind: EvNoise, CPU: int32(c.id), Arg: int64(ns.Burst)})
+	k.stealCPUTime(c, ns.Burst)
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDispatchTieChoice: a scripted chooser picks the second member of the
+// front tie group, overriding FIFO dispatch. Threads dispatch at spawn
+// time, so a "holder" occupies the CPU first and the tie forms behind it;
+// the choice point fires when the holder blocks.
+func TestDispatchTieChoice(t *testing.T) {
+	run := func(ch Chooser) []string {
+		k := New(Config{CPUs: 1, Quantum: 10 * time.Millisecond, Chooser: ch})
+		proc := k.NewProcess("p", 0, 0)
+		var order []string
+		k.Spawn(proc, "holder", func(t *Task) { t.Sleep(time.Millisecond) })
+		for _, name := range []string{"first", "second"} {
+			name := name
+			k.Spawn(proc, name, func(t *Task) {
+				order = append(order, name)
+				t.Compute(time.Microsecond)
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	fifo := run(&ScriptChooser{Script: []int{0}})
+	if fifo[0] != "first" {
+		t.Fatalf("script [0] dispatched %v", fifo)
+	}
+	flipped := run(&ScriptChooser{Script: []int{1}})
+	if flipped[0] != "second" {
+		t.Fatalf("script [1] dispatched %v", flipped)
+	}
+}
+
+// TestSemWakeOrderChoice: the chooser selects which waiter inherits the
+// semaphore on release.
+func TestSemWakeOrderChoice(t *testing.T) {
+	run := func(ch Chooser) []string {
+		// Choice sequence: (0) the dispatch tie between w1/w2 once the
+		// owner blocks holding the sem, (1) the 2-waiter handoff at the
+		// owner's release. The second handoff has one waiter: no choice.
+		k := New(Config{CPUs: 1, Quantum: 10 * time.Millisecond, Chooser: ch})
+		proc := k.NewProcess("p", 0, 0)
+		sem := NewSem("s")
+		var acquired []string
+		k.Spawn(proc, "owner", func(t *Task) {
+			sem.Acquire(t)
+			acquired = append(acquired, "owner")
+			t.Sleep(time.Millisecond) // hold the sem so both workers queue
+			sem.Release(t)
+		})
+		worker := func(name string) func(*Task) {
+			return func(t *Task) {
+				sem.Acquire(t)
+				acquired = append(acquired, name)
+				t.Compute(time.Microsecond)
+				sem.Release(t)
+			}
+		}
+		k.Spawn(proc, "w1", worker("w1"))
+		k.Spawn(proc, "w2", worker("w2"))
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return acquired
+	}
+	// FIFO everywhere: owner, then w1, then w2.
+	fifo := run(&ScriptChooser{Script: []int{0, 0}})
+	if fifo[0] != "owner" || fifo[1] != "w1" || fifo[2] != "w2" {
+		t.Fatalf("fifo script acquired %v", fifo)
+	}
+	// Same dispatch order, but the handoff picks waiter 1 (w2).
+	flipped := run(&ScriptChooser{Script: []int{0, 1}})
+	if flipped[0] != "owner" || flipped[1] != "w2" || flipped[2] != "w1" {
+		t.Fatalf("flipped wake acquired %v", flipped)
+	}
+}
+
+// alwaysFire answers every Bernoulli choice with "occur" and uniform
+// choices with 0.
+type alwaysFire struct{}
+
+func (alwaysFire) Choose(_ *Kernel, c Choice) int {
+	if c.PNum > 0 {
+		return 1
+	}
+	return 0
+}
+
+// TestNoiseSlotBound: with an always-fire chooser the injected burst count
+// stops exactly at the preemption bound.
+func TestNoiseSlotBound(t *testing.T) {
+	k := New(Config{
+		CPUs:    1,
+		Quantum: 50 * time.Millisecond,
+		Chooser: alwaysFire{},
+		NoiseSlots: NoiseSlotConfig{
+			Period:     time.Millisecond,
+			Burst:      200 * time.Microsecond,
+			Prob:       0.5,
+			Bound:      2,
+			PruneNoops: true,
+		},
+	})
+	proc := k.NewProcess("p", 0, 0)
+	k.Spawn(proc, "busy", func(t *Task) { t.Compute(10 * time.Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Stats().NoiseBursts; got != 2 {
+		t.Fatalf("NoiseBursts = %d, want the bound 2", got)
+	}
+	// Each burst delayed the 10ms compute by 200µs; completion moved from
+	// 10ms to 10.4ms (plus the context switch).
+	if end := k.Now(); end < Time(10*time.Millisecond+400*time.Microsecond) {
+		t.Fatalf("bursts did not delay completion: end = %v", end)
+	}
+}
+
+// TestNoiseSlotNoopPruneEquivalence: with pruning disabled, firing a
+// burst at a no-op slot (nothing mid-compute) must not change the
+// simulated outcome — the soundness claim PruneNoops relies on.
+func TestNoiseSlotNoopPruneEquivalence(t *testing.T) {
+	run := func(prune bool) Time {
+		k := New(Config{
+			CPUs:    2, // second CPU stays idle: all its slots are no-ops
+			Quantum: 50 * time.Millisecond,
+			Chooser: alwaysFire{},
+			NoiseSlots: NoiseSlotConfig{
+				Period:     time.Millisecond,
+				Burst:      300 * time.Microsecond,
+				Prob:       0.5,
+				Bound:      0,
+				PruneNoops: prune,
+			},
+		})
+		proc := k.NewProcess("p", 0, 0)
+		k.Spawn(proc, "sleeper", func(t *Task) { t.Sleep(5 * time.Millisecond) })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now()
+	}
+	// A sleeping thread is never mid-compute, so every slot is a no-op:
+	// pruned and unpruned runs end at the same virtual time.
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("no-op slots changed the outcome: pruned end %v, unpruned end %v", a, b)
+	}
+}
+
+// TestChoiceEventsTraced: consulted choices emit EvChoice records carrying
+// the picked index, giving witnesses their replayable schedule.
+func TestChoiceEventsTraced(t *testing.T) {
+	tr := &SliceTracer{}
+	k := New(Config{CPUs: 1, Quantum: 10 * time.Millisecond, Tracer: tr,
+		Chooser: &ScriptChooser{Script: []int{1}}})
+	proc := k.NewProcess("p", 0, 0)
+	k.Spawn(proc, "holder", func(t *Task) { t.Sleep(time.Millisecond) })
+	k.Spawn(proc, "a", func(t *Task) { t.Compute(time.Microsecond) })
+	k.Spawn(proc, "b", func(t *Task) { t.Compute(time.Microsecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var choices []Event
+	for _, e := range tr.Events {
+		if e.Kind == EvChoice {
+			choices = append(choices, e)
+		}
+	}
+	if len(choices) != 1 {
+		t.Fatalf("EvChoice count = %d, want 1 (the t=0 dispatch tie)", len(choices))
+	}
+	if choices[0].Label != "dispatch" || choices[0].Arg != 1 {
+		t.Fatalf("EvChoice = %+v, want dispatch/1", choices[0])
+	}
+}
+
+// TestRandomChooserDeterminism: a RandomChooser round is a pure function
+// of the seed.
+func TestRandomChooserDeterminism(t *testing.T) {
+	run := func() (Time, int64) {
+		k := New(Config{CPUs: 1, Quantum: time.Millisecond, Seed: 99, Chooser: RandomChooser{},
+			NoiseSlots: NoiseSlotConfig{Period: 500 * time.Microsecond, Burst: 100 * time.Microsecond, Prob: 0.3, Bound: 3, PruneNoops: true}})
+		proc := k.NewProcess("p", 0, 0)
+		k.Spawn(proc, "a", func(t *Task) { t.Compute(3 * time.Millisecond) })
+		k.Spawn(proc, "b", func(t *Task) { t.Compute(3 * time.Millisecond) })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now(), k.Stats().NoiseBursts
+	}
+	e1, n1 := run()
+	e2, n2 := run()
+	if e1 != e2 || n1 != n2 {
+		t.Fatalf("RandomChooser runs diverged: (%v,%d) vs (%v,%d)", e1, n1, e2, n2)
+	}
+}

@@ -25,6 +25,8 @@ const (
 	evTick
 	// evNoise is a background-activity burst on c.
 	evNoise
+	// evNoiseSlot is a chooser-driven noise deliberation slot on c.
+	evNoiseSlot
 )
 
 // timedEvent is an entry in the kernel's event queue. Events at equal
@@ -158,5 +160,7 @@ func (k *Kernel) dispatchEvent(ev *timedEvent) {
 		k.tickFire(ev.c)
 	case evNoise:
 		k.noiseFire(ev.c)
+	case evNoiseSlot:
+		k.noiseSlotFire(ev.c)
 	}
 }

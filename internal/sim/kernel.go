@@ -34,6 +34,31 @@ type NoiseConfig struct {
 	MeanDuration time.Duration
 }
 
+// NoiseSlotConfig replaces the RNG-driven NoiseConfig when a Chooser is
+// installed: every Period, each CPU reaches a deliberation slot at which a
+// background burst of fixed length Burst fires with probability Prob, up
+// to Bound fired bursts per run (the schedule explorer's preemption
+// bound). Fixed burst lengths and per-slot Bernoulli trials make the
+// noise model a finite set of explicit choice points instead of a
+// continuous arrival process. Ignored when Config.Chooser is nil or
+// Period is zero.
+type NoiseSlotConfig struct {
+	// Period is the slot spacing on each CPU. Zero disables slots.
+	Period time.Duration
+	// Burst is the CPU time a fired burst steals.
+	Burst time.Duration
+	// Prob is the per-slot fire probability (quantized to sim.ProbScale).
+	Prob float64
+	// Bound caps fired bursts per run; 0 means unbounded.
+	Bound int
+	// PruneNoops skips the fire/no-fire deliberation at slots where a
+	// burst provably cannot affect the round (no thread mid-compute on
+	// the CPU): the two branches are identical there, so skipping is
+	// outcome-preserving. Exposed as a knob so naive exploration can
+	// verify that claim.
+	PruneNoops bool
+}
+
 // Config parameterizes a simulated machine.
 type Config struct {
 	// CPUs is the number of processors (1 = uniprocessor).
@@ -55,6 +80,19 @@ type Config struct {
 	Seed int64
 	// Tracer receives trace events; nil disables tracing.
 	Tracer Tracer
+	// Chooser, when non-nil, resolves the kernel's scheduling choice
+	// points (dispatch ties, semaphore wake order, noise slots) instead
+	// of the FIFO/RNG defaults, and switches the stochastic model
+	// elements above the kernel that check ChooserActive to explicit
+	// choice points. Nil preserves the historical behavior bit for bit.
+	Chooser Chooser
+	// NoiseSlots configures the bounded noise-injection slot model used
+	// when Chooser is set (the RNG arrival process is disabled then).
+	NoiseSlots NoiseSlotConfig
+	// StallBound caps how many ChooseStall choice points may resolve to
+	// "stall" per run when a Chooser drives them (0 = unbounded); part of
+	// the explorer's truncation model. Ignored without a Chooser.
+	StallBound int
 	// MaxSteps bounds the number of processed events (0 = default 50M).
 	MaxSteps int64
 	// MaxTime bounds virtual time (0 = default 10 virtual minutes).
@@ -105,6 +143,15 @@ type Kernel struct {
 	procs   []*Process
 	nextPID int
 	nextTID int
+
+	// classBuf is scratch space for per-alternative equivalence tokens
+	// handed to the chooser (see Choice.Class); reused across choice
+	// points so consulting the chooser never allocates.
+	classBuf []uint64
+	// noiseInjected and stallsFired count budget consumption against
+	// NoiseSlots.Bound and StallBound for the current run.
+	noiseInjected int
+	stallsFired   int
 
 	live       int // threads not yet Done
 	runningCnt int // threads in StateRunning
@@ -185,6 +232,7 @@ func (k *Kernel) Reset(cfg Config) {
 	clear(k.procs)
 	k.procs = k.procs[:0]
 	k.nextPID, k.nextTID = 0, 0
+	k.noiseInjected, k.stallsFired = 0, 0
 	k.live, k.runningCnt, k.timedCnt, k.pendingOps = 0, 0, 0, 0
 	k.onProcessExit = nil
 	k.userErr = nil
@@ -401,11 +449,22 @@ func (k *Kernel) describeBlocked() string {
 }
 
 // startBackground schedules the per-CPU timer ticks and noise sources.
+// Under a Chooser the RNG noise arrival process is replaced by the
+// bounded slot model, so background nondeterminism is a finite set of
+// explicit choice points.
 func (k *Kernel) startBackground() {
 	if k.cfg.TickPeriod > 0 {
 		for _, c := range k.cpus {
 			k.afterKernel(k.cfg.TickPeriod, evTick, nil, c, 0)
 		}
+	}
+	if k.cfg.Chooser != nil {
+		if ns := k.cfg.NoiseSlots; ns.Period > 0 {
+			for _, c := range k.cpus {
+				k.afterKernel(ns.Period, evNoiseSlot, nil, c, 0)
+			}
+		}
+		return
 	}
 	if k.cfg.Noise.MeanInterval > 0 {
 		for _, c := range k.cpus {

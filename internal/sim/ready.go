@@ -87,6 +87,27 @@ func (q *readyQueue) remove(th *Thread) {
 	}
 }
 
+// tieLen returns the length of the front tie group: the run of queued
+// threads sharing the front thread's nice level. FIFO dispatch always
+// takes the front; dispatch under a Chooser may pick any member. Caller
+// checks Len() > 0.
+func (q *readyQueue) tieLen() int {
+	nice := q.front().nice
+	i := 1
+	for i < q.n && q.at(i).nice == nice {
+		i++
+	}
+	return i
+}
+
+// popAt removes and returns the i-th queued thread (0 = front), preserving
+// the order of the rest.
+func (q *readyQueue) popAt(i int) *Thread {
+	th := q.at(i)
+	q.remove(th)
+	return th
+}
+
 // grow doubles the ring's capacity, compacting the live window to index 0.
 func (q *readyQueue) grow() {
 	newCap := 2 * len(q.buf)

@@ -24,7 +24,12 @@ func (k *Kernel) dispatchCPU(c *cpu) {
 	if c.th != nil || k.ready.Len() == 0 {
 		return
 	}
-	th := k.ready.popFront()
+	var th *Thread
+	if k.cfg.Chooser != nil {
+		th = k.chooseDispatch()
+	} else {
+		th = k.ready.popFront()
+	}
 	c.th = th
 	th.cpu = c.id
 	th.schedGen++

@@ -90,11 +90,15 @@ func (s *Sem) Release(t *Task) {
 	s.handoff(k)
 }
 
-// handoff transfers ownership to the head waiter or frees the semaphore.
+// handoff transfers ownership to the next waiter or frees the semaphore.
+// FIFO by default; under a Chooser the wake order is a choice point — real
+// kernels make no FIFO promise for i_sem, and the winner of the paper's
+// §3.4 semaphore competition is exactly what exploration must enumerate.
 func (s *Sem) handoff(k *Kernel) {
 	if len(s.waiters) > 0 {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
+		i := k.chooseWaiter(s.waiters)
+		w := s.waiters[i]
+		s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
 		w.blockCancel = nil
 		s.owner = w
 		w.owned = append(w.owned, s)

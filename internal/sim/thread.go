@@ -104,6 +104,11 @@ type Thread struct {
 	// of higher ones when a CPU frees up (FIFO within a level). Default 0.
 	nice int
 
+	// schedClass groups threads an exploring Chooser may treat as
+	// interchangeable when their remaining compute is also equal (see
+	// classToken). 0, the default, marks the thread unique.
+	schedClass uint16
+
 	// cpuTime accumulates executed compute time, for accounting tests.
 	cpuTime time.Duration
 }
@@ -131,6 +136,13 @@ func (t *Thread) Nice() int { return t.nice }
 // attacker (if priority-based scheduling is used)"). It does not reorder
 // a queue the thread is already waiting in.
 func (t *Thread) SetNice(nice int) { t.nice = nice }
+
+// SetScheduleClass declares the thread interchangeable, for schedule
+// exploration, with every other thread of the same nonzero class whose
+// remaining compute is equal (identical closures, identical state — e.g.
+// a pool of load hogs). Class 0, the default, keeps the thread unique.
+// Only meaningful under a Chooser; it never affects FIFO scheduling.
+func (t *Thread) SetScheduleClass(class uint16) { t.schedClass = class }
 
 // NewProcess registers a process with the given name and credentials.
 func (k *Kernel) NewProcess(name string, uid, gid int) *Process {

@@ -42,6 +42,9 @@ const (
 	EvNameUnbind // Path unbound from its inode
 	EvAttrChange // chown/chmod applied; Label=detail, Arg=new uid (chown)
 	EvIOBlock    // thread blocked on storage I/O (Arg=duration ns)
+
+	// Choice points (emitted only when a Chooser is installed).
+	EvChoice // choice point resolved; Label=ChoiceKind, Arg=picked index
 )
 
 // eventKindNames is an array (not a map) so the String lookup on the trace
@@ -53,7 +56,7 @@ var eventKindNames = [...]string{
 	EvExit: "thread-exit", EvSpawn: "spawn", EvTick: "tick", EvNoise: "noise",
 	EvCompute: "compute", EvTrap: "trap", EvMark: "mark",
 	EvNameBind: "name-bind", EvNameUnbind: "name-unbind",
-	EvAttrChange: "attr", EvIOBlock: "io-block",
+	EvAttrChange: "attr", EvIOBlock: "io-block", EvChoice: "choice",
 }
 
 // String returns a short lowercase name for the kind.
