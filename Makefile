@@ -17,9 +17,9 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ -run 'Campaign|Sweep|Adaptive|FindRound|OnRound|Aborted|Explore'
-	$(GO) test -race ./internal/experiments/ -run 'Sweep|Adaptive'
-	$(GO) test -race ./internal/sim/ ./internal/metrics/ ./internal/trace/ ./internal/explore/
+	$(GO) test -race ./internal/core/ -run 'Campaign|Sweep|Adaptive|FindRound|OnRound|Aborted|Explore|Fault|Checkpoint|Watchdog|Panic'
+	$(GO) test -race ./internal/experiments/ -run 'Sweep|Adaptive|Fault|Checkpoint'
+	$(GO) test -race ./internal/sim/ ./internal/metrics/ ./internal/trace/ ./internal/explore/ ./internal/fault/ ./internal/fs/
 
 # bench runs the per-layer microbenchmarks (see DESIGN.md's Performance
 # section for the benchstat comparison workflow).
@@ -45,7 +45,7 @@ bench-guard:
 
 # golden refreshes the committed experiment snapshots. Run it after a
 # deliberate output change and review the diff before committing.
-GOLDEN_EXPERIMENTS = fig6,headline,eq1-exact
+GOLDEN_EXPERIMENTS = fig6,headline,eq1-exact,faultsweep
 golden:
 	$(GO) run ./cmd/tocttou -experiment $(GOLDEN_EXPERIMENTS) -golden testdata/golden
 

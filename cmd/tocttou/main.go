@@ -5,7 +5,9 @@
 //	tocttou -list
 //	tocttou -experiment fig6 [-rounds N] [-seed S] [-sizes 100,500,1000] [-metrics]
 //	tocttou -experiment all [-adaptive [-halfwidth 0.02] [-minrounds 50]]
-//	tocttou -experiment fig6,headline,eq1-exact -golden testdata/golden
+//	tocttou -experiment fig6,headline,eq1-exact,faultsweep -golden testdata/golden
+//	tocttou -experiment faultsweep [-fault-rates 0,0.01,0.2] [-fault-seed 9973]
+//	tocttou -experiment headline -checkpoint headline.ckpt   (crash-safe; rerun resumes)
 //	tocttou -explore [-sizes 100,500] [-explore-phases 24] [-preemption-bound 1] [-witness-out prefix]
 //	tocttou -trace-out trace.jsonl [-trace-scenario vi-smp] [-trace-kinds enter,exit] [-trace-pid 2] [-trace-path /tmp/x]
 //	tocttou -bench-baseline [-bench-out BENCH_1.json]
@@ -72,6 +74,9 @@ func run(args []string) error {
 	preemptionBound := fl.Int("preemption-bound", 0, "max injected background preemptions per explored round (0 = none)")
 	witnessOut := fl.String("witness-out", "", "path prefix for -explore witness traces (<prefix>-<point>-win.jsonl / -lose.jsonl)")
 	goldenDir := fl.String("golden", "", "write each -experiment rendering to <dir>/<name>.txt instead of stdout")
+	checkpoint := fl.String("checkpoint", "", "crash-safe sweep checkpoint file for a single checkpointable -experiment; rerun with the same flags to resume")
+	faultRates := fl.String("fault-rates", "", "comma-separated fault injection rates in [0,1] for the faultsweep experiment")
+	faultSeed := fl.Int64("fault-seed", 0, "fault-plan seed for the faultsweep experiment (0 = fixed default)")
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
@@ -79,6 +84,7 @@ func run(args []string) error {
 	// Reject contradictory or out-of-range adaptive settings up front
 	// instead of silently running with them.
 	var halfWidthSet, minRoundsSet, explorePhasesSet, preemptionBoundSet, witnessOutSet bool
+	var faultRatesSet, faultSeedSet bool
 	fl.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "halfwidth":
@@ -91,6 +97,10 @@ func run(args []string) error {
 			preemptionBoundSet = true
 		case "witness-out":
 			witnessOutSet = true
+		case "fault-rates":
+			faultRatesSet = true
+		case "fault-seed":
+			faultSeedSet = true
 		}
 	})
 	if halfWidthSet && !*adaptive {
@@ -125,6 +135,40 @@ func run(args []string) error {
 	}
 	if *benchTol <= 0 {
 		return fmt.Errorf("-bench-tolerance must be > 0, got %v", *benchTol)
+	}
+
+	// The fault/checkpoint flags bind to specific experiment selections;
+	// reject mismatches at parse time like the adaptive flags above.
+	names := splitNames(*name)
+	if *checkpoint != "" {
+		if *benchBase || *sweep || *benchGuard || *traceOut != "" || *explore {
+			return fmt.Errorf("-checkpoint only applies to -experiment runs")
+		}
+		if len(names) != 1 || names[0] == "all" {
+			return fmt.Errorf("-checkpoint requires exactly one -experiment name (each sweep maps to one checkpoint file)")
+		}
+		if !experiments.SupportsCheckpoint(names[0]) {
+			return fmt.Errorf("-checkpoint is not supported by experiment %q (its result does not derive purely from sweep points)", names[0])
+		}
+	}
+	if (faultRatesSet || faultSeedSet) && !containsName(names, "faultsweep") {
+		return fmt.Errorf("-fault-rates and -fault-seed only apply to the faultsweep experiment")
+	}
+	var parsedRates []float64
+	if faultRatesSet {
+		for _, s := range strings.Split(*faultRates, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad fault rate %q", s)
+			}
+			if r < 0 || r > 1 {
+				return fmt.Errorf("-fault-rates entries must be in [0, 1], got %v", r)
+			}
+			parsedRates = append(parsedRates, r)
+		}
+		if len(parsedRates) == 0 {
+			return fmt.Errorf("-fault-rates needs at least one rate")
+		}
 	}
 
 	var sizes []int
@@ -175,11 +219,10 @@ func run(args []string) error {
 		opt.MinRounds = *minRounds
 	}
 	opt.Sizes = sizes
+	opt.Checkpoint = *checkpoint
+	opt.FaultRates = parsedRates
+	opt.FaultSeed = *faultSeed
 
-	names := strings.Split(*name, ",")
-	for i, n := range names {
-		names[i] = strings.TrimSpace(n)
-	}
 	if len(names) == 1 && names[0] == "all" {
 		names = experiments.Names()
 	}
@@ -219,6 +262,28 @@ func run(args []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// splitNames splits the -experiment list, trimming whitespace. An empty
+// selection yields nil.
+func splitNames(arg string) []string {
+	if arg == "" {
+		return nil
+	}
+	names := strings.Split(arg, ",")
+	for i, n := range names {
+		names[i] = strings.TrimSpace(n)
+	}
+	return names
+}
+
+func containsName(names []string, want string) bool {
+	for _, n := range names {
+		if n == want || n == "all" {
+			return true
+		}
+	}
+	return false
 }
 
 // exploreRun exhaustively enumerates the schedule space of fig6-style

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fault/checkpoint flags are validated at parse time, before any
+// simulation runs; every rejected combination must name the offending
+// flag so the error is actionable.
+func TestRunRejectsBadFlagCombos(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"fault-rates without faultsweep",
+			[]string{"-experiment", "fig6", "-fault-rates", "0.1"},
+			"-fault-rates",
+		},
+		{
+			"fault-seed without faultsweep",
+			[]string{"-experiment", "fig6", "-fault-seed", "7"},
+			"-fault-seed",
+		},
+		{
+			"fault rate above one",
+			[]string{"-experiment", "faultsweep", "-fault-rates", "1.5"},
+			"[0, 1]",
+		},
+		{
+			"fault rate negative",
+			[]string{"-experiment", "faultsweep", "-fault-rates", "-0.1"},
+			"[0, 1]",
+		},
+		{
+			"fault rate unparsable",
+			[]string{"-experiment", "faultsweep", "-fault-rates", "lots"},
+			"bad fault rate",
+		},
+		{
+			"fault rates empty",
+			[]string{"-experiment", "faultsweep", "-fault-rates", ""},
+			"fault rate",
+		},
+		{
+			"checkpoint with several experiments",
+			[]string{"-experiment", "fig6,headline", "-checkpoint", "x.ckpt"},
+			"exactly one",
+		},
+		{
+			"checkpoint with all",
+			[]string{"-experiment", "all", "-checkpoint", "x.ckpt"},
+			"exactly one",
+		},
+		{
+			"checkpoint with unsupported experiment",
+			[]string{"-experiment", "sendmail", "-checkpoint", "x.ckpt"},
+			"not supported",
+		},
+		{
+			"checkpoint without experiment mode",
+			[]string{"-sweep", "-checkpoint", "x.ckpt"},
+			"-checkpoint",
+		},
+		{
+			"checkpoint with bench mode",
+			[]string{"-bench-baseline", "-checkpoint", "x.ckpt"},
+			"-checkpoint",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("run(%v) error %q does not mention %q", c.args, err, c.want)
+			}
+		})
+	}
+}

@@ -21,13 +21,13 @@ import (
 
 func main() {
 	sc := core.Scenario{
-		Machine:    machine.SMP2(),   // 2 × Xeon 1.7 GHz (paper §5)
-		Victim:     victim.NewVi(),   // vi 6.1's <open, chown> save path
-		Attacker:   attack.NewV1(),   // the naive stat-loop attacker (Fig. 2)
-		UseSyscall: "chown",          // the call that closes vi's window
-		FileSize:   100 << 10,        // a 100 KB document
-		Seed:       2026,             // rounds are fully deterministic per seed
-		Trace:      true,             // collect events for L/D analysis
+		Machine:    machine.SMP2(), // 2 × Xeon 1.7 GHz (paper §5)
+		Victim:     victim.NewVi(), // vi 6.1's <open, chown> save path
+		Attacker:   attack.NewV1(), // the naive stat-loop attacker (Fig. 2)
+		UseSyscall: "chown",        // the call that closes vi's window
+		FileSize:   100 << 10,      // a 100 KB document
+		Seed:       2026,           // rounds are fully deterministic per seed
+		Trace:      true,           // collect events for L/D analysis
 	}
 
 	round, err := core.RunRound(sc)

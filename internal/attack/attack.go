@@ -25,6 +25,12 @@ type V1 struct {
 	// stat returning and the next call, at base (3.2 GHz) speed. The
 	// paper measures ~11 µs of it on the multi-core (Fig. 8).
 	DetectCompute time.Duration
+	// Robust is the attack step's reaction to transient syscall failures
+	// (injected EINTR/EIO/ENOSPC/EMFILE; see internal/fault). The zero
+	// value aborts the attack on the first failed unlink/symlink — the
+	// historical behavior. The detection loop needs no policy: a failed
+	// stat is simply "window not open yet".
+	Robust prog.Robustness
 }
 
 // NewV1 returns the naive attacker with default calibration.
@@ -44,10 +50,10 @@ func (a *V1) Run(c *userland.Libc, env prog.Env) error {
 		if err == nil && info.UID == 0 && info.GID == 0 {
 			// The window is open: redirect the name. The first unlink
 			// call faults in the cold libc stub page right here.
-			if err := c.Unlink(env.Target); err != nil {
+			if err := a.Robust.Retry(c, func() error { return c.Unlink(env.Target) }); err != nil {
 				return errAttackStep("unlink", err)
 			}
-			if err := c.Symlink(env.Passwd, env.Target); err != nil {
+			if err := a.Robust.Retry(c, func() error { return c.Symlink(env.Passwd, env.Target) }); err != nil {
 				return errAttackStep("symlink", err)
 			}
 			return nil

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tocttou/internal/fault"
 	"tocttou/internal/metrics"
 	"tocttou/internal/stats"
 )
@@ -44,6 +45,13 @@ type CampaignResult struct {
 	// It folds in commit order, so it is bit-identical across GOMAXPROCS
 	// like the rest of the result.
 	Metrics metrics.Point
+	// Faults totals the injected faults delivered across all rounds
+	// (all-zero unless the scenario armed a fault plan).
+	Faults fault.Counters
+	// VictimErrors counts rounds whose victim program failed outright —
+	// under fault injection, the rounds where the victim's robustness
+	// policy gave up.
+	VictimErrors int
 }
 
 // addRound folds one completed round into the accumulator. The integer
@@ -66,6 +74,10 @@ func (r *CampaignResult) addRound(round Round) {
 	if round.AttackerErr != nil {
 		r.AttackErrors++
 	}
+	if round.VictimErr != nil {
+		r.VictimErrors++
+	}
+	r.Faults.Add(round.Faults)
 	if round.WindowOK {
 		r.Window.Add(float64(round.Window) / 1e3)
 		r.WindowRounds++
@@ -73,7 +85,7 @@ func (r *CampaignResult) addRound(round Round) {
 			r.SuspendedRounds++
 		}
 	}
-	r.Metrics.Observe(round.Kernel, round.End, round.LD, round.Window, round.WindowOK)
+	r.Metrics.Observe(round.Kernel, round.End, round.LD, round.Window, round.WindowOK, round.Faults)
 }
 
 // PSuspended returns the measured P(victim suspended within the window),

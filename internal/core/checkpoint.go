@@ -1,0 +1,212 @@
+package core
+
+// Crash-safe sweep checkpointing. A checkpoint file holds the committed
+// per-point results of an interrupted sweep: every time a point finishes
+// (the onPointDone hook, which fires exactly once per completed point, in
+// commit order, and never for points cut short by cancellation), the full
+// set of completed results is re-serialized and atomically swapped into
+// place via a temp file + rename. Resuming validates a fingerprint of the
+// sweep configuration, restores the completed points verbatim, and runs
+// only the remainder. Because each point's result depends solely on its
+// own scenario and seed (workers share nothing across points but the
+// pool), the merged output is bit-identical to an uninterrupted run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"sync"
+)
+
+// checkpointVersion guards the on-disk schema.
+const checkpointVersion = 1
+
+// checkpointFile is the on-disk schema: the sweep fingerprint plus the
+// completed points' results, sorted by point index.
+type checkpointFile struct {
+	Version     int               `json:"version"`
+	Fingerprint uint64            `json:"fingerprint"`
+	Points      int               `json:"points"`
+	Done        []checkpointEntry `json:"done"`
+}
+
+type checkpointEntry struct {
+	Point  int            `json:"point"`
+	Result CampaignResult `json:"result"`
+}
+
+// RunSweepPointsCheckpoint is RunSweepPoints with opt-in crash-safe
+// checkpointing. With an empty path it is RunSweepPoints exactly. With a
+// path, completed points already recorded in the file are restored
+// without re-simulation, the remaining points run as a sub-sweep whose
+// completions are flushed atomically as they commit, and the merged
+// results are bit-identical to an uninterrupted RunSweepPoints over the
+// same points (per-point results never depend on other points). The
+// returned SweepStats covers only the work this call performed; restored
+// points contribute nothing to it.
+//
+// A file written for a different sweep (point count, scenarios, seeds,
+// budgets, or adaptive config) is rejected by fingerprint, not silently
+// merged. SuccessCheck, NewGuard, and Chooser hooks cannot be
+// fingerprinted (they are code); resuming with different hook behavior is
+// the caller's responsibility, as with any seed-reuse mistake.
+func RunSweepPointsCheckpoint(points []SweepPoint, opt SweepOptions, path string) ([]CampaignResult, SweepStats, error) {
+	if path == "" {
+		return RunSweepPoints(points, opt)
+	}
+	fp := sweepFingerprint(points, opt.Adaptive)
+	done, err := loadCheckpoint(path, fp, len(points))
+	if err != nil {
+		return nil, SweepStats{}, err
+	}
+
+	results := make([]CampaignResult, len(points))
+	var remaining []SweepPoint
+	var remapped []int // remapped[subIdx] = original point index
+	for i, p := range points {
+		if res, ok := done[i]; ok {
+			results[i] = res
+			continue
+		}
+		remaining = append(remaining, p)
+		remapped = append(remapped, i)
+	}
+	if len(remaining) == 0 {
+		return results, SweepStats{}, nil
+	}
+
+	w := &checkpointWriter{path: path, fp: fp, points: len(points), done: done}
+	sub := opt
+	sub.onPointDone = func(p int, res CampaignResult) {
+		w.flush(remapped[p], res)
+	}
+	subRes, st, err := RunSweepPoints(remaining, sub)
+	if werr := w.firstErr(); werr != nil {
+		// A checkpoint that cannot be written is a failed run: continuing
+		// would silently drop the crash-safety the caller asked for.
+		return nil, st, fmt.Errorf("core: checkpoint: %w", werr)
+	}
+	if err != nil {
+		if se, ok := sweepErrorAs(err); ok {
+			// Translate the sub-sweep's point index back to the caller's.
+			return nil, st, &SweepError{Point: remapped[se.Point], Round: se.Round, Seed: se.Seed, Err: se.Err}
+		}
+		return nil, st, err
+	}
+	for si, r := range subRes {
+		results[remapped[si]] = r
+	}
+	return results, st, nil
+}
+
+// sweepFingerprint hashes the sweep-shaping configuration: everything
+// plain-valued that changes per-point results. Function and interface
+// fields (SuccessCheck, NewGuard, Chooser) are code and cannot be hashed.
+func sweepFingerprint(points []SweepPoint, ad AdaptiveStop) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d n=%d adaptive=%v|", checkpointVersion, len(points), ad)
+	for _, p := range points {
+		sc := p.Scenario
+		victim, attacker := "", ""
+		if sc.Victim != nil {
+			victim = sc.Victim.Name()
+		}
+		if sc.Attacker != nil {
+			attacker = sc.Attacker.Name()
+		}
+		fmt.Fprintf(h, "r=%d m=%s/%d v=%s a=%s sys=%s size=%d seed=%d trace=%v su=%v uid=%d gid=%d load=%d nice=%d chooser=%v ph=%d ns=%v sb=%d hz=%v wd=%v faults=%v|",
+			p.Rounds, sc.Machine.Name, sc.Machine.CPUs, victim, attacker,
+			sc.UseSyscall, sc.FileSize, sc.Seed, sc.Trace, sc.VictimStartupMax,
+			sc.AttackerUID, sc.AttackerGID, sc.LoadThreads, sc.AttackerNice,
+			sc.Chooser != nil, sc.PhaseSlots, sc.NoiseSlots, sc.StallBound,
+			sc.Horizon, sc.Watchdog, sc.Faults)
+	}
+	return h.Sum64()
+}
+
+// loadCheckpoint reads and validates an existing checkpoint file. A
+// missing file is an empty checkpoint; a present but mismatched one is an
+// error (stale files must be deleted deliberately, never merged).
+func loadCheckpoint(path string, fp uint64, npoints int) (map[int]CampaignResult, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[int]CampaignResult{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s: corrupt: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint %s: version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	if f.Fingerprint != fp || f.Points != npoints {
+		return nil, fmt.Errorf("core: checkpoint %s: written for a different sweep configuration (delete it to start over)", path)
+	}
+	done := make(map[int]CampaignResult, len(f.Done))
+	for _, e := range f.Done {
+		if e.Point < 0 || e.Point >= npoints {
+			return nil, fmt.Errorf("core: checkpoint %s: point %d out of range [0, %d)", path, e.Point, npoints)
+		}
+		done[e.Point] = e.Result
+	}
+	return done, nil
+}
+
+// checkpointWriter serializes completed points to disk. flush is called
+// from onPointDone under a point's fold lock; the writer's own mutex
+// orders concurrent completions of different points. Write errors are
+// sticky — the first one is reported once the sweep drains.
+type checkpointWriter struct {
+	path   string
+	fp     uint64
+	points int
+
+	mu   sync.Mutex
+	done map[int]CampaignResult
+	err  error
+}
+
+func (w *checkpointWriter) flush(point int, res CampaignResult) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	w.done[point] = res
+	entries := make([]checkpointEntry, 0, len(w.done))
+	for p, r := range w.done {
+		entries = append(entries, checkpointEntry{Point: p, Result: r})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Point < entries[j].Point })
+	data, err := json.Marshal(checkpointFile{
+		Version:     checkpointVersion,
+		Fingerprint: w.fp,
+		Points:      w.points,
+		Done:        entries,
+	})
+	if err != nil {
+		w.err = err
+		return
+	}
+	// Atomic replace: a crash mid-write leaves either the previous
+	// checkpoint or the new one, never a torn file.
+	tmp := w.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		w.err = err
+		return
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		w.err = err
+	}
+}
+
+func (w *checkpointWriter) firstErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

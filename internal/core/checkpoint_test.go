@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tocttou/internal/machine"
+)
+
+// checkpointTestPoints mixes plain, traced, and faulty scenarios so the
+// restored results exercise every CampaignResult field the JSON encoding
+// must carry (Welford summaries, kernel stats, fault counters).
+func checkpointTestPoints() []SweepPoint {
+	return []SweepPoint{
+		{Scenario: viSc(machine.Uniprocessor(), 100<<10, 95001, false), Rounds: 30},
+		{Scenario: viSc(machine.SMP2(), 100<<10, 95003, true), Rounds: 30},
+		{Scenario: faultViSc(95005), Rounds: 30},
+		{Scenario: viSc(machine.SMP2(), 1, 95007, true), Rounds: 30},
+		{Scenario: faultViSc(95009), Rounds: 30},
+		{Scenario: viSc(machine.MultiCore(), 50<<10, 95011, false), Rounds: 30},
+	}
+}
+
+func resultsEqual(t *testing.T, label string, got, want []CampaignResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: point %d diverged:\ngot:  %+v\nwant: %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	points := checkpointTestPoints()
+	want, _, err := RunSweepPoints(points, SweepOptions{})
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	// Crash mid-sweep: stop deliberately after three committed points.
+	crash := SweepOptions{stopAfterPoints: 3}
+	_, _, err = RunSweepPointsCheckpoint(points, crash, path)
+	if !errors.Is(err, ErrSweepInterrupted) {
+		t.Fatalf("interrupted sweep err = %v, want ErrSweepInterrupted", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint written before the crash: %v", err)
+	}
+
+	// Resume: only the missing points run, and the merged results are
+	// bit-identical to the uninterrupted sweep.
+	got, stats, err := RunSweepPointsCheckpoint(points, SweepOptions{}, path)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	resultsEqual(t, "resume", got, want)
+	total := 0
+	for _, p := range points {
+		total += p.Rounds
+	}
+	if stats.RoundsExecuted >= total {
+		t.Errorf("resume executed %d of %d rounds; restored points must not re-run", stats.RoundsExecuted, total)
+	}
+	if stats.RoundsExecuted == 0 {
+		t.Error("resume executed nothing; the crash should have left points unfinished")
+	}
+
+	// A third run restores everything and simulates nothing.
+	again, stats, err := RunSweepPointsCheckpoint(points, SweepOptions{}, path)
+	if err != nil {
+		t.Fatalf("completed-checkpoint rerun: %v", err)
+	}
+	resultsEqual(t, "rerun", again, want)
+	if stats.RoundsExecuted != 0 {
+		t.Errorf("completed checkpoint still executed %d rounds", stats.RoundsExecuted)
+	}
+}
+
+func TestCheckpointEmptyPathIsPlainSweep(t *testing.T) {
+	points := checkpointTestPoints()[:2]
+	want, _, err := RunSweepPoints(points, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := RunSweepPointsCheckpoint(points, SweepOptions{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "empty path", got, want)
+}
+
+func TestCheckpointMismatchedSweepRejected(t *testing.T) {
+	points := checkpointTestPoints()[:2]
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if _, _, err := RunSweepPointsCheckpoint(points, SweepOptions{}, path); err != nil {
+		t.Fatalf("initial sweep: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(ps []SweepPoint)
+	}{
+		{"file size", func(ps []SweepPoint) { ps[0].Scenario.FileSize += 1024 }},
+		{"seed", func(ps []SweepPoint) { ps[1].Scenario.Seed++ }},
+		{"budget", func(ps []SweepPoint) { ps[0].Rounds++ }},
+		{"fault plan", func(ps []SweepPoint) { ps[1].Scenario.Faults.FSRate = 0.5 }},
+		{"watchdog", func(ps []SweepPoint) { ps[0].Scenario.Watchdog = 1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			changed := append([]SweepPoint(nil), points...)
+			c.mutate(changed)
+			_, _, err := RunSweepPointsCheckpoint(changed, SweepOptions{}, path)
+			if err == nil || !strings.Contains(err.Error(), "different sweep configuration") {
+				t.Errorf("mismatched resume err = %v, want configuration rejection", err)
+			}
+		})
+	}
+
+	// Point-count changes are rejected too.
+	_, _, err := RunSweepPointsCheckpoint(points[:1], SweepOptions{}, path)
+	if err == nil || !strings.Contains(err.Error(), "different sweep configuration") {
+		t.Errorf("shorter resume err = %v, want configuration rejection", err)
+	}
+}
+
+func TestCheckpointCorruptFileRejected(t *testing.T) {
+	points := checkpointTestPoints()[:1]
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunSweepPointsCheckpoint(points, SweepOptions{}, path); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+}
+
+func TestCheckpointUnwritablePathFailsRun(t *testing.T) {
+	// A checkpoint that cannot be flushed must fail the run rather than
+	// silently dropping crash safety.
+	points := checkpointTestPoints()[:1]
+	path := filepath.Join(t.TempDir(), "no-such-dir", "sweep.ckpt")
+	_, _, err := RunSweepPointsCheckpoint(points, SweepOptions{}, path)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("unwritable checkpoint err = %v, want flush failure", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"tocttou/internal/fault"
 	"tocttou/internal/fs"
 	"tocttou/internal/machine"
 	"tocttou/internal/prog"
@@ -123,6 +124,19 @@ type Scenario struct {
 	// loaded scenarios, where delay branches otherwise stretch rounds —
 	// and stack choice points — without limit.
 	Horizon time.Duration
+	// Faults, when enabled, arms the deterministic fault-injection plan
+	// for every round: injected fs errnos, EINTR-style semaphore-wait
+	// interruptions, and mid-round kills (see internal/fault). A disabled
+	// plan (the zero value) leaves the round on the exact fault-free code
+	// path and consumes no randomness.
+	Faults fault.Plan
+	// Watchdog, when positive, aborts any round that is still running
+	// after that much virtual time and reports a diagnostic error naming
+	// the seed — catching runaway rounds (a victim retry loop that never
+	// converges, say) long before the kernel's 10-minute MaxTime default.
+	// Ignored when Horizon is set: a horizon already bounds the round and
+	// evaluates the truncated outcome instead of failing.
+	Watchdog time.Duration
 	// Paths overrides the fixture layout when non-zero.
 	Paths *Paths
 }
@@ -183,6 +197,9 @@ type Round struct {
 	AttackerPID int32
 	// End is the virtual time at which the round completed.
 	End sim.Time
+	// Faults tallies the injected faults the round actually delivered
+	// (all-zero unless the scenario armed a fault plan).
+	Faults fault.Counters
 }
 
 // RunRound executes one seeded race and reports its outcome.
@@ -222,11 +239,25 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 	simCfg.StallBound = sc.StallBound
 	if sc.Horizon > 0 {
 		simCfg.MaxTime = sc.Horizon
+	} else if sc.Watchdog > 0 {
+		simCfg.MaxTime = sc.Watchdog
 	}
 	fsCfg := fs.Config{
 		Latency:               sc.Machine.Latency,
 		TrackContent:          sc.TrackContent,
 		UnsynchronizedLookups: sc.UnsynchronizedLookups,
+	}
+	// The fault injector rides the per-round configs: its stream is its
+	// own (mixed from the plan seed and the round seed), so arming it
+	// perturbs neither the kernel RNG nor any scheduling decision.
+	var inj *fault.Injector
+	if sc.Faults.Enabled() {
+		if err := sc.Faults.Validate(); err != nil {
+			return Round{}, fmt.Errorf("core: fault plan: %w", err)
+		}
+		inj = sc.Faults.NewInjector(sc.Seed)
+		simCfg.Interrupter = inj
+		fsCfg.Faults = inj
 	}
 	var k *sim.Kernel
 	var f *fs.FS
@@ -301,18 +332,53 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 			hog.SetScheduleClass(1)
 		}
 	}
-	k.OnProcessExit(func(proc *sim.Process) {
-		if proc == victimProc {
-			// The save completed; the window (if any) is closed.
+	// The call is gated on inj so the fault-free path never pays the
+	// heap copies of the scenario and env captured by faultd's closures.
+	var faultProc *sim.Process
+	var restart *faultRestart
+	if inj != nil {
+		faultProc, restart = armFaultKills(k, f, sc, inj, victimProc, attackerProc, victimImg, env, &victimErr)
+	}
+	if faultProc == nil {
+		k.OnProcessExit(func(proc *sim.Process) {
+			if proc == victimProc {
+				// The save completed; the window (if any) is closed.
+				k.KillProcess(attackerProc)
+				if loadProc != nil {
+					k.KillProcess(loadProc)
+				}
+			}
+		})
+	} else {
+		k.OnProcessExit(func(proc *sim.Process) {
+			if proc != victimProc {
+				return
+			}
+			if restart != nil && restart.pending {
+				// Injected crash with a supervised restart pending: the
+				// round continues once the victim relaunches.
+				return
+			}
+			// The save completed (or the victim died unsupervised); the
+			// round is over either way.
 			k.KillProcess(attackerProc)
 			if loadProc != nil {
 				k.KillProcess(loadProc)
 			}
-		}
-	})
+			k.KillProcess(faultProc)
+		})
+	}
 	if err := k.Run(); err != nil {
-		// Hitting a configured horizon is a truncated round, not a failure.
-		if sc.Horizon <= 0 || !errors.Is(err, sim.ErrMaxTime) {
+		// Hitting a configured horizon is a truncated round, not a failure;
+		// hitting the watchdog is a diagnosed runaway.
+		switch {
+		case sc.Horizon > 0 && errors.Is(err, sim.ErrMaxTime):
+			// Truncated round: evaluate the outcome as-is.
+		case sc.Watchdog > 0 && errors.Is(err, sim.ErrMaxTime):
+			return Round{}, fmt.Errorf(
+				"core: watchdog: round (seed %d, victim %q, attacker %q) still running after %v of virtual time: %w",
+				sc.Seed, sc.Victim.Name(), sc.Attacker.Name(), sc.Watchdog, err)
+		default:
 			return Round{}, fmt.Errorf("core: round simulation: %w", err)
 		}
 	}
@@ -324,6 +390,9 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 		AttackerPID: int32(attackerProc.PID),
 		End:         k.Now(),
 		Kernel:      k.Stats(),
+	}
+	if inj != nil {
+		round.Faults = inj.Counters
 	}
 	if sc.SuccessCheck != nil {
 		round.Success = sc.SuccessCheck(f, p, sc.AttackerUID)
@@ -349,6 +418,74 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 		}
 	}
 	return round, nil
+}
+
+// faultRestart coordinates an injected victim kill with its supervised
+// restart: while pending, the round's normal process-exit cleanup stands
+// down (the victim's death is a crash, not a completed save).
+type faultRestart struct{ pending bool }
+
+// armFaultKills draws the round's injected-kill decisions and, when one
+// fires, spawns a root "faultd" process whose threads deliver the kills at
+// their drawn virtual-time instants. The draws happen in a fixed order
+// (victim first, then attacker) so the injector's RNG stream is consumed
+// identically on every host. Returns the faultd process (nil when no kill
+// fires — the common case, which leaves the round's process set and its
+// exit hook on the exact fault-free path) and the restart coordinator (nil
+// unless a supervised victim kill is armed). Callers gate the call on a
+// non-nil injector: the closures below capture sc and env, which moves
+// both to the heap in this function's prologue — a cost fault-free rounds
+// must not pay.
+func armFaultKills(k *sim.Kernel, f *fs.FS, sc Scenario, inj *fault.Injector,
+	victimProc, attackerProc *sim.Process, victimImg *userland.Image,
+	env prog.Env, victimErr *error) (*sim.Process, *faultRestart) {
+	vAt, vKill := inj.DrawKill(sc.Faults.KillVictimRate)
+	aAt, aKill := inj.DrawKill(sc.Faults.KillAttackerRate)
+	if !vKill && !aKill {
+		return nil, nil
+	}
+	faultProc := k.NewProcess("faultd", 0, 0)
+	var restart *faultRestart
+	if vKill {
+		if sc.Faults.Restart {
+			restart = &faultRestart{}
+		}
+		rs := restart
+		k.Spawn(faultProc, "faultd-victim", func(t *sim.Task) {
+			t.Sleep(vAt)
+			if !victimProc.Alive() {
+				return // the save already completed; nothing left to kill
+			}
+			if rs != nil {
+				rs.pending = true
+			}
+			inj.Counters.Kills++
+			t.Trace(sim.Event{Kind: sim.EvFault, Label: "kill:victim"})
+			k.KillProcess(victimProc)
+			if rs == nil {
+				return // unsupervised crash: the exit hook ends the round
+			}
+			t.Sleep(inj.RestartDelayOrDefault())
+			inj.Counters.Restarts++
+			t.Trace(sim.Event{Kind: sim.EvFault, Label: "restart:victim"})
+			k.Spawn(victimProc, "victim", func(t *sim.Task) {
+				*victimErr = sc.Victim.Run(userland.Bind(t, f, victimImg), env)
+			})
+			rs.pending = false
+		})
+	}
+	if aKill {
+		k.Spawn(faultProc, "faultd-attacker", func(t *sim.Task) {
+			t.Sleep(aAt)
+			if !attackerProc.Alive() {
+				return
+			}
+			inj.Counters.Kills++
+			t.Trace(sim.Event{Kind: sim.EvFault, Label: "kill:attacker"})
+			k.KillProcess(attackerProc)
+		})
+	}
+	return faultProc, restart
 }
 
 // hogNames caches debug names for the usual handful of load threads so a

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tocttou/internal/fault"
+	"tocttou/internal/fs"
+	"tocttou/internal/machine"
+)
+
+// faultViSc is the fault-injection regression scenario: the vi/SMP attack
+// with every fault channel armed at rates high enough to fire in a short
+// campaign, tuned to the round's actual virtual-time scale (rounds last a
+// few ms; blocked waits a few µs).
+func faultViSc(seed int64) Scenario {
+	sc := viSc(machine.SMP2(), 100<<10, seed, true)
+	sc.Faults = fault.Plan{
+		Seed:             1303,
+		FSRate:           0.05,
+		SemIntrRate:      0.3,
+		SemIntrDelay:     time.Microsecond,
+		KillVictimRate:   0.1,
+		KillAttackerRate: 0.1,
+		KillWindow:       4 * time.Millisecond,
+		Restart:          true,
+	}
+	sc.Watchdog = 5 * time.Second
+	return sc
+}
+
+func TestFaultCampaignDeliversEveryChannel(t *testing.T) {
+	res := campaign(t, faultViSc(90001), 300)
+	if res.Faults.FSErrors == 0 {
+		t.Error("no fs errors injected")
+	}
+	if res.Faults.SemInterrupts == 0 {
+		t.Error("no semaphore interruptions delivered")
+	}
+	if res.Faults.Kills == 0 {
+		t.Error("no kills delivered")
+	}
+	if res.Faults.Restarts == 0 {
+		t.Error("no restarts delivered")
+	}
+}
+
+func TestFaultCampaignDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	sc := faultViSc(90107)
+	parallel := campaign(t, sc, determinismRounds)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := campaign(t, sc, determinismRounds)
+	runtime.GOMAXPROCS(prev)
+
+	if parallel != serial {
+		t.Fatalf("faulty campaign depends on parallelism:\n gomaxprocs=n: %+v\n gomaxprocs=1: %+v", parallel, serial)
+	}
+}
+
+func TestFaultDisabledPlanBitIdenticalToNoPlan(t *testing.T) {
+	// A plan with a seed but no rates must be indistinguishable from no
+	// plan at all: the injector is never built, so the round's RNG
+	// consumption is untouched down to the event level.
+	base := deterministicViSMP()
+	seeded := base
+	seeded.Faults = fault.Plan{Seed: 777, SemIntrDelay: time.Microsecond, KillWindow: time.Millisecond}
+
+	a, err := RunRound(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRound(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("trace length differs: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("trace diverges at event %d:\nno plan:  %+v\ndisabled: %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if campaign(t, base, 100) != campaign(t, seeded, 100) {
+		t.Fatal("disabled plan changed the campaign result")
+	}
+}
+
+func TestFaultRoundRejectsInvalidPlan(t *testing.T) {
+	sc := faultViSc(90211)
+	sc.Faults.FSRate = 2
+	_, err := RunRound(sc)
+	var re *fault.RateError
+	if !errors.As(err, &re) || re.Name != "FSRate" {
+		t.Fatalf("RunRound err = %v, want *fault.RateError for FSRate", err)
+	}
+}
+
+func TestWatchdogAbortsRunawayRound(t *testing.T) {
+	// A vi round needs milliseconds of virtual time; a 50µs watchdog makes
+	// every round a "runaway" and must produce the diagnostic error.
+	sc := viSc(machine.SMP2(), 100<<10, 90301, false)
+	sc.Watchdog = 50 * time.Microsecond
+	_, err := RunRound(sc)
+	if err == nil {
+		t.Fatal("watchdogged round succeeded, want error")
+	}
+	for _, want := range []string{"watchdog", "seed 90301", sc.Victim.Name(), sc.Attacker.Name()} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("watchdog error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestWatchdogIgnoredUnderHorizon(t *testing.T) {
+	// A horizon truncates and evaluates; it must win over the watchdog.
+	sc := viSc(machine.SMP2(), 100<<10, 90401, false)
+	sc.Horizon = 50 * time.Microsecond
+	sc.Watchdog = 50 * time.Microsecond
+	r, err := RunRound(sc)
+	if err != nil {
+		t.Fatalf("horizon-truncated round failed: %v", err)
+	}
+	if time.Duration(r.End) > sc.Horizon {
+		t.Errorf("round ran to %v, past the %v horizon", r.End, sc.Horizon)
+	}
+}
+
+func TestSweepPanicRecoveredAsError(t *testing.T) {
+	// A panic inside round evaluation must surface as a *SweepError
+	// naming the point, round, and derived seed — and must not poison the
+	// shared worker pool for later sweeps.
+	sc := viSc(machine.SMP2(), 4<<10, 90501, false)
+	sc.SuccessCheck = func(f *fs.FS, p Paths, attackerUID int) bool {
+		panic("boom: synthetic check failure")
+	}
+	_, _, err := RunSweepPoints([]SweepPoint{{Scenario: sc, Rounds: 50}}, SweepOptions{})
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	if se.Point != 0 {
+		t.Errorf("point = %d, want 0", se.Point)
+	}
+	if want := sc.Seed + int64(se.Round+1)*SeedStride; se.Seed != want {
+		t.Errorf("seed = %d, want %d (base + (round+1)*stride)", se.Seed, want)
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error %q does not describe the panic", err)
+	}
+
+	// The pool survives: a healthy sweep still runs and matches a
+	// direct campaign.
+	healthy := viSc(machine.SMP2(), 4<<10, 90551, false)
+	res, _, err := RunSweepPoints([]SweepPoint{{Scenario: healthy, Rounds: 50}}, SweepOptions{})
+	if err != nil {
+		t.Fatalf("sweep after panic: %v", err)
+	}
+	if res[0] != campaign(t, healthy, 50) {
+		t.Error("post-panic sweep result diverged from a direct campaign")
+	}
+}
+
+func TestFaultFirstPointFailFastCancelsLaterWork(t *testing.T) {
+	// Regression: the first committed point errors (every round trips its
+	// watchdog) while later points' large budgets are mid-flight. The
+	// sweep must cancel promptly, name the failing point, and strand no
+	// pool goroutines.
+	runaway := viSc(machine.SMP2(), 100<<10, 90601, false)
+	runaway.Watchdog = 50 * time.Microsecond
+	points := []SweepPoint{
+		{Scenario: runaway, Rounds: 10},
+		{Scenario: faultViSc(90603), Rounds: 2000},
+		{Scenario: faultViSc(90605), Rounds: 2000},
+	}
+
+	// Warm the persistent pool so the goroutine baseline is stable.
+	if _, _, err := RunSweepPoints(
+		[]SweepPoint{{Scenario: faultViSc(90699), Rounds: 20}}, SweepOptions{},
+	); err != nil {
+		t.Fatalf("warm-up sweep: %v", err)
+	}
+	before := runtime.NumGoroutine()
+
+	_, stats, err := RunSweepPoints(points, SweepOptions{})
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	if se.Point != 0 {
+		t.Errorf("failing point = %d, want 0", se.Point)
+	}
+	total := 10 + 2000 + 2000
+	if stats.RoundsExecuted >= total/2 {
+		t.Errorf("executed %d of %d budgeted rounds; cancellation was not prompt", stats.RoundsExecuted, total)
+	}
+
+	// Workers drain in-flight rounds after cancellation; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d after a cancelled sweep", before, after)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,17 @@ type SweepOptions struct {
 	// alias a worker's reused trace buffer) and the Round must not be
 	// retained past the call.
 	OnRound func(point, round int, r Round)
+	// onPointDone, when non-nil, observes each point the moment its last
+	// round commits (full budget spent or adaptive rule satisfied), under
+	// that point's fold lock. It fires exactly once per completed point
+	// and never for points cut short by cancellation. Unexported: it is
+	// the checkpoint writer's hook (see checkpoint.go), not public API.
+	onPointDone func(point int, res CampaignResult)
+	// stopAfterPoints, when positive, cancels the sweep right after that
+	// many points complete and makes RunSweepPoints return
+	// ErrSweepInterrupted. Unexported: it simulates a mid-sweep crash for
+	// the checkpoint-resume determinism tests.
+	stopAfterPoints int
 }
 
 // SweepStats reports how much work a sweep performed.
@@ -97,16 +109,25 @@ type SweepStats struct {
 	PointsStopped int
 }
 
+// ErrSweepInterrupted reports a sweep that stopped deliberately after a
+// requested number of completed points (the checkpoint tests' simulated
+// crash), with every result committed so far already flushed through
+// onPointDone. It is not a round failure: no SweepError wraps it.
+var ErrSweepInterrupted = errors.New("core: sweep interrupted")
+
 // SweepError reports the sweep point and round whose simulation failed.
 type SweepError struct {
 	Point int
 	Round int
-	Err   error
+	// Seed is the failing round's derived seed (base + (round+1)*stride),
+	// ready to paste into a single-round reproduction.
+	Seed int64
+	Err  error
 }
 
 // Error implements error.
 func (e *SweepError) Error() string {
-	return fmt.Sprintf("core: sweep point %d round %d: %v", e.Point, e.Round, e.Err)
+	return fmt.Sprintf("core: sweep point %d round %d (seed %d): %v", e.Point, e.Round, e.Seed, e.Err)
 }
 
 // Unwrap exposes the underlying round error.
@@ -156,6 +177,15 @@ func RunSweepPoints(points []SweepPoint, opt SweepOptions) ([]CampaignResult, Sw
 	if r.err != nil {
 		return nil, stats, r.err
 	}
+	if r.interrupted.Load() {
+		// Deliberate mid-sweep stop: completed points already reached
+		// onPointDone; the rest are intentionally unfinished, so the
+		// committed-budget invariant below does not apply.
+		for i := range r.aggs {
+			stats.RoundsCommitted += r.aggs[i].res.Rounds
+		}
+		return nil, stats, ErrSweepInterrupted
+	}
 	results := make([]CampaignResult, len(points))
 	for i := range r.aggs {
 		agg := &r.aggs[i]
@@ -179,10 +209,12 @@ type sweepRun struct {
 	offsets []int64 // offsets[p] = first ticket of point p
 	total   int64   // total tickets
 
-	next     atomic.Int64 // ticket claim cursor
-	cancel   atomic.Bool  // fail-fast flag
-	executed atomic.Int64
-	aggs     []pointAgg
+	next        atomic.Int64 // ticket claim cursor
+	cancel      atomic.Bool  // fail-fast flag
+	executed    atomic.Int64
+	completed   atomic.Int64 // points fully committed
+	interrupted atomic.Bool  // stopAfterPoints tripped
+	aggs        []pointAgg
 
 	errMu sync.Mutex
 	err   *SweepError
@@ -224,10 +256,10 @@ func (r *sweepRun) work(st *roundState) {
 		}
 		sc := r.points[p].Scenario
 		sc.Seed += int64(i+1) * SeedStride
-		round, err := runRound(sc, st)
+		round, err := runRoundSafe(sc, st)
 		r.executed.Add(1)
 		if err != nil {
-			r.fail(p, i, err)
+			r.fail(p, i, sc.Seed, err)
 			return
 		}
 		// Events alias st's reused trace buffer; everything derived from
@@ -243,13 +275,35 @@ func (r *sweepRun) pointAt(t int64) int {
 }
 
 // fail records the earliest-known failing round and cancels the sweep.
-func (r *sweepRun) fail(p, i int, err error) {
+func (r *sweepRun) fail(p, i int, seed int64, err error) {
 	r.errMu.Lock()
 	if r.err == nil || p < r.err.Point || (p == r.err.Point && i < r.err.Round) {
-		r.err = &SweepError{Point: p, Round: i, Err: err}
+		r.err = &SweepError{Point: p, Round: i, Seed: seed, Err: err}
 	}
 	r.errMu.Unlock()
 	r.cancel.Store(true)
+}
+
+// runRoundSafe is runRound behind a panic barrier. A panicking round —
+// from a scenario-provided hook (guard constructor, success check) or a
+// simulator invariant violation — surfaces as an ordinary error carrying
+// the panic value and stack instead of tearing down the process, so the
+// sweep cancels cleanly and the caller learns the exact (point, round,
+// seed) to reproduce. The worker's reusable simulation context is
+// discarded wholesale: a context that panicked mid-round may hold a
+// half-built kernel, and the reuse switch in runRound rebuilds a nil one
+// from scratch.
+func runRoundSafe(sc Scenario, st *roundState) (round Round, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if st != nil {
+				*st = roundState{}
+			}
+			round = Round{}
+			err = fmt.Errorf("core: round panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return runRound(sc, st)
 }
 
 // commit folds round i of point p, buffering out-of-order completions so
@@ -289,12 +343,22 @@ func (r *sweepRun) fold(p int, agg *pointAgg, round Round) {
 	agg.res.addRound(round)
 	agg.next++
 	ad := r.opt.Adaptive
-	if !ad.enabled() || agg.res.Rounds < ad.minRounds() || agg.res.Rounds >= r.points[p].Rounds {
-		return
+	if ad.enabled() && agg.res.Rounds >= ad.minRounds() && agg.res.Rounds < r.points[p].Rounds {
+		if lo, hi := agg.res.Proportion().WilsonInterval(ad.z()); (hi-lo)/2 <= ad.HalfWidth {
+			agg.done.Store(true)
+			agg.pending = nil // any overshoot past the stopping index is discarded
+		}
 	}
-	if lo, hi := agg.res.Proportion().WilsonInterval(ad.z()); (hi-lo)/2 <= ad.HalfWidth {
-		agg.done.Store(true)
-		agg.pending = nil // any overshoot past the stopping index is discarded
+	// A point completes by exhausting its budget or by stopping early;
+	// either way this is the unique fold that finished it.
+	if agg.done.Load() || agg.next == r.points[p].Rounds {
+		if r.opt.onPointDone != nil {
+			r.opt.onPointDone(p, agg.res)
+		}
+		if n := r.completed.Add(1); r.opt.stopAfterPoints > 0 && n >= int64(r.opt.stopAfterPoints) {
+			r.interrupted.Store(true)
+			r.cancel.Store(true)
+		}
 	}
 }
 
@@ -376,7 +440,7 @@ func (f *findRun) work(st *roundState) {
 		}
 		rsc := f.sc
 		rsc.Seed = f.sc.Seed + int64(t)*f.stride
-		round, err := runRound(rsc, st)
+		round, err := runRoundSafe(rsc, st)
 		if err != nil {
 			f.mu.Lock()
 			if f.errIdx < 0 || t < f.errIdx {

@@ -81,7 +81,7 @@ func Sendmail(opt Options) (Result, error) {
 			refused[point]++
 		}
 	}
-	results, err := core.RunSweep(scs, rounds, so)
+	results, err := opt.runSweepWith(scs, rounds, so)
 	if err != nil {
 		return nil, fmt.Errorf("sendmail: %w", err)
 	}
@@ -192,7 +192,7 @@ func Eq1(opt Options) (Result, error) {
 	for i, c := range configs {
 		scs[i] = c.sc
 	}
-	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	results, err := opt.runSweep(scs, rounds)
 	if err != nil {
 		return nil, fmt.Errorf("eq1: %w", err)
 	}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tocttou/internal/attack"
+	"tocttou/internal/core"
+	"tocttou/internal/fault"
+	"tocttou/internal/machine"
+	"tocttou/internal/metrics"
+	"tocttou/internal/prog"
+	"tocttou/internal/report"
+	"tocttou/internal/victim"
+)
+
+// faultPolicy pairs a robustness policy with its display label.
+type faultPolicy struct {
+	label  string
+	robust prog.Robustness
+}
+
+// faultPolicies are the error-handling disciplines the sweep compares:
+// give-up (first transient failure aborts the program), retry (four
+// attempts with doubling virtual-time backoff), and retry+fallback (the
+// same retries, then the program's degraded path).
+var faultPolicies = []faultPolicy{
+	{"give-up", prog.Robustness{}},
+	{"retry", prog.Robustness{Retries: 4, Backoff: 20 * time.Microsecond}},
+	{"retry+fallback", prog.Robustness{Retries: 4, Backoff: 20 * time.Microsecond, Fallback: true}},
+}
+
+// defaultFaultRates is the injection-rate ladder: a fault-free baseline,
+// then roughly decade steps up to a heavily faulty world.
+var defaultFaultRates = []float64{0, 0.002, 0.01, 0.05, 0.2}
+
+// DefaultFaultSeed seeds the fault plans when Options.FaultSeed is zero.
+const DefaultFaultSeed = 9973
+
+// FaultRow is one (rate, policy) point of the fault sweep.
+type FaultRow struct {
+	Rate   float64
+	Policy string
+	Result core.CampaignResult
+}
+
+// FaultSweepResult is the faultsweep experiment outcome.
+type FaultSweepResult struct {
+	Rows   []FaultRow
+	Rounds int
+	// ShowMetrics appends the kernel-metrics section to the rendering.
+	ShowMetrics bool
+}
+
+// Name implements Result.
+func (r *FaultSweepResult) Name() string { return "faultsweep" }
+
+// Render implements Result.
+func (r *FaultSweepResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "faultsweep — vi SMP attack success under injected faults (%d rounds per point)\n", r.Rounds)
+	fmt.Fprintf(w, "At rate p: each fs op fails with an injected errno w.p. p, each blocked semaphore\n")
+	fmt.Fprintf(w, "wait is EINTR-interrupted w.p. p, and each program is killed mid-round w.p. p/2\n")
+	fmt.Fprintf(w, "(the victim restarts, supervised). Policies differ only in error handling.\n\n")
+	tbl := &report.Table{Headers: []string{
+		"fault rate", "policy", "success", "rate",
+		"victim-fail", "attack-err", "fs-err/rnd", "eintr/rnd", "kill/rnd", "restart/rnd",
+	}}
+	for _, row := range r.Rows {
+		res := row.Result
+		n := float64(res.Rounds)
+		tbl.AddRow(
+			fmt.Sprintf("%.3f", row.Rate),
+			row.Policy,
+			fmt.Sprintf("%d/%d", res.Successes, res.Rounds),
+			fmt.Sprintf("%.1f%%", res.Rate()*100),
+			fmt.Sprintf("%d", res.VictimErrors),
+			fmt.Sprintf("%d", res.AttackErrors),
+			fmt.Sprintf("%.2f", float64(res.Faults.FSErrors)/n),
+			fmt.Sprintf("%.2f", float64(res.Faults.SemInterrupts)/n),
+			fmt.Sprintf("%.2f", float64(res.Faults.Kills)/n),
+			fmt.Sprintf("%.2f", float64(res.Faults.Restarts)/n),
+		)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	// One series per policy: how fast the attack's success decays as the
+	// world gets faultier, under each error-handling discipline.
+	series := make([]report.Series, 0, len(faultPolicies))
+	var xs []float64
+	for _, p := range faultPolicies {
+		var ys []float64
+		xs = xs[:0]
+		for _, row := range r.Rows {
+			if row.Policy != p.label {
+				continue
+			}
+			xs = append(xs, row.Rate*100)
+			ys = append(ys, row.Result.Rate()*100)
+		}
+		series = append(series, report.Series{Name: p.label, Ys: ys})
+	}
+	chart := &report.Chart{
+		Title:  "attack success vs fault rate, by robustness policy",
+		XLabel: "fault rate (%)", YLabel: "%",
+		Xs:     xs,
+		Series: series,
+	}
+	if err := chart.Render(w); err != nil {
+		return err
+	}
+	if !r.ShowMetrics {
+		return nil
+	}
+	labels := make([]string, len(r.Rows))
+	pts := make([]metrics.Point, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = fmt.Sprintf("p=%.3f %s", row.Rate, row.Policy)
+		pts[i] = row.Result.Metrics
+	}
+	return report.MetricsSection(w, labels, pts)
+}
+
+// FaultSweep measures how error-handling discipline changes attack
+// success in a faulty world: a (rate × policy) grid of vi/SMP campaigns
+// under the deterministic fault injector, with a virtual-time watchdog
+// guarding every round.
+func FaultSweep(opt Options) (Result, error) {
+	rates := opt.FaultRates
+	if rates == nil {
+		rates = defaultFaultRates
+	}
+	for _, p := range rates {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("faultsweep: fault rate %v outside [0, 1]", p)
+		}
+	}
+	rounds := opt.rounds(300)
+	seed := opt.seed(6007)
+	faultSeed := opt.FaultSeed
+	if faultSeed == 0 {
+		faultSeed = DefaultFaultSeed
+	}
+	m := machine.SMP2()
+	var scs []core.Scenario
+	for ri, rate := range rates {
+		for pi, p := range faultPolicies {
+			vi := victim.NewVi()
+			vi.Robust = p.robust
+			at := attack.NewV1()
+			at.Robust = p.robust
+			sc := core.Scenario{
+				Machine:    m,
+				Victim:     vi,
+				Attacker:   at,
+				UseSyscall: "chown",
+				FileSize:   100 << 10,
+				Seed:       seed + int64(ri*len(faultPolicies)+pi)*7121,
+				Trace:      opt.Metrics,
+				Faults: fault.Plan{
+					Seed:        faultSeed,
+					FSRate:      rate,
+					SemIntrRate: rate,
+					// Blocked waits in this scenario last single-digit µs
+					// (the victim's per-chunk write holds), so the signal
+					// must arrive faster than the default 50µs to ever
+					// beat the semaphore.
+					SemIntrDelay:     time.Microsecond,
+					KillVictimRate:   rate / 2,
+					KillAttackerRate: rate / 2,
+					// Rounds finish in a few virtual ms; the default 200ms
+					// kill window would park nearly every drawn kill after
+					// the processes already exited.
+					KillWindow: 4 * time.Millisecond,
+					Restart:    true,
+				},
+				// Generous virtual-time bound: healthy rounds finish in
+				// milliseconds, so only a genuinely runaway round (a retry
+				// loop that stops converging, say) can trip it.
+				Watchdog: 5 * time.Second,
+			}
+			scs = append(scs, sc)
+		}
+	}
+	results, err := opt.runSweep(scs, rounds)
+	if err != nil {
+		return nil, fmt.Errorf("faultsweep: %w", err)
+	}
+	out := &FaultSweepResult{Rounds: rounds, ShowMetrics: opt.Metrics}
+	for ri, rate := range rates {
+		for pi, p := range faultPolicies {
+			out.Rows = append(out.Rows, FaultRow{
+				Rate:   rate,
+				Policy: p.label,
+				Result: results[ri*len(faultPolicies)+pi],
+			})
+		}
+	}
+	return out, nil
+}

@@ -90,7 +90,7 @@ func Headline(opt Options) (Result, error) {
 			scs[i].Trace = true
 		}
 	}
-	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	results, err := opt.runSweep(scs, rounds)
 	if err != nil {
 		return nil, fmt.Errorf("headline: %w", err)
 	}
@@ -180,7 +180,7 @@ func DefenseEvaluation(opt Options) (Result, error) {
 		delayed.NewGuard = func() fs.Guard { return defense.New(defense.Delay) }
 		scs = append(scs, c.sc, guarded, delayed)
 	}
-	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	results, err := opt.runSweep(scs, rounds)
 	if err != nil {
 		return nil, fmt.Errorf("defense: %w", err)
 	}

@@ -83,7 +83,7 @@ func ModelValidation(opt Options) (Result, error) {
 	scs = append(scs, t1sc)
 	scs = append(scs, viScenario(machine.SMP2(), 100, seed+2888, true))
 	scs = append(scs, geditScenario(machine.SMP2(), attack.NewV1(), seed+3999, true))
-	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	results, err := opt.runSweep(scs, rounds)
 	if err != nil {
 		return nil, fmt.Errorf("model: %w", err)
 	}

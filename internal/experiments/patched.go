@@ -79,7 +79,7 @@ func Patched(opt Options) (Result, error) {
 		fixed.Trace = true // count whether a window is even detectable
 		scs = append(scs, base, fixed)
 	}
-	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	results, err := opt.runSweep(scs, rounds)
 	if err != nil {
 		return nil, fmt.Errorf("patched: %w", err)
 	}

@@ -101,7 +101,7 @@ func SessionStudy(opt Options) (Result, error) {
 		}
 		points = append(points, core.SweepPoint{Scenario: sc, Rounds: rounds})
 	}
-	results, _, err := core.RunSweepPoints(points, opt.sweep())
+	results, _, err := opt.runSweepPoints(points, opt.sweep())
 	if err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}
@@ -175,7 +175,7 @@ func GapSweep(opt Options) (Result, error) {
 			Seed: seed + int64(i)*9973,
 		}
 	}
-	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	results, err := opt.runSweep(scs, rounds)
 	if err != nil {
 		return nil, fmt.Errorf("gapsweep: %w", err)
 	}

@@ -117,7 +117,7 @@ func Fig6(opt Options) (Result, error) {
 		// populate; tracing observes without perturbing the simulation.
 		scs[i] = viScenario(m, kb, seed+int64(i)*7919, opt.Metrics)
 	}
-	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	results, err := opt.runSweep(scs, rounds)
 	if err != nil {
 		return nil, fmt.Errorf("fig6: %w", err)
 	}
@@ -192,7 +192,7 @@ func ViSMPSweep(opt Options) (Result, error) {
 	for i, kb := range sizes {
 		scs[i] = viScenario(m, kb, seed+int64(i)*104729, false)
 	}
-	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	results, err := opt.runSweep(scs, rounds)
 	if err != nil {
 		return nil, fmt.Errorf("vismp: %w", err)
 	}
@@ -272,7 +272,7 @@ func Fig7(opt Options) (Result, error) {
 	for i, kb := range sizes {
 		scs[i] = viScenario(m, kb, seed+int64(i)*7907, true)
 	}
-	results, err := core.RunSweep(scs, rounds, opt.sweep())
+	results, err := opt.runSweep(scs, rounds)
 	if err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}

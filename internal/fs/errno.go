@@ -21,6 +21,8 @@ type Errno int
 const (
 	EPERM     Errno = 1
 	ENOENT    Errno = 2
+	EINTR     Errno = 4
+	EIO       Errno = 5
 	EACCES    Errno = 13
 	EEXIST    Errno = 17
 	EXDEV     Errno = 18
@@ -28,15 +30,18 @@ const (
 	EISDIR    Errno = 21
 	EINVAL    Errno = 22
 	EMFILE    Errno = 24
+	ENOSPC    Errno = 28
 	ENOTEMPTY Errno = 39
 	ELOOP     Errno = 40
 	EBADF     Errno = 9
 )
 
 var errnoNames = map[Errno]string{
-	EPERM: "EPERM", ENOENT: "ENOENT", EACCES: "EACCES", EEXIST: "EEXIST",
+	EPERM: "EPERM", ENOENT: "ENOENT", EINTR: "EINTR", EIO: "EIO",
+	EACCES: "EACCES", EEXIST: "EEXIST",
 	EXDEV: "EXDEV", ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", EINVAL: "EINVAL",
-	EMFILE: "EMFILE", ENOTEMPTY: "ENOTEMPTY", ELOOP: "ELOOP", EBADF: "EBADF",
+	EMFILE: "EMFILE", ENOSPC: "ENOSPC", ENOTEMPTY: "ENOTEMPTY",
+	ELOOP: "ELOOP", EBADF: "EBADF",
 }
 
 // Error implements error.

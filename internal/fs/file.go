@@ -76,7 +76,9 @@ func (f *FS) openLocked(t *sim.Task, w *walker, path string, flags OpenFlag, mod
 			return nil, pathErr("open", path, EACCES)
 		}
 		w.flush()
-		res.parent.isem().Acquire(t)
+		if err := res.parent.isem().AcquireInterruptible(t); err != nil {
+			return nil, pathErr("open", path, EINTR)
+		}
 		// Re-check under the lock; a concurrent creator may have won.
 		if existing := res.parent.children[res.name]; existing != nil {
 			res.parent.isem().Release(t)
@@ -116,7 +118,9 @@ func (f *FS) openExisting(t *sim.Task, w *walker, path string, node *inode, flag
 	w.charge(f.cfg.Latency.OpenExisting)
 	w.flush()
 	if flags&OTrunc != 0 && flags&OWrite != 0 && node.typ == TypeRegular && node.size > 0 {
-		node.isem().Acquire(t)
+		if err := node.isem().AcquireInterruptible(t); err != nil {
+			return nil, pathErr("open", path, EINTR)
+		}
 		f.truncateLocked(t, node)
 		node.isem().Release(t)
 	}
@@ -155,7 +159,9 @@ func (fl *File) writeCommon(t *sim.Task, n int64, b []byte) error {
 			return pathErr("write", fl.path, EINVAL)
 		}
 		node := fl.node
-		node.isem().Acquire(t)
+		if err := node.isem().AcquireInterruptible(t); err != nil {
+			return pathErr("write", fl.path, EINTR)
+		}
 		cost := f.cfg.Latency.WriteBase + perKB(f.cfg.Latency.WritePerKB, n)
 		t.Compute(t.Kernel().JitterDuration(cost))
 		if p := f.cfg.Latency.WriteStallProbPerKB * float64(n) / 1024.0; p > 0 {
@@ -261,7 +267,9 @@ func (fl *File) Chown(t *sim.Task, uid, gid int) error {
 		if !cred.Root() {
 			return pathErr("fchown", fl.path, EPERM)
 		}
-		fl.node.isem().Acquire(t)
+		if err := fl.node.isem().AcquireInterruptible(t); err != nil {
+			return pathErr("fchown", fl.path, EINTR)
+		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chown))
 		fl.node.uid = uid
 		fl.node.gid = gid
@@ -289,7 +297,9 @@ func (fl *File) Chmod(t *sim.Task, mode Mode) error {
 		if !cred.Root() && cred.UID != fl.node.uid {
 			return pathErr("fchmod", fl.path, EPERM)
 		}
-		fl.node.isem().Acquire(t)
+		if err := fl.node.isem().AcquireInterruptible(t); err != nil {
+			return pathErr("fchmod", fl.path, EINTR)
+		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chmod))
 		fl.node.mode = mode
 		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "fchmod", Path: fl.path, Arg: int64(mode)})

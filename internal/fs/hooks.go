@@ -64,7 +64,22 @@ type Guard interface {
 	After(t *sim.Task, op Op, path, path2 string, cred Cred, err error)
 }
 
+// FaultHook injects operation-level failures. When installed via
+// Config.Faults it is consulted at every operation's entry (before the
+// Guard and the operation body); a non-nil return is handed to the caller
+// unchanged, so implementations return errno-carrying PathErrors. The
+// fault layer (internal/fault) implements it with a dedicated per-round
+// RNG stream; the interface lives here so fs does not import fault.
+type FaultHook interface {
+	InjectOp(t *sim.Task, op Op, path string) error
+}
+
 func (f *FS) guardBefore(t *sim.Task, op Op, path, path2 string, cred Cred) error {
+	if f.cfg.Faults != nil {
+		if err := f.cfg.Faults.InjectOp(t, op, path); err != nil {
+			return err
+		}
+	}
 	if f.guard == nil {
 		return nil
 	}

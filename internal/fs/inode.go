@@ -116,6 +116,10 @@ type Config struct {
 	// synchronizes the attacker's detection with the opening of the
 	// gedit window (DESIGN.md decision 3).
 	UnsynchronizedLookups bool
+	// Faults, when non-nil, is consulted before every operation and may
+	// veto it with an injected errno (EIO/ENOSPC/EMFILE...). Nil — the
+	// default — keeps every operation fault-free. See internal/fault.
+	Faults FaultHook
 }
 
 // FS is a simulated Unix-style file system. A finished FS can be recycled

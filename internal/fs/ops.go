@@ -165,7 +165,9 @@ func (f *FS) unlinkLocked(t *sim.Task, w *walker, path string) error {
 		return pathErr("unlink", path, EACCES)
 	}
 	w.flush()
-	parent.isem().Acquire(t)
+	if err := parent.isem().AcquireInterruptible(t); err != nil {
+		return pathErr("unlink", path, EINTR)
+	}
 	// Re-lookup under the lock: the binding may have changed since the
 	// unlocked walk — these are exactly the TOCTTOU semantics.
 	node := parent.children[res.name]
@@ -241,7 +243,9 @@ func (f *FS) symlinkLocked(t *sim.Task, w *walker, target, linkpath string) erro
 		return pathErr("symlink", linkpath, EACCES)
 	}
 	w.flush()
-	res.parent.isem().Acquire(t)
+	if err := res.parent.isem().AcquireInterruptible(t); err != nil {
+		return pathErr("symlink", linkpath, EINTR)
+	}
 	if res.parent.children[res.name] != nil {
 		res.parent.isem().Release(t)
 		return pathErr("symlink", linkpath, EEXIST)
@@ -284,7 +288,9 @@ func (f *FS) Link(t *sim.Task, oldpath, newpath string) error {
 			return pathErr("link", newpath, EACCES)
 		}
 		w.flush()
-		res.parent.isem().Acquire(t)
+		if err := res.parent.isem().AcquireInterruptible(t); err != nil {
+			return pathErr("link", newpath, EINTR)
+		}
 		if res.parent.children[res.name] != nil {
 			res.parent.isem().Release(t)
 			return pathErr("link", newpath, EEXIST)
@@ -357,7 +363,12 @@ func (f *FS) renameLocked(t *sim.Task, w *walker, oldpath, newpath string) error
 	} else if second.ino < first.ino {
 		first, second = second, first
 	}
-	first.isem().Acquire(t)
+	// Only the first lock is interruptible: once any namespace lock is
+	// held the operation is committed to finishing (a mid-rename EINTR
+	// would have to unwind a partially locked dentry pair).
+	if err := first.isem().AcquireInterruptible(t); err != nil {
+		return pathErr("rename", oldpath, EINTR)
+	}
 	if second != nil {
 		second.isem().Acquire(t)
 	}
@@ -452,7 +463,9 @@ func (f *FS) Chmod(t *sim.Task, path string, mode Mode) error {
 			return pathErr("chmod", path, EPERM)
 		}
 		w.flush()
-		res.node.isem().Acquire(t)
+		if err := res.node.isem().AcquireInterruptible(t); err != nil {
+			return pathErr("chmod", path, EINTR)
+		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chmod))
 		res.node.mode = mode
 		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "chmod", Path: path, Arg: int64(mode)})
@@ -485,7 +498,9 @@ func (f *FS) Chown(t *sim.Task, path string, uid, gid int) error {
 			return pathErr("chown", path, EPERM)
 		}
 		w.flush()
-		res.node.isem().Acquire(t)
+		if err := res.node.isem().AcquireInterruptible(t); err != nil {
+			return pathErr("chown", path, EINTR)
+		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chown))
 		res.node.uid = uid
 		res.node.gid = gid
@@ -521,7 +536,9 @@ func (f *FS) Mkdir(t *sim.Task, path string, mode Mode) error {
 			return pathErr("mkdir", path, EACCES)
 		}
 		w.flush()
-		res.parent.isem().Acquire(t)
+		if err := res.parent.isem().AcquireInterruptible(t); err != nil {
+			return pathErr("mkdir", path, EINTR)
+		}
 		if res.parent.children[res.name] != nil {
 			res.parent.isem().Release(t)
 			return pathErr("mkdir", path, EEXIST)
@@ -567,7 +584,9 @@ func (f *FS) Rmdir(t *sim.Task, path string) error {
 			return pathErr("rmdir", path, EACCES)
 		}
 		w.flush()
-		res.parent.isem().Acquire(t)
+		if err := res.parent.isem().AcquireInterruptible(t); err != nil {
+			return pathErr("rmdir", path, EINTR)
+		}
 		node := res.parent.children[res.name]
 		if node == nil {
 			res.parent.isem().Release(t)

@@ -44,24 +44,29 @@ func (w *walker) flush() {
 // being moved by a rename blocks the walker until the swap completes, and
 // the walker then observes the post-swap binding — the mechanism that
 // synchronizes the attacker's detection with the opening of the gedit
-// window (§6).
-func (w *walker) touchDir(dir *inode) {
+// window (§6). The blocked wait is interruptible like the fs's other
+// semaphore waits, so an injected signal surfaces as EINTR out of the
+// resolving call.
+func (w *walker) touchDir(dir *inode) error {
 	if w.f.cfg.UnsynchronizedLookups {
 		w.charge(w.f.cfg.Latency.Lookup)
-		return
+		return nil
 	}
 	// A directory that never saw a rename has no dentry lock (dcache is
 	// created lazily); that is indistinguishable from an unowned one.
 	if d := dir.dcache; d != nil {
 		if owner := d.Owner(); owner != nil && owner != w.t.Thread() {
 			w.flush()
-			d.Acquire(w.t)
+			if err := d.AcquireInterruptible(w.t); err != nil {
+				return err
+			}
 			w.t.Compute(w.t.Kernel().JitterDuration(w.f.cfg.Latency.Lookup))
 			d.Release(w.t)
-			return
+			return nil
 		}
 	}
 	w.charge(w.f.cfg.Latency.Lookup)
+	return nil
 }
 
 // resolution is the outcome of a timed path walk.
@@ -99,7 +104,9 @@ func (w *walker) resolve(op, path string, follow bool, depth int) (resolution, e
 		if !cur.permOK(w.cred, permExec) {
 			return resolution{}, pathErr(op, path, EACCES)
 		}
-		w.touchDir(cur)
+		if err := w.touchDir(cur); err != nil {
+			return resolution{}, pathErr(op, path, EINTR)
+		}
 		next := cur.children[c]
 		last := i == len(comps)-1
 		if last {

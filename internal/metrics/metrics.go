@@ -17,6 +17,7 @@ import (
 	"math/bits"
 	"time"
 
+	"tocttou/internal/fault"
 	"tocttou/internal/sim"
 	"tocttou/internal/stats"
 	"tocttou/internal/trace"
@@ -121,13 +122,20 @@ type Point struct {
 	WindowHist Hist
 	DHist      Hist
 	LHist      Hist
+
+	// Per-round injected-fault activity (zero unless the scenario armed a
+	// fault plan; see internal/fault).
+	FaultFSErrors      stats.Summary // injected fs errno failures per round
+	FaultSemInterrupts stats.Summary // delivered EINTR interruptions per round
+	FaultKills         stats.Summary // injected process kills per round
+	FaultRestarts      stats.Summary // victim restarts after a kill per round
 }
 
 // Observe folds one completed round: its kernel counter snapshot, its end
-// time (for idle derivation), and its trace-derived measurements. Rounds
-// must be observed in ascending round-index order for bit-reproducible
-// summaries.
-func (p *Point) Observe(ks sim.KernelStats, end sim.Time, ld trace.LDResult, window time.Duration, windowOK bool) {
+// time (for idle derivation), its trace-derived measurements, and its
+// injected-fault tally. Rounds must be observed in ascending round-index
+// order for bit-reproducible summaries.
+func (p *Point) Observe(ks sim.KernelStats, end sim.Time, ld trace.LDResult, window time.Duration, windowOK bool, faults fault.Counters) {
 	p.Rounds++
 	p.Dispatches.Add(float64(ks.Dispatches))
 	p.Preemptions.Add(float64(ks.Preemptions))
@@ -153,6 +161,18 @@ func (p *Point) Observe(ks sim.KernelStats, end sim.Time, ld trace.LDResult, win
 		p.LUs.Add(ld.Lmicros())
 		p.LHist.Add(ld.Lmicros())
 	}
+
+	p.FaultFSErrors.Add(float64(faults.FSErrors))
+	p.FaultSemInterrupts.Add(float64(faults.SemInterrupts))
+	p.FaultKills.Add(float64(faults.Kills))
+	p.FaultRestarts.Add(float64(faults.Restarts))
+}
+
+// Faulted reports whether any round delivered an injected fault. The
+// counters are non-negative, so a positive max means at least one delivery.
+func (p *Point) Faulted() bool {
+	return p.FaultFSErrors.Max() > 0 || p.FaultSemInterrupts.Max() > 0 ||
+		p.FaultKills.Max() > 0 || p.FaultRestarts.Max() > 0
 }
 
 // Traced reports whether any round contributed derived latencies (i.e.

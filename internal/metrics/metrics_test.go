@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"tocttou/internal/fault"
 	"tocttou/internal/sim"
 	"tocttou/internal/trace"
 )
@@ -80,7 +81,7 @@ func TestPointObserveGating(t *testing.T) {
 	var p Point
 
 	// Untraced round: counters fold, latencies don't.
-	p.Observe(ks, sim.Time(1000), trace.LDResult{}, 0, false)
+	p.Observe(ks, sim.Time(1000), trace.LDResult{}, 0, false, fault.Counters{})
 	if p.Rounds != 1 || p.Dispatches.Mean() != 3 {
 		t.Fatalf("counters not folded: %+v", p)
 	}
@@ -89,7 +90,7 @@ func TestPointObserveGating(t *testing.T) {
 	}
 
 	// Window without a completed race: window folds, L/D don't.
-	p.Observe(ks, sim.Time(1000), trace.LDResult{WindowFound: true}, 5*time.Microsecond, true)
+	p.Observe(ks, sim.Time(1000), trace.LDResult{WindowFound: true}, 5*time.Microsecond, true, fault.Counters{})
 	if p.WindowHist.N() != 1 || p.DHist.N() != 0 {
 		t.Fatalf("window gating wrong: %+v", p)
 	}
@@ -99,7 +100,7 @@ func TestPointObserveGating(t *testing.T) {
 		Detected: true, WindowFound: true, T3: 100,
 		D: 30 * time.Microsecond, L: -2 * time.Microsecond,
 	}
-	p.Observe(ks, sim.Time(1000), ld, 5*time.Microsecond, true)
+	p.Observe(ks, sim.Time(1000), ld, 5*time.Microsecond, true, fault.Counters{})
 	if p.DHist.N() != 1 || p.LHist.N() != 1 || p.LHist.Neg != 1 {
 		t.Fatalf("race latencies not folded (negative L must land in Neg): %+v", p)
 	}
@@ -111,7 +112,7 @@ func TestPointObserveGating(t *testing.T) {
 func TestPointComparable(t *testing.T) {
 	mk := func() Point {
 		var p Point
-		p.Observe(sim.KernelStats{Dispatches: 1, CPUs: 1}, 100, trace.LDResult{}, 0, false)
+		p.Observe(sim.KernelStats{Dispatches: 1, CPUs: 1}, 100, trace.LDResult{}, 0, false, fault.Counters{})
 		return p
 	}
 	if mk() != mk() {

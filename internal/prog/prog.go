@@ -4,6 +4,9 @@
 package prog
 
 import (
+	"time"
+
+	"tocttou/internal/fs"
 	"tocttou/internal/machine"
 	"tocttou/internal/userland"
 )
@@ -41,4 +44,45 @@ type Program interface {
 	Name() string
 	// Run executes the program to completion.
 	Run(c *userland.Libc, env Env) error
+}
+
+// Robustness configures how a program reacts to transient syscall failures
+// — the injected EINTR/EIO/ENOSPC/EMFILE errors of internal/fault. The
+// zero value is the historical give-up-immediately behavior, so existing
+// programs are unchanged unless a policy is set explicitly.
+type Robustness struct {
+	// Retries is how many extra attempts a transiently failed call gets
+	// before the failure is surfaced. Zero gives up on the first error.
+	Retries int
+	// Backoff is the virtual-time wait before the first retry; it doubles
+	// on every subsequent one. Zero retries immediately.
+	Backoff time.Duration
+	// Fallback enables the program's degraded path once retries are
+	// exhausted (for vi: save without keeping a backup copy).
+	Fallback bool
+}
+
+// Transient reports whether err carries one of the errno values the
+// robustness policies treat as retryable: the injected-fault set EINTR,
+// EIO, ENOSPC, and EMFILE.
+func Transient(err error) bool {
+	switch fs.ErrnoOf(err) {
+	case fs.EINTR, fs.EIO, fs.ENOSPC, fs.EMFILE:
+		return true
+	}
+	return false
+}
+
+// Retry runs op under the policy: each transient failure waits the
+// doubling backoff in virtual time and tries again, up to Retries extra
+// attempts. Non-transient errors surface immediately.
+func (r Robustness) Retry(c *userland.Libc, op func() error) error {
+	err := op()
+	for attempt := 0; attempt < r.Retries && err != nil && Transient(err); attempt++ {
+		if d := r.Backoff << uint(attempt); d > 0 {
+			c.Task().Sleep(d)
+		}
+		err = op()
+	}
+	return err
 }

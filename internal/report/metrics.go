@@ -66,6 +66,28 @@ func LatencyMetricsTable(w io.Writer, title string, labels []string, pts []metri
 	return tbl.Render(w)
 }
 
+// FaultMetricsTable renders the per-round injected-fault summaries of a
+// set of sweep points (see internal/fault); call it only when at least
+// one point actually delivered faults.
+func FaultMetricsTable(w io.Writer, title string, labels []string, pts []metrics.Point) error {
+	tbl := &Table{
+		Title: title,
+		Headers: []string{
+			"point", "fs-err", "eintr", "kills", "restarts",
+		},
+	}
+	for i, p := range pts {
+		tbl.AddRow(
+			labels[i],
+			meanSD(p.FaultFSErrors),
+			meanSD(p.FaultSemInterrupts),
+			meanSD(p.FaultKills),
+			meanSD(p.FaultRestarts),
+		)
+	}
+	return tbl.Render(w)
+}
+
 // RenderHist draws a log₂ latency histogram as labeled count bars. Empty
 // buckets between the first and last populated ones still print, so the
 // distribution's shape (including gaps) is visible.
@@ -133,6 +155,23 @@ func MetricsSection(w io.Writer, labels []string, pts []metrics.Point) error {
 	}
 	if err := KernelMetricsTable(w, "", labels, pts); err != nil {
 		return err
+	}
+	faulted := false
+	for i := range pts {
+		if pts[i].Faulted() {
+			faulted = true
+			break
+		}
+	}
+	if faulted {
+		// Only faulty campaigns grow the section; fault-free output stays
+		// byte-identical to the pre-fault renderer.
+		if _, err := fmt.Fprintf(w, "\nInjected faults (per-round mean±sd)\n\n"); err != nil {
+			return err
+		}
+		if err := FaultMetricsTable(w, "", labels, pts); err != nil {
+			return err
+		}
 	}
 	traced := false
 	for i := range pts {

@@ -27,6 +27,8 @@ const (
 	evNoise
 	// evNoiseSlot is a chooser-driven noise deliberation slot on c.
 	evNoiseSlot
+	// evSemIntr delivers an injected interruption to th's semaphore wait.
+	evSemIntr
 )
 
 // timedEvent is an entry in the kernel's event queue. Events at equal
@@ -162,5 +164,7 @@ func (k *Kernel) dispatchEvent(ev *timedEvent) {
 		k.noiseFire(ev.c)
 	case evNoiseSlot:
 		k.noiseSlotFire(ev.c)
+	case evSemIntr:
+		k.semIntrFire(ev.th, ev.gen)
 	}
 }

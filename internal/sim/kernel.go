@@ -93,6 +93,12 @@ type Config struct {
 	// "stall" per run when a Chooser drives them (0 = unbounded); part of
 	// the explorer's truncation model. Ignored without a Chooser.
 	StallBound int
+	// Interrupter, when non-nil, is consulted whenever a thread blocks on
+	// an interruptible semaphore acquire (Sem.AcquireInterruptible) and may
+	// schedule an EINTR-style interruption of the wait. Nil — the default —
+	// keeps every acquire uninterruptible, bit-identical to the historical
+	// behavior. Used by the fault-injection layer (internal/fault).
+	Interrupter Interrupter
 	// MaxSteps bounds the number of processed events (0 = default 50M).
 	MaxSteps int64
 	// MaxTime bounds virtual time (0 = default 10 virtual minutes).

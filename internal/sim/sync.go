@@ -1,6 +1,32 @@
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrInterrupted is returned by Sem.AcquireInterruptible when an injected
+// signal-style interruption (see Config.Interrupter) cancels the wait
+// before ownership was handed over — the simulated analogue of a syscall
+// returning EINTR out of an interruptible down() on an inode semaphore.
+var ErrInterrupted = errors.New("sim: semaphore wait interrupted")
+
+// Interrupter decides, at the instant a thread blocks in an interruptible
+// semaphore acquire, whether a signal-style interruption should be
+// delivered to that wait and after how much virtual time. Implementations
+// must be deterministic functions of their own state (the fault layer uses
+// a dedicated per-round RNG stream) and must not call back into the
+// kernel. A wait whose ownership is handed over before the chosen instant
+// is no longer interrupted; the stale delivery is discarded.
+type Interrupter interface {
+	// SemBlocked is asked whether (and after how much virtual time) the
+	// wait th just entered should be interrupted.
+	SemBlocked(th *Thread, sem string) (delay time.Duration, interrupt bool)
+	// SemInterrupted observes an interruption that was actually delivered
+	// (the wait was still pending at the chosen instant).
+	SemInterrupted(th *Thread)
+}
 
 // Sem is a mutual-exclusion semaphore with a FIFO wait queue, modeling the
 // per-inode i_sem of Unix-style file systems. Ownership is handed directly
@@ -51,30 +77,97 @@ func (s *Sem) Waiters() int { return len(s.waiters) }
 // unwinds the thread with an error.
 func (s *Sem) Acquire(t *Task) {
 	t.checkKilled()
+	if s.tryFast(t) {
+		return
+	}
+	s.acquireSlow(t, false)
+}
+
+// AcquireInterruptible is Acquire for wait sites that model Linux's
+// down_interruptible: if the kernel has an Interrupter installed and it
+// elects to interrupt this wait, the call returns ErrInterrupted after the
+// chosen virtual-time delay without acquiring the semaphore. With no
+// Interrupter (the default) it is exactly Acquire and always returns nil.
+func (s *Sem) AcquireInterruptible(t *Task) error {
+	t.checkKilled()
+	if s.tryFast(t) {
+		return nil
+	}
+	return s.acquireSlow(t, true)
+}
+
+// tryFast takes an uncontended semaphore without blocking, or panics on a
+// recursive acquire. Returns false when the caller must queue.
+func (s *Sem) tryFast(t *Task) bool {
 	k, th := t.k, t.th
 	if s.owner == nil {
 		s.owner = th
 		th.owned = append(th.owned, s)
 		k.stats.SemAcquires++
 		k.emitThread(th, Event{Kind: EvSemAcquire, Label: s.name})
-		return
+		return true
 	}
 	if s.owner == th {
 		panic(fmt.Sprintf("sim: thread %q recursively acquired semaphore %q", th.name, s.name))
 	}
+	return false
+}
+
+// acquireSlow queues the thread and blocks until ownership is handed over
+// or — on an interruptible wait the Interrupter chose to break — the
+// injected interruption wakes it empty-handed.
+func (s *Sem) acquireSlow(t *Task, interruptible bool) error {
+	k, th := t.k, t.th
 	s.waiters = append(s.waiters, th)
 	k.stats.SemBlocks++
 	blockedAt := k.now
 	k.emitThread(th, Event{Kind: EvSemBlock, Label: s.name})
 	th.blockCancel = func() { s.removeWaiter(th) }
+	if interruptible {
+		if in := k.cfg.Interrupter; in != nil {
+			if d, ok := in.SemBlocked(th, s.name); ok {
+				th.intrGen++
+				k.pendingOps++
+				k.afterKernel(d, evSemIntr, th, nil, th.intrGen)
+			}
+		}
+	}
 	k.blockCurrent(th, s.blockLabel)
 	t.yieldTo(yieldBlocked)
+	th.intrGen++ // invalidate any still-armed interrupt delivery
 	t.checkKilled()
+	if th.intrDelivered {
+		th.intrDelivered = false
+		return ErrInterrupted
+	}
 	// Release handed us ownership before waking us.
 	th.owned = append(th.owned, s)
 	k.stats.SemAcquires++
 	k.stats.SemWaitNs += int64(k.now.Sub(blockedAt))
 	k.emitThread(th, Event{Kind: EvSemAcquire, Label: s.name})
+	return nil
+}
+
+// semIntrFire delivers an armed interruption to th's semaphore wait. The
+// delivery is stale — and discarded — if the wait already ended (ownership
+// handoff bumped intrGen when the thread resumed, or the thread was
+// killed). pendingOps keeps the deadlock detector aware of the in-flight
+// event either way.
+func (k *Kernel) semIntrFire(th *Thread, gen uint64) {
+	k.pendingOps--
+	if th.intrGen != gen || th.state != StateBlocked || th.killed {
+		return
+	}
+	if th.blockCancel != nil {
+		th.blockCancel()
+		th.blockCancel = nil
+	}
+	th.intrDelivered = true
+	k.emitThread(th, Event{Kind: EvFault, Label: "eintr"})
+	if in := k.cfg.Interrupter; in != nil {
+		in.SemInterrupted(th)
+	}
+	k.makeReady(th)
 }
 
 // Release transfers the semaphore to the head waiter, or frees it. Only the

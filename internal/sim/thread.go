@@ -96,6 +96,13 @@ type Thread struct {
 	timerArmed bool
 	timerGen   uint64
 
+	// intrGen invalidates stale injected-interrupt events (each
+	// interruptible semaphore wait arms at most one, and every wake-up
+	// bumps the generation); intrDelivered marks that the current wake-up
+	// is an injected EINTR rather than a semaphore handoff.
+	intrGen       uint64
+	intrDelivered bool
+
 	killed bool
 	err    error // panic captured from the thread function
 	owned  []*Sem

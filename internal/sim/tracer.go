@@ -45,6 +45,9 @@ const (
 
 	// Choice points (emitted only when a Chooser is installed).
 	EvChoice // choice point resolved; Label=ChoiceKind, Arg=picked index
+
+	// Fault injection (emitted only when a fault plan is armed).
+	EvFault // injected fault delivered; Label=fault detail, Arg=errno if any
 )
 
 // eventKindNames is an array (not a map) so the String lookup on the trace
@@ -57,6 +60,7 @@ var eventKindNames = [...]string{
 	EvCompute: "compute", EvTrap: "trap", EvMark: "mark",
 	EvNameBind: "name-bind", EvNameUnbind: "name-unbind",
 	EvAttrChange: "attr", EvIOBlock: "io-block", EvChoice: "choice",
+	EvFault: "fault",
 }
 
 // String returns a short lowercase name for the kind.

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -87,6 +88,33 @@ func (s *Summary) Merge(other Summary) {
 // String renders the summary as "mean ± stdev (n=N)".
 func (s *Summary) String() string {
 	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean(), s.Stdev(), s.N())
+}
+
+// summaryJSON is Summary's wire form, exposing the unexported Welford state
+// for checkpoint files. encoding/json prints floats in their shortest
+// uniquely-decodable form, so the round-trip is exact and a resumed summary
+// is bit-identical to the in-memory one it serialized.
+type summaryJSON struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var w summaryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*s = Summary{n: w.N, mean: w.Mean, m2: w.M2, min: w.Min, max: w.Max}
+	return nil
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear

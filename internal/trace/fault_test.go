@@ -1,0 +1,92 @@
+package trace_test
+
+// The JSONL export must carry fault-trace events exactly: an injected
+// errno failure is traced as EvFault with the errno in Arg, and a tool
+// consuming the export (or re-importing it for the trace queries) must
+// see the same event the kernel recorded.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tocttou/internal/attack"
+	"tocttou/internal/core"
+	"tocttou/internal/fault"
+	"tocttou/internal/machine"
+	"tocttou/internal/sim"
+	"tocttou/internal/trace"
+	"tocttou/internal/victim"
+)
+
+// recordFaultyRound runs traced vi rounds under an aggressive fault plan
+// until one actually delivers an injected fs error, and returns its log.
+func recordFaultyRound(t *testing.T) []sim.Event {
+	t.Helper()
+	for seed := int64(98001); seed < 98031; seed++ {
+		round, err := core.RunRound(core.Scenario{
+			Machine: machine.SMP2(), Victim: victim.NewVi(), Attacker: attack.NewV1(),
+			UseSyscall: "chown", FileSize: 100 << 10, Seed: seed, Trace: true,
+			Faults: fault.Plan{
+				Seed: 4409, FSRate: 0.3, SemIntrRate: 0.3,
+				SemIntrDelay: time.Microsecond,
+			},
+			Watchdog: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("faulty round (seed %d): %v", seed, err)
+		}
+		if round.Faults.FSErrors > 0 {
+			return round.Events
+		}
+	}
+	t.Fatal("no round delivered an fs fault at rate 0.3 in 30 tries")
+	return nil
+}
+
+func TestJSONLFaultEventsRoundTrip(t *testing.T) {
+	events := recordFaultyRound(t)
+	nfault := 0
+	for _, e := range events {
+		if e.Kind == sim.EvFault {
+			nfault++
+			if e.Arg == 0 {
+				t.Errorf("fault event %+v carries no errno in Arg", e)
+			}
+		}
+	}
+	if nfault == 0 {
+		t.Fatal("trace of a faulted round has no EvFault events")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, events, trace.Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round-trip length = %d, want %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Fatalf("event %d round-trip mismatch:\ngot  %+v\nwant %+v", i, back[i], events[i])
+		}
+	}
+
+	// A kind filter selects exactly the fault events.
+	buf.Reset()
+	f := trace.Filter{Kinds: []sim.EventKind{sim.EvFault}}
+	if err := trace.WriteJSONL(&buf, events, f); err != nil {
+		t.Fatal(err)
+	}
+	faults, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != nfault {
+		t.Fatalf("filtered export kept %d events, want %d", len(faults), nfault)
+	}
+}

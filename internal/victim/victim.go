@@ -36,6 +36,12 @@ type Vi struct {
 	// PreChownCompute is vi's work between close and chown, at base
 	// speed.
 	PreChownCompute time.Duration
+	// Robust is the save path's reaction to transient syscall failures
+	// (injected EINTR/EIO/ENOSPC/EMFILE; see internal/fault). The zero
+	// value aborts the save on the first failure — the historical
+	// behavior. With Fallback set, a persistently failing backup rename
+	// degrades to saving without a backup copy instead of aborting.
+	Robust prog.Robustness
 }
 
 // NewVi returns vi with the default calibration.
@@ -56,14 +62,29 @@ func (v *Vi) Name() string { return "vi" }
 // Run implements prog.Program.
 func (v *Vi) Run(c *userland.Libc, env prog.Env) error {
 	scale := env.Machine.ScaleCompute
-	st, err := c.Stat(env.Target)
+	r := v.Robust
+	var st fs.FileInfo
+	err := r.Retry(c, func() error {
+		var e error
+		st, e = c.Stat(env.Target)
+		return e
+	})
 	if err != nil {
 		return fmt.Errorf("vi: stat original: %w", err)
 	}
-	if err := c.Rename(env.Target, env.Backup); err != nil {
-		return fmt.Errorf("vi: backup rename: %w", err)
+	if err := r.Retry(c, func() error { return c.Rename(env.Target, env.Backup) }); err != nil {
+		if !r.Fallback {
+			return fmt.Errorf("vi: backup rename: %w", err)
+		}
+		// Degraded path: save without keeping the backup copy — the
+		// OTrunc below rewrites the original in place.
 	}
-	f, err := c.Open(env.Target, fs.OWrite|fs.OCreate|fs.OTrunc, 0o644)
+	var f *fs.File
+	err = r.Retry(c, func() error {
+		var e error
+		f, e = c.Open(env.Target, fs.OWrite|fs.OCreate|fs.OTrunc, 0o644)
+		return e
+	})
 	if err != nil {
 		return fmt.Errorf("vi: create: %w", err)
 	}
@@ -76,19 +97,19 @@ func (v *Vi) Run(c *userland.Libc, env prog.Env) error {
 		}
 		// vi prepares each chunk in user space before writing it.
 		c.Compute(scale(time.Duration(float64(v.PerChunkCompute) * float64(n) / float64(v.ChunkSize))))
-		if err := c.Write(f, n); err != nil {
+		if err := r.Retry(c, func() error { return c.Write(f, n) }); err != nil {
 			return fmt.Errorf("vi: write: %w", err)
 		}
 		remaining -= n
 	}
-	if err := c.Close(f); err != nil {
+	if err := r.Retry(c, func() error { return c.Close(f) }); err != nil {
 		return fmt.Errorf("vi: close: %w", err)
 	}
 	c.Compute(scale(v.PreChownCompute))
 	// Restore the original owner — the "use" end of the TOCTTOU pair.
 	// If the attacker won the race, Target now resolves through a
 	// symlink to /etc/passwd and this chown hands the attacker the file.
-	if err := c.Chown(env.Target, st.UID, st.GID); err != nil {
+	if err := r.Retry(c, func() error { return c.Chown(env.Target, st.UID, st.GID) }); err != nil {
 		return fmt.Errorf("vi: chown: %w", err)
 	}
 	return nil
