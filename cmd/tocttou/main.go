@@ -13,6 +13,7 @@
 //	tocttou -bench-baseline [-bench-out BENCH_1.json]
 //	tocttou -sweep [-adaptive] [-halfwidth 0.02] [-sweep-out BENCH_2.json]
 //	tocttou -bench-guard [-bench-against BENCH_2.json] [-bench-tolerance 0.10]
+//	tocttou -bench-compare BENCH_2.json,BENCH_3.json
 //
 // Each experiment renders the corresponding table or figure of
 // "Multiprocessors May Reduce System Dependability under File-Based Race
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
@@ -69,6 +71,7 @@ func run(args []string) error {
 	benchGuard := fl.Bool("bench-guard", false, "re-time the Fig 6 sweep and fail if it regressed vs -bench-against")
 	benchAgainst := fl.String("bench-against", "BENCH_2.json", "committed baseline record for -bench-guard")
 	benchTol := fl.Float64("bench-tolerance", 0.10, "allowed fractional slowdown for -bench-guard")
+	benchCmp := fl.String("bench-compare", "", "render a benchstat-style comparison of two committed sweep records: old.json,new.json")
 	explore := fl.Bool("explore", false, "exhaustively enumerate the schedule space of fig6 uniprocessor points (-sizes) and report exact win probabilities")
 	explorePhases := fl.Int("explore-phases", 0, "startup-phase slots for -explore (0 = engine default)")
 	preemptionBound := fl.Int("preemption-bound", 0, "max injected background preemptions per explored round (0 = none)")
@@ -190,6 +193,9 @@ func run(args []string) error {
 	}
 	if *benchGuard {
 		return benchGuardRun(*benchAgainst, *benchTol)
+	}
+	if *benchCmp != "" {
+		return benchCompare(*benchCmp)
 	}
 	if *traceOut != "" {
 		return traceExport(*traceOut, *traceScen, *seed, *traceKinds, *tracePID, *tracePath)
@@ -375,18 +381,49 @@ func writeWitness(path string, w *core.ScheduleWitness) error {
 	return f.Close()
 }
 
+// provenance records where and when a benchmark record was taken, so a
+// committed BENCH_*.json can be traced back to the build and host that
+// produced it. Every field is best-effort: a record taken outside a git
+// checkout simply omits the commit.
+type provenance struct {
+	GitCommit string `json:"git_commit,omitempty"`
+	Timestamp string `json:"timestamp"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Hostname  string `json:"hostname,omitempty"`
+}
+
+// captureProvenance gathers the current build/host identity.
+func captureProvenance() provenance {
+	p := provenance{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		p.GitCommit = strings.TrimSpace(string(out))
+	}
+	if h, err := os.Hostname(); err == nil {
+		p.Hostname = h
+	}
+	return p
+}
+
 // benchRecord is the machine-readable perf baseline one -bench-baseline run
 // emits, giving future changes a per-round cost trajectory to compare
 // against (see DESIGN.md's Performance section for the workflow).
 type benchRecord struct {
-	Benchmark      string  `json:"benchmark"`
-	Rounds         int     `json:"rounds"`
-	NsPerRound     int64   `json:"ns_per_round"`
-	AllocsPerRound int64   `json:"allocs_per_round"`
-	BytesPerRound  int64   `json:"bytes_per_round"`
-	SuccessRate    float64 `json:"success_rate"`
-	GoVersion      string  `json:"go_version"`
-	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Benchmark      string     `json:"benchmark"`
+	Rounds         int        `json:"rounds"`
+	NsPerRound     int64      `json:"ns_per_round"`
+	AllocsPerRound int64      `json:"allocs_per_round"`
+	BytesPerRound  int64      `json:"bytes_per_round"`
+	SuccessRate    float64    `json:"success_rate"`
+	GoVersion      string     `json:"go_version"`
+	GOMAXPROCS     int        `json:"gomaxprocs"`
+	Provenance     provenance `json:"provenance"`
 }
 
 // benchBaseline times a fixed vi/SMP campaign — the workload the paper's
@@ -424,6 +461,7 @@ func benchBaseline(out string) error {
 		SuccessRate:    res.Rate(),
 		GoVersion:      runtime.Version(),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Provenance:     captureProvenance(),
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -582,6 +620,91 @@ func benchGuardRun(baselinePath string, tol float64) error {
 	return nil
 }
 
+// benchCompare renders a benchstat-style old-vs-new table from two
+// committed sweep records (e.g. BENCH_2.json vs BENCH_3.json), pairing
+// fixed rows by GOMAXPROCS. It reads committed JSON only — nothing is
+// re-timed — so it is safe to run on any host, including CI runners whose
+// wall times are not comparable to the baselines'.
+func benchCompare(arg string) error {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+		return fmt.Errorf("-bench-compare wants exactly two comma-separated records: old.json,new.json")
+	}
+	oldPath, newPath := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	load := func(path string) (sweepRecord, error) {
+		var rec sweepRecord
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return rec, fmt.Errorf("bench-compare: %w", err)
+		}
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return rec, fmt.Errorf("bench-compare: parse %s: %w", path, err)
+		}
+		if len(rec.Fixed) == 0 {
+			return rec, fmt.Errorf("bench-compare: %s has no fixed sweep records", path)
+		}
+		return rec, nil
+	}
+	oldRec, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	describe := func(path string, r sweepRecord) {
+		fmt.Printf("%s: %s, %d points x %d rounds, %s", path, r.Benchmark, r.Points, r.RoundsPerPoint, r.GoVersion)
+		if c := r.Provenance.GitCommit; len(c) >= 12 {
+			fmt.Printf(", commit %s", c[:12])
+		}
+		if r.Provenance.Timestamp != "" {
+			fmt.Printf(", %s", r.Provenance.Timestamp)
+		}
+		fmt.Println()
+	}
+	describe(oldPath, oldRec)
+	describe(newPath, newRec)
+	fmt.Println()
+
+	ms := func(ns int64) string { return fmt.Sprintf("%.1fms", float64(ns)/1e6) }
+	delta := func(oldNs, newNs int64) string {
+		return fmt.Sprintf("%+.2f%%", (float64(newNs)/float64(oldNs)-1)*100)
+	}
+	fmt.Printf("%-34s %12s %12s %9s\n", "name", "old time/op", "new time/op", "delta")
+	for _, nf := range newRec.Fixed {
+		var of *sweepFixedRecord
+		for i := range oldRec.Fixed {
+			if oldRec.Fixed[i].GOMAXPROCS == nf.GOMAXPROCS {
+				of = &oldRec.Fixed[i]
+				break
+			}
+		}
+		if of == nil {
+			fmt.Printf("%-34s %12s %12s %9s\n",
+				fmt.Sprintf("Fig6Sweep/GOMAXPROCS=%d", nf.GOMAXPROCS), "-", ms(nf.SweepNs), "n/a")
+			continue
+		}
+		rows := []struct {
+			name string
+			o, n int64
+		}{
+			{fmt.Sprintf("Fig6BaselineLoop/GOMAXPROCS=%d", nf.GOMAXPROCS), of.BaselineNs, nf.BaselineNs},
+			{fmt.Sprintf("Fig6SerialLoop/GOMAXPROCS=%d", nf.GOMAXPROCS), of.SerialNs, nf.SerialNs},
+			{fmt.Sprintf("Fig6Sweep/GOMAXPROCS=%d", nf.GOMAXPROCS), of.SweepNs, nf.SweepNs},
+		}
+		for _, r := range rows {
+			fmt.Printf("%-34s %12s %12s %9s\n", r.name, ms(r.o), ms(r.n), delta(r.o, r.n))
+		}
+	}
+	if oldRec.Adaptive != nil && newRec.Adaptive != nil {
+		fmt.Printf("%-34s %12s %12s %9s\n", "Fig6AdaptiveSweep",
+			ms(oldRec.Adaptive.WallNs), ms(newRec.Adaptive.WallNs),
+			delta(oldRec.Adaptive.WallNs, newRec.Adaptive.WallNs))
+	}
+	return nil
+}
+
 // sweepFixedRecord compares the three ways of running the Fig 6 sweep at
 // one GOMAXPROCS setting: the pre-sweep per-campaign runner (fresh worker
 // set and O(rounds) buffers per point), the current serial RunCampaign
@@ -612,13 +735,16 @@ type sweepAdaptiveRecord struct {
 	PointsPerSec    float64 `json:"points_per_sec"`
 }
 
-// sweepRecord is the machine-readable -sweep output (BENCH_2.json).
+// sweepRecord is the machine-readable -sweep output (BENCH_2.json,
+// BENCH_3.json). Provenance was added with BENCH_3; older committed records
+// simply unmarshal it as zero.
 type sweepRecord struct {
 	Benchmark      string               `json:"benchmark"`
 	Points         int                  `json:"points"`
 	RoundsPerPoint int                  `json:"rounds_per_point"`
 	GoVersion      string               `json:"go_version"`
 	NumCPU         int                  `json:"num_cpu"`
+	Provenance     provenance           `json:"provenance"`
 	Fixed          []sweepFixedRecord   `json:"fixed"`
 	Adaptive       *sweepAdaptiveRecord `json:"adaptive,omitempty"`
 }
@@ -670,6 +796,7 @@ func benchSweep(out string, adaptive bool, halfWidth float64, minRounds int) err
 		RoundsPerPoint: rounds,
 		GoVersion:      runtime.Version(),
 		NumCPU:         runtime.NumCPU(),
+		Provenance:     captureProvenance(),
 	}
 
 	// Warm the shared pool and the page cache equivalent (seed the lazily

@@ -1,23 +1,28 @@
 // Command traceview runs a single traced attack round and renders its
 // event timeline (in the style of the paper's Figures 8 and 10), with an
-// optional full-event CSV dump for external analysis.
+// optional full-event CSV dump for external analysis. It can also render a
+// previously exported JSONL trace (tocttou -trace-out) instead of running
+// a fresh round.
 //
 // Usage:
 //
 //	traceview -machine smp -victim gedit -attacker v1 -size 2 -seed 7
 //	traceview -machine mc -victim gedit -attacker v2 -want success
 //	traceview -machine smp -victim vi -size 100 -csv events.csv
+//	traceview -input trace.jsonl [-width 120] [-csv events.csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tocttou/internal/attack"
 	"tocttou/internal/core"
 	"tocttou/internal/machine"
 	"tocttou/internal/prog"
+	"tocttou/internal/sim"
 	"tocttou/internal/trace"
 	"tocttou/internal/victim"
 )
@@ -39,10 +44,25 @@ func run(args []string) error {
 	want := fl.String("want", "any", "search seeds for an outcome: any, success, failure")
 	csvPath := fl.String("csv", "", "write the full event trace as CSV to this file")
 	width := fl.Int("width", 100, "timeline width in columns")
+	input := fl.String("input", "", "render a previously exported JSONL trace (tocttou -trace-out) instead of running a round")
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
 
+	// Every flag is validated here, before any round runs or any file is
+	// opened, so a bad invocation fails fast with a non-zero exit instead
+	// of surfacing mid-run (or, for -want, after 512 wasted rounds).
+	if *width <= 0 {
+		return fmt.Errorf("-width must be positive (got %d)", *width)
+	}
+	if *sizeKB <= 0 {
+		return fmt.Errorf("-size must be a positive KB count (got %d)", *sizeKB)
+	}
+	switch *want {
+	case "any", "success", "failure":
+	default:
+		return fmt.Errorf("unknown -want %q (have any, success, failure)", *want)
+	}
 	m, ok := machine.ByName(*machineName)
 	if !ok {
 		return fmt.Errorf("unknown machine %q", *machineName)
@@ -72,6 +92,21 @@ func run(args []string) error {
 		att = attack.Idle{}
 	default:
 		return fmt.Errorf("unknown attacker %q", *attackerName)
+	}
+
+	if *input != "" {
+		var conflicts []string
+		fl.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "machine", "victim", "attacker", "size", "seed", "want":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("%s only apply when running a live round; drop them or drop -input",
+				strings.Join(conflicts, ", "))
+		}
+		return renderInput(*input, *width, *csvPath)
 	}
 
 	sc := core.Scenario{
@@ -117,6 +152,62 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("\nwrote %d events to %s\n", len(round.Events), *csvPath)
+	}
+	return nil
+}
+
+// renderInput renders a JSONL export instead of running a round. An
+// unreadable file or malformed line is a hard error, so scripted pipelines
+// see a non-zero exit rather than a partial timeline. Process display names
+// come from the trace's spawn events; PIDs whose spawns were filtered out
+// of the export fall back to "pid<N>".
+func renderInput(path string, width int, csvPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: no events", path)
+	}
+	labels := make(map[int32]string)
+	var end sim.Time
+	for _, e := range events {
+		if e.T > end {
+			end = e.T
+		}
+		if e.Kind == sim.EvSpawn && e.Label != "" {
+			if _, ok := labels[e.PID]; !ok {
+				labels[e.PID] = e.Label
+			}
+		}
+	}
+	for _, e := range events {
+		if _, ok := labels[e.PID]; !ok && e.PID > 0 {
+			labels[e.PID] = fmt.Sprintf("pid%d", e.PID)
+		}
+	}
+
+	fmt.Printf("input: %s (%d events, %.1fms span)\n\n", path, len(events), float64(end)/1e6)
+	log := trace.New(events)
+	fmt.Print(trace.RenderASCII(trace.BuildTimeline(log, labels), 0, end, width))
+	fmt.Println("\nper-thread activity over the whole trace:")
+	fmt.Print(trace.RenderSummaries(trace.Summarize(log), labels))
+
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := trace.WriteCSV(out, events); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d events to %s\n", len(events), csvPath)
 	}
 	return nil
 }

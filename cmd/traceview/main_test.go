@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tocttou/internal/attack"
+	"tocttou/internal/core"
+	"tocttou/internal/machine"
+	"tocttou/internal/trace"
+	"tocttou/internal/victim"
+)
+
+// TestFlagValidationAtParseTime pins the convention that every bad flag
+// value is rejected before any round runs: each invocation here must fail,
+// and fail fast (a lazily validated -want would first burn 512 rounds).
+func TestFlagValidationAtParseTime(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-machine", "nope"}, "unknown machine"},
+		{[]string{"-victim", "nope"}, "unknown victim"},
+		{[]string{"-attacker", "nope"}, "unknown attacker"},
+		{[]string{"-want", "maybe"}, "unknown -want"},
+		{[]string{"-width", "0"}, "-width must be positive"},
+		{[]string{"-size", "-3"}, "-size must be a positive"},
+		{[]string{"-input", "x.jsonl", "-machine", "up"}, "only apply when running a live round"},
+		{[]string{"-input", "x.jsonl", "-want", "success", "-seed", "9"}, "only apply when running a live round"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("run(%v): expected an error, got none", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %q, want it to mention %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestInputErrorsAreFatal pins the non-zero-exit contract for -input: an
+// unreadable file, a malformed line, and an empty export are all errors
+// (main turns any run() error into exit status 1).
+func TestInputErrorsAreFatal(t *testing.T) {
+	dir := t.TempDir()
+
+	if err := run([]string{"-input", filepath.Join(dir, "absent.jsonl")}); err == nil {
+		t.Error("unreadable -input file: expected an error, got none")
+	}
+
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"t_ns\":0,\"kind\":\"spawn\"}\nnot json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-input", bad})
+	if err == nil {
+		t.Fatal("malformed -input JSONL: expected an error, got none")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("malformed-line error %q does not name the offending line", err)
+	}
+
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", empty}); err == nil {
+		t.Error("empty -input export: expected an error, got none")
+	}
+}
+
+// TestInputRendersExportedRound round-trips a real traced round through the
+// JSONL export and back through -input, including the CSV re-export.
+func TestInputRendersExportedRound(t *testing.T) {
+	round, err := core.RunRound(core.Scenario{
+		Machine:    machine.SMP2(),
+		Victim:     victim.NewVi(),
+		Attacker:   attack.NewV1(),
+		UseSyscall: "chown",
+		FileSize:   100 << 10,
+		Seed:       9001,
+		Trace:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "round.jsonl")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(f, round.Events, trace.Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	csv := filepath.Join(dir, "round.csv")
+	if err := run([]string{"-input", in, "-width", "80", "-csv", csv}); err != nil {
+		t.Fatalf("rendering a valid export: %v", err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatalf("CSV re-export missing: %v", err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines < len(round.Events) {
+		t.Errorf("CSV re-export has %d lines for %d events", lines, len(round.Events))
+	}
+}

@@ -159,11 +159,15 @@ func (sc Scenario) withDefaults() Scenario {
 		}
 	}
 	if sc.Paths == nil {
-		p := DefaultPaths()
-		sc.Paths = &p
+		sc.Paths = &defaultPaths
 	}
 	return sc
 }
+
+// defaultPaths backs withDefaults' nil-Paths case so defaulting a scenario
+// does not allocate per round. Nothing in the tree writes through a
+// Scenario's Paths pointer; the shared value is effectively immutable.
+var defaultPaths = DefaultPaths()
 
 // Round is the outcome of one simulated race.
 type Round struct {
@@ -215,6 +219,10 @@ type roundState struct {
 	k      *sim.Kernel
 	f      *fs.FS
 	tracer sim.SliceTracer
+	// prefix caches the point's setup prefix for copy-on-write forking
+	// (see fork.go). It survives across rounds and is rebuilt whenever the
+	// scenario's prefix signature changes.
+	prefix prefixState
 }
 
 func runRound(sc Scenario, st *roundState) (Round, error) {
@@ -222,6 +230,18 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 	if sc.Victim == nil || sc.Attacker == nil {
 		return Round{}, fmt.Errorf("core: scenario requires a victim and an attacker")
 	}
+	if forkable(sc, st) {
+		return runPrefixedRound(sc, st)
+	}
+	return runClassicRound(sc, st)
+}
+
+// runClassicRound executes one round by building everything — kernel
+// configuration, fixture tree, processes, thread closures — from scratch
+// (modulo the roundState's recycled allocations). It is the reference
+// execution path; kept separate from runRound so the closures built here
+// don't force the Scenario to escape on the prefix-forking fast path.
+func runClassicRound(sc Scenario, st *roundState) (Round, error) {
 	var tracer *sim.SliceTracer
 	var simTracer sim.Tracer
 	if sc.Trace {
@@ -350,39 +370,40 @@ func runRound(sc Scenario, st *roundState) (Round, error) {
 			}
 		})
 	} else {
-		k.OnProcessExit(func(proc *sim.Process) {
-			if proc != victimProc {
-				return
-			}
-			if restart != nil && restart.pending {
-				// Injected crash with a supervised restart pending: the
-				// round continues once the victim relaunches.
-				return
-			}
-			// The save completed (or the victim died unsupervised); the
-			// round is over either way.
-			k.KillProcess(attackerProc)
-			if loadProc != nil {
-				k.KillProcess(loadProc)
-			}
-			k.KillProcess(faultProc)
-		})
+		k.OnProcessExit(faultExitHook(k, victimProc, attackerProc, loadProc, faultProc, restart))
 	}
-	if err := k.Run(); err != nil {
-		// Hitting a configured horizon is a truncated round, not a failure;
-		// hitting the watchdog is a diagnosed runaway.
-		switch {
-		case sc.Horizon > 0 && errors.Is(err, sim.ErrMaxTime):
-			// Truncated round: evaluate the outcome as-is.
-		case sc.Watchdog > 0 && errors.Is(err, sim.ErrMaxTime):
-			return Round{}, fmt.Errorf(
-				"core: watchdog: round (seed %d, victim %q, attacker %q) still running after %v of virtual time: %w",
-				sc.Seed, sc.Victim.Name(), sc.Attacker.Name(), sc.Watchdog, err)
-		default:
-			return Round{}, fmt.Errorf("core: round simulation: %w", err)
-		}
+	if err := runKernel(sc, k); err != nil {
+		return Round{}, err
 	}
+	return collectRound(sc, k, f, tracer, inj, p, victimProc, attackerProc, victimErr, attackerErr)
+}
 
+// runKernel runs the booted round to completion and classifies the
+// kernel's termination error under the scenario's horizon/watchdog policy.
+func runKernel(sc Scenario, k *sim.Kernel) error {
+	err := k.Run()
+	if err == nil {
+		return nil
+	}
+	// Hitting a configured horizon is a truncated round, not a failure;
+	// hitting the watchdog is a diagnosed runaway.
+	switch {
+	case sc.Horizon > 0 && errors.Is(err, sim.ErrMaxTime):
+		// Truncated round: evaluate the outcome as-is.
+		return nil
+	case sc.Watchdog > 0 && errors.Is(err, sim.ErrMaxTime):
+		return fmt.Errorf(
+			"core: watchdog: round (seed %d, victim %q, attacker %q) still running after %v of virtual time: %w",
+			sc.Seed, sc.Victim.Name(), sc.Attacker.Name(), sc.Watchdog, err)
+	default:
+		return fmt.Errorf("core: round simulation: %w", err)
+	}
+}
+
+// collectRound assembles the Round outcome after the kernel has finished.
+func collectRound(sc Scenario, k *sim.Kernel, f *fs.FS, tracer *sim.SliceTracer,
+	inj *fault.Injector, p Paths, victimProc, attackerProc *sim.Process,
+	victimErr, attackerErr error) (Round, error) {
 	round := Round{
 		VictimErr:   victimErr,
 		AttackerErr: attackerErr,

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"tocttou/internal/attack"
+	"tocttou/internal/fault"
+	"tocttou/internal/fs"
+	"tocttou/internal/machine"
+	"tocttou/internal/prog"
+	"tocttou/internal/userland"
+	"tocttou/internal/victim"
+)
+
+// randomForkScenario draws one forkable scenario from the space the sweeps
+// and experiments actually exercise: both machine profiles (noisy by
+// calibration), both classic victim/attacker programs, varying file sizes,
+// load threads, priorities, tracing, and — on some draws — an armed fault
+// plan covering fs errnos, EINTR injection, and mid-round kills.
+func randomForkScenario(rng *rand.Rand) Scenario {
+	sc := Scenario{
+		FileSize: int64(50+rng.Intn(400)) << 10,
+		Seed:     1000 + rng.Int63n(1_000_000),
+	}
+	if rng.Intn(2) == 0 {
+		sc.Machine = machine.Uniprocessor()
+	} else {
+		sc.Machine = machine.SMP2()
+	}
+	if rng.Intn(2) == 0 {
+		sc.Victim = victim.NewVi()
+		sc.UseSyscall = "chown"
+	} else {
+		sc.Victim = victim.NewGedit()
+		sc.UseSyscall = "chmod"
+	}
+	if rng.Intn(2) == 0 {
+		sc.Attacker = attack.NewV1()
+	} else {
+		sc.Attacker = attack.NewV2()
+	}
+	sc.LoadThreads = rng.Intn(3)
+	if rng.Intn(2) == 0 {
+		sc.AttackerNice = 5
+	}
+	sc.Trace = rng.Intn(2) == 0
+	switch rng.Intn(3) {
+	case 0: // fault-free
+	case 1:
+		sc.Faults = fault.Plan{FSRate: 0.05, SemIntrRate: 0.25}
+	case 2:
+		sc.Faults = fault.Plan{
+			KillVictimRate:   0.4,
+			KillAttackerRate: 0.2,
+			Restart:          true,
+			RestartDelay:     2 * time.Millisecond,
+		}
+	}
+	return sc
+}
+
+// TestForkMatchesReplayProperty is the forking path's equivalence property:
+// for every scenario, a round executed by forking a worker's captured
+// prefix must be bit-for-bit identical — outcome, counters, errors, trace —
+// to the same seed executed classically on a fresh kernel. Run under -race
+// at GOMAXPROCS=1 and 8 by `make race` / CI.
+func TestForkMatchesReplayProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	scenarios := 12
+	roundsPer := 6
+	if testing.Short() {
+		scenarios, roundsPer = 4, 3
+	}
+	for s := 0; s < scenarios; s++ {
+		sc := randomForkScenario(rng)
+		if !forkable(sc, &roundState{}) {
+			t.Fatalf("scenario %d unexpectedly not forkable", s)
+		}
+		var st roundState
+		base := sc.Seed
+		for r := 0; r < roundsPer; r++ {
+			sc.Seed = base + int64(r)*SeedStride
+			forked, ferr := runRound(sc, &st)
+			classic, cerr := RunRound(sc)
+			// A round may legitimately fail (e.g. a kill-plan round that
+			// trips the virtual-time watchdog); the property is that both
+			// paths fail identically.
+			if (ferr == nil) != (cerr == nil) || (ferr != nil && ferr.Error() != cerr.Error()) {
+				t.Fatalf("scenario %d round %d seed %d: forked error %v, classic error %v",
+					s, r, sc.Seed, ferr, cerr)
+			}
+			if ferr != nil {
+				// Production (the sweep engine) never reuses a context
+				// after a failed round; start the next one fresh.
+				st = roundState{}
+				continue
+			}
+			if r > 0 && !st.prefix.valid {
+				t.Fatalf("scenario %d round %d: prefix not captured", s, r)
+			}
+			if !reflect.DeepEqual(forked, classic) {
+				t.Fatalf("scenario %d round %d seed %d: forked round differs from classic replay\nforked:  %+v\nclassic: %+v",
+					s, r, sc.Seed, forked, classic)
+			}
+		}
+	}
+}
+
+// TestForkPoolNoLeak pins the fork pools' steady state: alternating between
+// two prefix signatures drops and rebuilds the captured prefix every round,
+// and each rebuild must recycle the previous round's thread shells rather
+// than growing the pool or leaking parked goroutines. Drain then releases
+// everything.
+func TestForkPoolNoLeak(t *testing.T) {
+	a := Scenario{
+		Machine: machine.Uniprocessor(), Victim: victim.NewVi(),
+		Attacker: attack.NewV1(), UseSyscall: "chown",
+		FileSize: 100 << 10, Seed: 1007,
+	}
+	b := a
+	b.FileSize = 200 << 10 // different signature: forces a prefix rebuild
+	var st roundState
+	if _, err := runRound(a, &st); err != nil {
+		t.Fatal(err)
+	}
+	// One round of each signature warms the pool to its high-water mark.
+	if _, err := runRound(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	high := st.k.PooledThreads()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		sc := a
+		if i%2 == 1 {
+			sc = b
+		}
+		sc.Seed += int64(i+1) * SeedStride
+		if _, err := runRound(sc, &st); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.k.PooledThreads(); got > high {
+			t.Fatalf("iteration %d: pool grew to %d shells (high-water %d): dropped forks are not recycling", i, got, high)
+		}
+	}
+	if g := runtime.NumGoroutine(); g > before+high {
+		t.Fatalf("goroutines grew from %d to %d across dropped forks (pool high-water %d)", before, g, high)
+	}
+	st.k.Drain()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if st.k.PooledThreads() != 0 {
+		t.Fatalf("Drain left %d pooled shells", st.k.PooledThreads())
+	}
+}
+
+// TestForkableExclusions proves the paths that must bypass forking do: a
+// guard or chooser scenario rebuilds classically (no prefix is captured),
+// and non-comparable program types are rejected before sigOf could panic.
+func TestForkableExclusions(t *testing.T) {
+	base := Scenario{
+		Machine: machine.Uniprocessor(), Victim: victim.NewVi(),
+		Attacker: attack.NewV1(), UseSyscall: "chown",
+		FileSize: 100 << 10, Seed: 1007,
+	}
+	guard := base
+	guard.NewGuard = func() fs.Guard { return nil }
+	if forkable(guard.withDefaults(), &roundState{}) {
+		t.Fatal("guard scenario must not be forkable")
+	}
+	fn := base
+	fn.Victim = funcProgram{inner: victim.NewVi()}
+	if forkable(fn.withDefaults(), &roundState{}) {
+		t.Fatal("non-comparable program must not be forkable")
+	}
+	var st roundState
+	if _, err := runRound(fn.withDefaults(), &st); err != nil {
+		t.Fatalf("classic fallback for non-comparable program: %v", err)
+	}
+	if st.prefix.valid {
+		t.Fatal("classic fallback must not capture a prefix")
+	}
+}
+
+// funcProgram wraps a program in a struct carrying a func field, making the
+// dynamic type non-comparable.
+type funcProgram struct {
+	inner prog.Program
+	extra func() // non-comparable field
+}
+
+func (f funcProgram) Name() string { return f.inner.Name() }
+func (f funcProgram) Run(c *userland.Libc, env prog.Env) error {
+	return f.inner.Run(c, env)
+}

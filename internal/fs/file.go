@@ -1,8 +1,6 @@
 package fs
 
 import (
-	"tocttou/internal/stats"
-
 	"tocttou/internal/sim"
 )
 
@@ -53,6 +51,22 @@ func (f *FS) Open(t *sim.Task, path string, flags OpenFlag, mode Mode) (*File, e
 	return file, err
 }
 
+// newFile hands out an open file description from the arena, growing it on
+// first use. Slots are reused only after a Reset or Fork rewinds fileIdx,
+// so a description handed out this round is never aliased within it.
+func (f *FS) newFile(node *inode, path string, flags OpenFlag) *File {
+	if f.fileIdx < len(f.fileArena) {
+		fl := f.fileArena[f.fileIdx]
+		f.fileIdx++
+		*fl = File{fs: f, node: node, path: path, flags: flags}
+		return fl
+	}
+	fl := &File{fs: f, node: node, path: path, flags: flags}
+	f.fileArena = append(f.fileArena, fl)
+	f.fileIdx++
+	return fl
+}
+
 func (f *FS) openLocked(t *sim.Task, w *walker, path string, flags OpenFlag, mode Mode) (*File, error) {
 	if err := f.guardBefore(t, OpOpen, path, "", w.cred); err != nil {
 		return nil, err
@@ -87,10 +101,11 @@ func (f *FS) openLocked(t *sim.Task, w *walker, path string, flags OpenFlag, mod
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Create))
 		n := f.newInode(TypeRegular, mode, w.cred.UID, w.cred.GID)
 		res.parent.children[res.name] = n
+		f.gen++
 		t.Trace(sim.Event{Kind: sim.EvNameBind, Path: path, Arg: int64(n.uid)})
 		res.parent.isem().Release(t)
 		n.openCount++
-		return &File{fs: f, node: n, path: path, flags: flags}, nil
+		return f.newFile(n, path, flags), nil
 	}
 	if flags&(OCreate|OExcl) == OCreate|OExcl {
 		w.flush()
@@ -125,7 +140,7 @@ func (f *FS) openExisting(t *sim.Task, w *walker, path string, node *inode, flag
 		node.isem().Release(t)
 	}
 	node.openCount++
-	return &File{fs: f, node: node, path: path, flags: flags}, nil
+	return f.newFile(node, path, flags), nil
 }
 
 // Write appends n bytes of synthetic content (sizes only). It holds the
@@ -172,8 +187,8 @@ func (fl *File) writeCommon(t *sim.Task, n int64, b []byte) error {
 				if k.ChooseBernoulli(sim.ChooseStall, p) {
 					t.BlockIO(f.cfg.Latency.StallMedian)
 				}
-			} else if stats.Bernoulli(t.RNG(), p) {
-				stall := stats.LogNormal(t.RNG(), f.cfg.Latency.StallMedian, 0.7)
+			} else if k.Bernoulli(p) {
+				stall := k.LogNormalDuration(f.cfg.Latency.StallMedian, 0.7)
 				t.BlockIO(stall)
 			}
 		}
@@ -273,6 +288,7 @@ func (fl *File) Chown(t *sim.Task, uid, gid int) error {
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chown))
 		fl.node.uid = uid
 		fl.node.gid = gid
+		f.gen++
 		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "fchown", Path: fl.path, Arg: int64(uid)})
 		fl.node.isem().Release(t)
 		return nil
@@ -302,6 +318,7 @@ func (fl *File) Chmod(t *sim.Task, mode Mode) error {
 		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chmod))
 		fl.node.mode = mode
+		f.gen++
 		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "fchmod", Path: fl.path, Arg: int64(mode)})
 		fl.node.isem().Release(t)
 		return nil
@@ -325,7 +342,7 @@ func (fl *File) Sync(t *sim.Task) error {
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.SyscallEntry))
 		stall := f.cfg.Latency.StallMedian
 		if !t.Kernel().ChooserActive() {
-			stall = stats.LogNormal(t.RNG(), f.cfg.Latency.StallMedian, 0.5)
+			stall = t.Kernel().LogNormalDuration(f.cfg.Latency.StallMedian, 0.5)
 		}
 		t.BlockIO(stall)
 		return nil

@@ -92,12 +92,18 @@ func (f *FS) guardAfter(t *sim.Task, op Op, path, path2 string, cred Cred, err e
 	}
 }
 
-// enter emits the syscall-entry trace event.
+// enter emits the syscall-entry trace event. The Tracing guard keeps the
+// untraced hot path from building (and copying) an Event that the tracer
+// nil-check inside Trace would discard.
 func (f *FS) enter(t *sim.Task, op Op, path string) {
-	t.Trace(sim.Event{Kind: sim.EvSyscallEnter, Label: op.String(), Path: path})
+	if t.Tracing() {
+		t.Trace(sim.Event{Kind: sim.EvSyscallEnter, Label: op.String(), Path: path})
+	}
 }
 
 // exit emits the syscall-exit trace event carrying the errno.
 func (f *FS) exit(t *sim.Task, op Op, path string, err error) {
-	t.Trace(sim.Event{Kind: sim.EvSyscallExit, Label: op.String(), Path: path, Arg: int64(ErrnoOf(err))})
+	if t.Tracing() {
+		t.Trace(sim.Event{Kind: sim.EvSyscallExit, Label: op.String(), Path: path, Arg: int64(ErrnoOf(err))})
+	}
 }

@@ -102,6 +102,12 @@ type inode struct {
 	openCount int
 	// unlinked marks an inode whose last name was removed.
 	unlinked bool
+	// snap marks an inode captured by the live Image (see snapshot.go):
+	// Fork restores it in place and must never return it to the free list.
+	snap bool
+	// freed guards against double-recycling during Fork's sweep of
+	// round-created extras (a hard link can make one reachable twice).
+	freed bool
 }
 
 // Config parameterizes a simulated file system.
@@ -134,6 +140,31 @@ type FS struct {
 	inodeCount int
 	// free holds recycled inode shells harvested by Reset.
 	free []*inode
+
+	// gen is the namespace/attribute generation: every mutation that can
+	// change the outcome of a path resolution (bind, unbind, rename,
+	// chmod/chown, symlink retarget) increments it, invalidating resCache
+	// entries stamped with older generations.
+	gen uint64
+	// dcacheBusy counts dentry-cache locks currently held (rename's swap
+	// phase). While nonzero, cached resolutions are bypassed so lookups
+	// take the full walk and stall behind the lock exactly as before.
+	dcacheBusy int
+	// resCache memoizes whole-path resolutions (see resolve.go). It is
+	// invisible to simulated behavior: a hit charges the identical lookup
+	// cost the walk would have accumulated. A small direct-mapped array
+	// beats a map here: the simulated programs resolve the same handful of
+	// fixture paths (stable string objects from prog.Env) over and over.
+	resCache [resCacheSlots]resEntry
+	// resClock is the round-robin eviction cursor for resCache.
+	resClock uint8
+
+	// fileArena recycles open file descriptions across rounds: Reset and
+	// Fork rewind fileIdx, and openLocked/openExisting overwrite slots in
+	// order. A File stays valid until the FS is reset, never shorter than
+	// the round that opened it, so recycling is invisible to programs.
+	fileArena []*File
+	fileIdx   int
 }
 
 // New creates an empty file system with a root directory owned by root.
@@ -156,6 +187,9 @@ func (f *FS) Reset(cfg Config) {
 	f.guard = nil
 	f.inodeCount = 0
 	f.nextIno = 0
+	f.gen++
+	f.dcacheBusy = 0
+	f.fileIdx = 0
 	f.root = f.newInode(TypeDir, 0o755, 0, 0)
 	f.root.nlink = 2
 }
@@ -198,6 +232,7 @@ func (f *FS) newInode(typ FileType, mode Mode, uid, gid int) *inode {
 		n.typ, n.mode, n.uid, n.gid = typ, mode, uid, gid
 		n.size, n.nlink = 0, 1
 		n.openCount, n.unlinked = 0, false
+		n.snap, n.freed = false, false
 	} else {
 		n = &inode{ino: f.nextIno, typ: typ, mode: mode, uid: uid, gid: gid, nlink: 1}
 	}
@@ -326,6 +361,7 @@ func splitPath(path string) ([]string, error) { return splitPathInto(path, nil) 
 
 // MustMkdirAll creates a directory path (and missing parents).
 func (f *FS) MustMkdirAll(path string, mode Mode, uid, gid int) {
+	f.gen++
 	comps, err := splitPath(path)
 	if err != nil {
 		panic(fmt.Sprintf("fs: MustMkdirAll %q: %v", path, err))
@@ -348,6 +384,7 @@ func (f *FS) MustMkdirAll(path string, mode Mode, uid, gid int) {
 
 // MustWriteFile creates (or replaces) a regular file of the given size.
 func (f *FS) MustWriteFile(path string, size int64, mode Mode, uid, gid int) {
+	f.gen++
 	parent, name := f.mustParent(path)
 	n := f.newInode(TypeRegular, mode, uid, gid)
 	n.size = size
@@ -362,6 +399,7 @@ func (f *FS) MustWriteFile(path string, size int64, mode Mode, uid, gid int) {
 
 // MustSymlink creates a symbolic link.
 func (f *FS) MustSymlink(target, linkpath string, uid, gid int) {
+	f.gen++
 	parent, name := f.mustParent(linkpath)
 	n := f.newInode(TypeSymlink, 0o777, uid, gid)
 	n.target = target
@@ -408,7 +446,11 @@ func (f *FS) lookupNoCharge(path string, follow bool, depth int) (*inode, error)
 	if depth > maxSymlinkDepth {
 		return nil, pathErr("lookup", path, ELOOP)
 	}
-	comps, err := splitPath(path)
+	// Stack-backed scratch as in walker.walk: LookupInfo runs once per
+	// round for the post-run ownership assertion, and fixture paths are
+	// shallow, so the split stays off the heap.
+	var scratch [8]string
+	comps, err := splitPathInto(path, scratch[:0])
 	if err != nil {
 		return nil, pathErr("lookup", path, EINVAL)
 	}

@@ -187,6 +187,7 @@ func (f *FS) unlinkLocked(t *sim.Task, w *walker, path string) error {
 	// Phase 1: detach the name while holding the directory lock.
 	t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.UnlinkDetach))
 	delete(parent.children, res.name)
+	f.gen++
 	node.nlink--
 	t.Trace(sim.Event{Kind: sim.EvNameUnbind, Path: path})
 	parent.isem().Release(t)
@@ -255,6 +256,7 @@ func (f *FS) symlinkLocked(t *sim.Task, w *walker, target, linkpath string) erro
 	n.target = target
 	n.size = int64(len(target))
 	res.parent.children[res.name] = n
+	f.gen++
 	t.Trace(sim.Event{Kind: sim.EvNameBind, Path: linkpath, Arg: int64(n.uid)})
 	res.parent.isem().Release(t)
 	return nil
@@ -297,6 +299,7 @@ func (f *FS) Link(t *sim.Task, oldpath, newpath string) error {
 		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Symlink))
 		res.parent.children[res.name] = old.node
+		f.gen++
 		old.node.nlink++
 		t.Trace(sim.Event{Kind: sim.EvNameBind, Path: newpath, Arg: int64(old.node.uid)})
 		res.parent.isem().Release(t)
@@ -404,6 +407,7 @@ func (f *FS) renameLocked(t *sim.Task, w *walker, oldpath, newpath string) error
 	// The swap phase: the namespace semaphores AND the dentry-cache
 	// locks are held for its whole duration, so concurrent lookups of
 	// either name stall until the binding changes at its end.
+	f.dcacheBusy++
 	first.dlock().Acquire(t)
 	if second != nil {
 		second.dlock().Acquire(t)
@@ -416,11 +420,13 @@ func (f *FS) renameLocked(t *sim.Task, w *walker, oldpath, newpath string) error
 		t.Trace(sim.Event{Kind: sim.EvNameUnbind, Path: newpath})
 	}
 	nres.parent.children[nres.name] = onode
+	f.gen++
 	t.Trace(sim.Event{Kind: sim.EvNameBind, Path: newpath, Arg: int64(onode.uid)})
 	if second != nil {
 		second.dlock().Release(t)
 	}
 	first.dlock().Release(t)
+	f.dcacheBusy--
 
 	if second != nil {
 		second.isem().Release(t)
@@ -468,6 +474,7 @@ func (f *FS) Chmod(t *sim.Task, path string, mode Mode) error {
 		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chmod))
 		res.node.mode = mode
+		f.gen++
 		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "chmod", Path: path, Arg: int64(mode)})
 		res.node.isem().Release(t)
 		return nil
@@ -504,6 +511,7 @@ func (f *FS) Chown(t *sim.Task, path string, uid, gid int) error {
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.Chown))
 		res.node.uid = uid
 		res.node.gid = gid
+		f.gen++
 		t.Trace(sim.Event{Kind: sim.EvAttrChange, Label: "chown", Path: path, Arg: int64(uid)})
 		res.node.isem().Release(t)
 		return nil
@@ -547,6 +555,7 @@ func (f *FS) Mkdir(t *sim.Task, path string, mode Mode) error {
 		n := f.newInode(TypeDir, mode, w.cred.UID, w.cred.GID)
 		n.nlink = 2
 		res.parent.children[res.name] = n
+		f.gen++
 		res.parent.nlink++
 		t.Trace(sim.Event{Kind: sim.EvNameBind, Path: path, Arg: int64(n.uid)})
 		res.parent.isem().Release(t)
@@ -602,6 +611,7 @@ func (f *FS) Rmdir(t *sim.Task, path string) error {
 		}
 		t.Compute(t.Kernel().JitterDuration(f.cfg.Latency.UnlinkDetach))
 		delete(res.parent.children, res.name)
+		f.gen++
 		res.parent.nlink--
 		f.freeInode(node)
 		t.Trace(sim.Event{Kind: sim.EvNameUnbind, Path: path})

@@ -3,6 +3,7 @@ package fs
 import (
 	"strings"
 	"time"
+	"unsafe"
 
 	"tocttou/internal/sim"
 )
@@ -76,11 +77,71 @@ type resolution struct {
 	node   *inode // resolved inode, nil if the final component is absent
 }
 
+// resKey identifies a memoizable resolution: the same path walked with the
+// same credential and symlink policy deterministically yields the same
+// resolution and the same accumulated lookup charge until the namespace
+// generation moves.
+// resCacheSlots sizes the direct-mapped resolution memo. The simulated
+// programs resolve the same handful of fixture paths per round, so a tiny
+// fixed array with round-robin eviction covers the working set while
+// keeping lookup a short linear scan of pointer comparisons.
+const resCacheSlots = 16
+
+// resEntry is one memoized resolution, valid while gen matches FS.gen.
+// Matching compares the path's string-data pointer rather than its bytes:
+// program paths come from stable env strings, so identical text arrives as
+// the identical object, and a pointer miss merely degrades to the cold
+// walk the memo would have produced anyway. The entry retains the path
+// string itself so the cached pointer can never be recycled by the GC and
+// false-hit on an unrelated allocation.
+type resEntry struct {
+	path     string
+	uid, gid int
+	follow   bool
+	gen      uint64
+	res      resolution
+	pending  time.Duration
+}
+
 // resolve walks path, charging lookup costs and honoring search permissions.
 // If follow is true a symlink in the final position is expanded. A missing
 // FINAL component is not an error (node == nil) so creating operations can
 // share the walk; a missing intermediate component is ENOENT.
+//
+// Top-level resolutions are memoized per (path, cred, follow) generation.
+// The memo is behaviorally invisible: a hit defers the identical pending
+// charge the full walk would have accumulated, and the walk itself has no
+// yield point unless a dentry lock is held (dcacheBusy > 0), in which case
+// the memo is bypassed entirely — so a cached resolution can never skip a
+// stall, an EINTR, or an interleaving the real walk would have seen.
 func (w *walker) resolve(op, path string, follow bool, depth int) (resolution, error) {
+	f := w.f
+	if depth != 0 || f.dcacheBusy != 0 || len(path) == 0 {
+		return w.walk(op, path, follow, depth)
+	}
+	pd := unsafe.StringData(path)
+	for i := range f.resCache {
+		e := &f.resCache[i]
+		if e.gen == f.gen && len(e.path) == len(path) && unsafe.StringData(e.path) == pd &&
+			e.uid == w.cred.UID && e.gid == w.cred.GID && e.follow == follow {
+			w.charge(e.pending)
+			return e.res, nil
+		}
+	}
+	before := w.pending
+	res, err := w.walk(op, path, follow, 0)
+	if err == nil {
+		f.resCache[f.resClock&(resCacheSlots-1)] = resEntry{
+			path: path, uid: w.cred.UID, gid: w.cred.GID, follow: follow,
+			gen: f.gen, res: res, pending: w.pending - before,
+		}
+		f.resClock++
+	}
+	return res, err
+}
+
+// walk is the uncached resolution loop.
+func (w *walker) walk(op, path string, follow bool, depth int) (resolution, error) {
 	if depth > maxSymlinkDepth {
 		return resolution{}, pathErr(op, path, ELOOP)
 	}

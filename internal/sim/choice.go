@@ -259,7 +259,7 @@ func (k *Kernel) noiseSlotFire(c *cpu) {
 		return
 	}
 	ns := k.cfg.NoiseSlots
-	k.afterKernel(ns.Period, evNoiseSlot, nil, c, 0)
+	k.armSlotAfter(c, slotNoiseSlot, ns.Period, nil, 0)
 	if ns.Bound > 0 && k.noiseInjected >= ns.Bound {
 		return
 	}

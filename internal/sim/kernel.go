@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -125,6 +126,15 @@ func (c Config) withDefaults() Config {
 type cpu struct {
 	id int
 	th *Thread // currently assigned thread, nil if idle
+
+	// slots are the per-CPU pending-event registers (see event.go): the
+	// timer tick, noise source, noise deliberation slot, in-flight
+	// dispatch, quantum expiry, and compute completion each have at most
+	// one pending instance per CPU, so they bypass the event heap.
+	slots [numSlots]evSlot
+	// armedMask has bit i set iff slots[i].armed, so the popNext merge
+	// scan visits only armed registers.
+	armedMask uint8
 }
 
 // Kernel is a deterministic discrete-event simulation of a small
@@ -140,6 +150,7 @@ type Kernel struct {
 	cpus   []*cpu
 	ready  readyQueue // run queue of Ready threads awaiting a CPU
 	rng    *rand.Rand
+	src    *fastSource // non-nil iff the validated fast reseed path backs rng
 	jitter stats.Jitter
 	tracer Tracer
 
@@ -175,7 +186,9 @@ type Kernel struct {
 	checkPost  bool    // post-dispatch termination checks pending
 	finishErr  error   // simulation outcome recorded by terminate
 	unwinding  bool    // unwindLive handshake in progress
-	maxT       Time    // virtual-time budget, fixed at Run entry
+	maxT       Time    // virtual-time budget, fixed at construction/Reset
+	lastAt     Time    // latest instant scheduled within the time budget
+	nextAt     Time    // lower bound on the earliest pending event's instant
 
 	// onProcessExit, if set, is invoked when the last thread of a process
 	// exits. Used by the experiment harness to cancel the attacker once
@@ -183,14 +196,28 @@ type Kernel struct {
 	onProcessExit func(*Process)
 
 	userErr error // first panic propagated from a thread function
+
+	// Fork pooling (see snapshot.go). pooling is true only while the kernel
+	// is replaying a forked prefix image; Spawn and NewProcess then recycle
+	// the shells below instead of allocating. Both pools are kept in
+	// creation order and re-consumed from index 0 each fork, so the i-th
+	// spawn of every forked round receives the same pointer — closures and
+	// caches capturing a shell stay valid across rounds.
+	pooling  bool
+	pool     []*Thread
+	poolIdx  int
+	procPool []*Process
+	procIdx  int
 }
 
 // New creates a kernel for the given machine configuration.
 func New(cfg Config) *Kernel {
 	cfg = cfg.withDefaults()
+	src, fsrc := newKernelSource(cfg.Seed)
 	k := &Kernel{
 		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		rng:        rand.New(src),
+		src:        fsrc,
 		jitter:     stats.Jitter{Rel: cfg.Jitter},
 		tracer:     cfg.Tracer,
 		mainResume: make(chan struct{}),
@@ -200,6 +227,8 @@ func New(cfg Config) *Kernel {
 		k.cpus[i] = &cpu{id: i}
 	}
 	k.stats.reset(cfg.CPUs)
+	k.maxT = Time(cfg.MaxTime)
+	k.nextAt = timeInf
 	return k
 }
 
@@ -227,10 +256,16 @@ func (k *Kernel) Reset(cfg Config) {
 	} else {
 		for _, c := range k.cpus {
 			c.th = nil
+			c.slots = [numSlots]evSlot{}
+			c.armedMask = 0
 		}
 	}
 	k.stats.reset(cfg.CPUs)
-	k.rng.Seed(cfg.Seed)
+	if k.src != nil {
+		k.src.Seed(cfg.Seed)
+	} else {
+		k.rng.Seed(cfg.Seed)
+	}
 	k.jitter = stats.Jitter{Rel: cfg.Jitter}
 	k.tracer = cfg.Tracer
 	clear(k.threads)
@@ -246,6 +281,11 @@ func (k *Kernel) Reset(cfg Config) {
 	k.checkPost = false
 	k.finishErr = nil
 	k.unwinding = false
+	k.maxT = Time(cfg.MaxTime)
+	k.lastAt = 0
+	k.nextAt = timeInf
+	k.pooling = false
+	k.poolIdx, k.procIdx = 0, 0
 }
 
 // Now returns the current virtual time.
@@ -256,9 +296,56 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) RNG() *rand.Rand { return k.rng }
 
 // JitterDuration samples a jittered latency around base using the machine's
-// configured relative noise.
+// configured relative noise. When the validated direct sampler is available
+// it draws without going through the *rand.Rand wrapper; the short-circuit
+// mirrors stats.Jitter.Sample so both paths consume draws identically.
 func (k *Kernel) JitterDuration(base time.Duration) time.Duration {
+	if k.src != nil && fastDistOK {
+		if base <= 0 || k.jitter.Rel <= 0 {
+			return base
+		}
+		return k.jitter.Apply(k.src.NormFloat64(), base)
+	}
 	return k.jitter.Sample(k.rng, base)
+}
+
+// ExpDuration samples an exponentially distributed duration with the given
+// mean, mirroring stats.Exponential draw-for-draw.
+func (k *Kernel) ExpDuration(mean time.Duration) time.Duration {
+	if k.src != nil && fastDistOK {
+		if mean <= 0 {
+			return 0
+		}
+		return time.Duration(k.src.ExpFloat64() * float64(mean))
+	}
+	return stats.Exponential(k.rng, mean)
+}
+
+// LogNormalDuration samples a log-normal duration with the given median
+// and log-sigma, mirroring stats.LogNormal draw-for-draw.
+func (k *Kernel) LogNormalDuration(median time.Duration, sigma float64) time.Duration {
+	if k.src != nil && fastDistOK {
+		if median <= 0 {
+			return 0
+		}
+		return time.Duration(float64(median) * math.Exp(k.src.NormFloat64()*sigma))
+	}
+	return stats.LogNormal(k.rng, median, sigma)
+}
+
+// Bernoulli returns true with probability p, mirroring stats.Bernoulli
+// draw-for-draw.
+func (k *Kernel) Bernoulli(p float64) bool {
+	if k.src != nil && fastDistOK {
+		if p <= 0 {
+			return false
+		}
+		if p >= 1 {
+			return true
+		}
+		return k.src.Float64() < p
+	}
+	return stats.Bernoulli(k.rng, p)
 }
 
 // CPUs returns the number of simulated processors.
@@ -331,15 +418,22 @@ func (k *Kernel) runLoop(self *Thread, dying bool) loopOutcome {
 					fmt.Errorf("%w: %s", ErrDeadlock, k.describeBlocked()))
 			}
 		}
-		if len(k.events) == 0 {
+		ev, ok := k.popNext()
+		if !ok {
 			if k.live > 0 {
 				return k.terminate(self, dying,
 					fmt.Errorf("%w: %s", ErrDeadlock, k.describeBlocked()))
 			}
 			return k.terminate(self, dying, nil)
 		}
-		ev := k.events.pop()
 		if ev.at > k.maxT {
+			// The single-heap scheduler drained every event within the
+			// budget — including generation-guarded no-ops a slot re-arm now
+			// overwrites — before tripping here, leaving the clock at the
+			// latest in-budget instant. Restore that exact final time.
+			if k.lastAt > k.now {
+				k.now = k.lastAt
+			}
 			return k.terminate(self, dying,
 				fmt.Errorf("%w (%.0fms)", ErrMaxTime, k.cfg.MaxTime.Seconds()*1e3))
 		}
@@ -461,21 +555,21 @@ func (k *Kernel) describeBlocked() string {
 func (k *Kernel) startBackground() {
 	if k.cfg.TickPeriod > 0 {
 		for _, c := range k.cpus {
-			k.afterKernel(k.cfg.TickPeriod, evTick, nil, c, 0)
+			k.armSlotAfter(c, slotTick, k.cfg.TickPeriod, nil, 0)
 		}
 	}
 	if k.cfg.Chooser != nil {
 		if ns := k.cfg.NoiseSlots; ns.Period > 0 {
 			for _, c := range k.cpus {
-				k.afterKernel(ns.Period, evNoiseSlot, nil, c, 0)
+				k.armSlotAfter(c, slotNoiseSlot, ns.Period, nil, 0)
 			}
 		}
 		return
 	}
 	if k.cfg.Noise.MeanInterval > 0 {
 		for _, c := range k.cpus {
-			gap := stats.Exponential(k.rng, k.cfg.Noise.MeanInterval)
-			k.afterKernel(gap, evNoise, nil, c, 0)
+			gap := k.ExpDuration(k.cfg.Noise.MeanInterval)
+			k.armSlotAfter(c, slotNoise, gap, nil, 0)
 		}
 	}
 }
@@ -487,9 +581,11 @@ func (k *Kernel) tickFire(c *cpu) {
 	}
 	k.stats.Ticks++
 	k.stats.TickNs += int64(k.cfg.TickCost)
-	k.emit(Event{Kind: EvTick, CPU: int32(c.id), Arg: int64(k.cfg.TickCost)})
+	if k.tracing() {
+		k.emit(Event{Kind: EvTick, CPU: int32(c.id), Arg: int64(k.cfg.TickCost)})
+	}
 	k.stealCPUTime(c, k.cfg.TickCost)
-	k.afterKernel(k.cfg.TickPeriod, evTick, nil, c, 0)
+	k.armSlotAfter(c, slotTick, k.cfg.TickPeriod, nil, 0)
 }
 
 // noiseFire handles one background-activity burst on c and re-arms the
@@ -499,13 +595,15 @@ func (k *Kernel) noiseFire(c *cpu) {
 	if k.live == 0 {
 		return
 	}
-	dur := stats.LogNormal(k.rng, k.cfg.Noise.MeanDuration, 0.5)
+	dur := k.LogNormalDuration(k.cfg.Noise.MeanDuration, 0.5)
 	k.stats.NoiseBursts++
 	k.stats.NoiseNs += int64(dur)
-	k.emit(Event{Kind: EvNoise, CPU: int32(c.id), Arg: int64(dur)})
+	if k.tracing() {
+		k.emit(Event{Kind: EvNoise, CPU: int32(c.id), Arg: int64(dur)})
+	}
 	k.stealCPUTime(c, dur)
-	gap := stats.Exponential(k.rng, k.cfg.Noise.MeanInterval)
-	k.afterKernel(gap, evNoise, nil, c, 0)
+	gap := k.ExpDuration(k.cfg.Noise.MeanInterval)
+	k.armSlotAfter(c, slotNoise, gap, nil, 0)
 }
 
 // stealCPUTime models an interrupt or background activity occupying CPU c

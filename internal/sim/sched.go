@@ -5,7 +5,9 @@ package sim
 func (k *Kernel) makeReady(th *Thread) {
 	th.state = StateReady
 	th.blockReason = ""
-	k.emitThread(th, Event{Kind: EvWake, Label: th.name})
+	if k.tracing() {
+		k.emitThread(th, Event{Kind: EvWake, Label: th.name})
+	}
 	k.ready.insert(th)
 	for _, c := range k.cpus {
 		if c.th == nil {
@@ -33,7 +35,7 @@ func (k *Kernel) dispatchCPU(c *cpu) {
 	c.th = th
 	th.cpu = c.id
 	th.schedGen++
-	k.afterKernel(k.cfg.CtxSwitch, evStartRun, th, c, th.schedGen)
+	k.armSlotAfter(c, slotStart, k.cfg.CtxSwitch, th, th.schedGen)
 }
 
 // startRun begins execution of th on c once the context switch completes.
@@ -45,9 +47,11 @@ func (k *Kernel) startRun(c *cpu, th *Thread, gen uint64) {
 	k.runningCnt++
 	k.stats.Dispatches++
 	th.runStart = k.now
-	k.emitThread(th, Event{Kind: EvDispatch, Label: th.name})
+	if k.tracing() {
+		k.emitThread(th, Event{Kind: EvDispatch, Label: th.name})
+	}
 	if k.cfg.Quantum > 0 {
-		k.afterKernel(k.cfg.Quantum, evQuantum, th, c, gen)
+		k.armSlotAfter(c, slotQuantum, k.cfg.Quantum, th, gen)
 	}
 	if th.computeLeft > 0 {
 		k.scheduleWork(th)
@@ -68,7 +72,7 @@ func (k *Kernel) quantumExpired(c *cpu, th *Thread, gen uint64) {
 	}
 	if k.ready.Len() == 0 || k.ready.front().nice > th.nice {
 		// Nothing of sufficient priority wants the CPU: renew the slice.
-		k.afterKernel(k.cfg.Quantum, evQuantum, th, c, gen)
+		k.armSlotAfter(c, slotQuantum, k.cfg.Quantum, th, gen)
 		return
 	}
 	k.preempt(th)
@@ -86,7 +90,9 @@ func (k *Kernel) preempt(th *Thread) {
 	th.schedGen++
 	th.cpu = -1
 	c.th = nil
-	k.emitThread(th, Event{Kind: EvPreempt, Label: th.name, CPU: int32(c.id)})
+	if k.tracing() {
+		k.emitThread(th, Event{Kind: EvPreempt, Label: th.name, CPU: int32(c.id)})
+	}
 	k.ready.insert(th)
 	k.dispatchCPU(c)
 }
@@ -105,18 +111,58 @@ func (k *Kernel) blockCurrent(th *Thread, reason string) {
 	th.schedGen++
 	th.cpu = -1
 	c.th = nil
-	k.emitThread(th, Event{Kind: EvBlock, Label: reason, CPU: int32(c.id)})
+	if k.tracing() {
+		k.emitThread(th, Event{Kind: EvBlock, Label: reason, CPU: int32(c.id)})
+	}
 	k.dispatchCPU(c)
 }
 
 // scheduleWork arms the completion event for th's pending compute segment.
 // th.runStart may be in the future when interrupt handling has pushed the
-// resumption back.
+// resumption back. The register belongs to th's current CPU: only the
+// running thread of a CPU has a live pending segment, so arming can only
+// overwrite an entry whose generation guard already invalidated it.
 func (k *Kernel) scheduleWork(th *Thread) {
 	th.workPending = true
 	th.workGen++
 	doneAt := th.runStart.Add(th.computeLeft)
-	k.scheduleKernel(doneAt, evWorkDone, th, nil, th.workGen)
+	k.armSlot(k.cpus[th.cpu], slotWork, doneAt, th, th.workGen)
+}
+
+// completeInline retires the running thread's fresh compute segment without
+// routing it through the event queue, provided the completion provably
+// precedes every other pending event. It replicates, in order, exactly what
+// the queued path would do: scheduleWork's register arm (workGen, seq,
+// lastAt), runLoop's pop of that register as the (at, seq) minimum (clock
+// advance, step count), and workDone's retirement — after which the loop
+// would hand control straight back to this thread with no other handler
+// running in between. The strict doneAt < nextAt comparison mirrors the
+// (at, seq) tie-break: the fresh arm carries the largest seq, so at an
+// equal instant the queued event would fire first. Traced runs, a ghost
+// work register (stale generation left by preemption, popped as a counted
+// no-op by the queue), a pending user error, or a step budget about to trip
+// all fall back to the queue so those paths stay byte-identical.
+func (k *Kernel) completeInline(th *Thread) bool {
+	doneAt := k.now.Add(th.computeLeft)
+	if doneAt >= k.nextAt || doneAt > k.maxT || k.tracer != nil ||
+		k.cpus[th.cpu].slots[slotWork].armed ||
+		k.userErr != nil || k.steps >= k.cfg.MaxSteps {
+		return false
+	}
+	th.workGen++
+	k.seq++
+	if doneAt > k.lastAt {
+		k.lastAt = doneAt
+	}
+	k.now = doneAt
+	k.steps++
+	consumed := th.computeLeft
+	th.cpuTime += consumed
+	k.stats.addBusy(th.cpu, consumed)
+	th.computeLeft = 0
+	th.runStart = doneAt
+	k.checkPost = true
+	return true
 }
 
 // workDone fires when a compute segment finishes uninterrupted.
@@ -130,7 +176,7 @@ func (k *Kernel) workDone(th *Thread, gen uint64) {
 	th.computeLeft = 0
 	th.workPending = false
 	th.runStart = k.now
-	if consumed > 0 {
+	if consumed > 0 && k.tracing() {
 		k.emitThread(th, Event{Kind: EvCompute, Arg: int64(consumed)})
 	}
 	k.wake(th)
@@ -163,7 +209,7 @@ func (k *Kernel) accrueWork(th *Thread) {
 		th.computeLeft -= consumed
 		th.cpuTime += consumed
 		k.stats.addBusy(th.cpu, consumed)
-		if consumed > 0 {
+		if consumed > 0 && k.tracing() {
 			k.emitThread(th, Event{Kind: EvCompute, Arg: int64(consumed)})
 		}
 	}

@@ -1,0 +1,146 @@
+package sim
+
+import "errors"
+
+// This file implements copy-on-write prefix forking for the kernel: a
+// campaign that runs many rounds differing only in RNG seed (and per-round
+// tracer / fault hooks) captures the boot-time registrations — processes,
+// thread bodies, priorities — into an immutable Image once, then stamps out
+// each round with Fork instead of repeating the registration calls and
+// goroutine spawns.
+//
+// The design deliberately avoids checkpointing kernel *state*: a Snapshot
+// is only legal before Run, when the interesting state is exactly the
+// sequence of NewProcess / Spawn / SetNice / SetScheduleClass calls. Fork
+// replays that sequence onto a Reset kernel, so by construction it produces
+// the identical seq-numbered event stream, identical PIDs/TIDs, and
+// identical trace prefix a hand-written boot would — there is no second
+// "restore" code path whose equivalence would need proving. What makes the
+// replay cheap is pooling: the kernel retains each round's thread shells
+// (struct + resume channel + parked goroutine) and process shells, and the
+// replay re-enlists them in creation order, making a forked boot free of
+// goroutine creation and nearly free of allocation.
+
+// ErrSnapshotAfterRun reports a Snapshot call on a kernel that has already
+// started (or finished) simulating.
+var ErrSnapshotAfterRun = errors.New("sim: Snapshot must be taken on a booted kernel before Run")
+
+// procSpec records one NewProcess call.
+type procSpec struct {
+	name string
+	uid  int
+	gid  int
+}
+
+// threadSpec records one Spawn call plus the priority attributes applied to
+// the thread before Run.
+type threadSpec struct {
+	proc  int // index into Image.procs
+	name  string
+	fn    func(*Task)
+	nice  int
+	class uint16
+}
+
+// Image is an immutable snapshot of a kernel's pre-Run boot sequence. It
+// captures configuration and registrations, not mutable state, so one Image
+// may be forked from any number of times (from the kernel that produced it
+// or any other). The per-round fields of the configuration — seed, tracer,
+// interrupter — are overridden at Fork time.
+type Image struct {
+	cfg     Config
+	procs   []procSpec
+	threads []threadSpec
+	onExit  func(*Process)
+}
+
+// Snapshot captures the kernel's boot registrations into an Image. It must
+// be called after all pre-Run NewProcess/Spawn calls and before Run.
+func (k *Kernel) Snapshot() (*Image, error) {
+	if k.now != 0 || k.steps != 0 {
+		return nil, ErrSnapshotAfterRun
+	}
+	img := &Image{cfg: k.cfg, onExit: k.onProcessExit}
+	img.procs = make([]procSpec, len(k.procs))
+	pidx := make(map[*Process]int, len(k.procs))
+	for i, p := range k.procs {
+		img.procs[i] = procSpec{name: p.Name, uid: p.UID, gid: p.GID}
+		pidx[p] = i
+	}
+	img.threads = make([]threadSpec, len(k.threads))
+	for i, th := range k.threads {
+		img.threads[i] = threadSpec{
+			proc:  pidx[th.proc],
+			name:  th.name,
+			fn:    th.fn,
+			nice:  th.nice,
+			class: th.schedClass,
+		}
+	}
+	return img, nil
+}
+
+// ForkConfig carries the per-round overrides applied to an Image's
+// configuration when forking.
+type ForkConfig struct {
+	// Seed seeds the forked round's RNG.
+	Seed int64
+	// Tracer receives the forked round's trace events; nil disables tracing.
+	Tracer Tracer
+	// Interrupter hooks the forked round's interruptible semaphore waits;
+	// nil keeps every acquire uninterruptible.
+	Interrupter Interrupter
+}
+
+// Fork resets the kernel and replays img's boot sequence onto it, reusing
+// the thread and process shells pooled by previous forks. After Fork the
+// kernel is in exactly the state a fresh New + boot with img's registrations
+// (under fc's seed/tracer/interrupter) would produce; the caller may adjust
+// per-round hooks (OnProcessExit, additional Spawns) and then Run. Fork must
+// not be called while a simulation is in flight.
+func (k *Kernel) Fork(img *Image, fc ForkConfig) {
+	cfg := img.cfg
+	cfg.Seed = fc.Seed
+	cfg.Tracer = fc.Tracer
+	cfg.Interrupter = fc.Interrupter
+	k.Reset(cfg)
+	k.pooling = true
+	for _, ps := range img.procs {
+		k.NewProcess(ps.name, ps.uid, ps.gid)
+	}
+	for i := range img.threads {
+		ts := &img.threads[i]
+		th := k.Spawn(k.procs[ts.proc], ts.name, ts.fn)
+		th.nice = ts.nice
+		th.schedClass = ts.class
+	}
+	k.onProcessExit = img.onExit
+}
+
+// Drain releases the fork pools: every parked pooled goroutine is told to
+// exit and the shell slices are dropped. It must only be called between
+// rounds (never while Run is in flight). A kernel remains usable after
+// Drain; the next Fork simply rebuilds its pools. Exposed mainly so tests
+// can verify pooled shells are accounted for and releasable.
+func (k *Kernel) Drain() {
+	for _, th := range k.pool {
+		th.drain = true
+		th.resume <- struct{}{}
+	}
+	k.pool = nil
+	k.poolIdx = 0
+	k.procPool = nil
+	k.procIdx = 0
+	k.pooling = false
+}
+
+// PooledThreads returns the number of thread shells currently retained by
+// the fork pool. Exposed for tests.
+func (k *Kernel) PooledThreads() int { return len(k.pool) }
+
+// Process returns the i-th registered process of the current round, in
+// registration order. After Fork, index i is the process the i-th entry of
+// the image's boot sequence produced — a forking harness uses this to
+// re-resolve its process handles, since the first fork after a classic
+// boot moves the registrations onto pooled shells with new identities.
+func (k *Kernel) Process(i int) *Process { return k.procs[i] }

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// bootBenchKernel registers the shape of a Fig 6 round's boot — two
+// single-thread processes — on a quiet machine, without running it.
+func bootBenchKernel(k *Kernel) {
+	victim := k.NewProcess("victim", 0, 0)
+	attacker := k.NewProcess("attacker", 1000, 1000)
+	k.Spawn(victim, "victim", func(t *Task) { t.Compute(time.Microsecond) })
+	th := k.Spawn(attacker, "attacker", func(t *Task) { t.Compute(time.Microsecond) })
+	th.SetNice(5)
+}
+
+// BenchmarkSnapshot measures capturing a booted kernel's registrations.
+func BenchmarkSnapshot(b *testing.B) {
+	cfg := benchConfig(1)
+	k := New(cfg)
+	bootBenchKernel(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFork measures stamping a round out of a snapshot: Reset plus the
+// boot replay onto pooled shells. The steady state must not allocate — the
+// whole point of the pooling is that a forked boot reuses every thread and
+// process shell of the previous round.
+func BenchmarkFork(b *testing.B) {
+	cfg := benchConfig(1)
+	k := New(cfg)
+	bootBenchKernel(k)
+	img, err := k.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Fork(img, ForkConfig{Seed: int64(i + 1)})
+	}
+	b.StopTimer()
+	k.Drain()
+}
+
+// BenchmarkFastSeed measures the power-table RNG reseed that Fork performs
+// per round.
+func BenchmarkFastSeed(b *testing.B) {
+	var s fastSource
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Seed(int64(i))
+	}
+}
+
+// TestForkAllocFree pins Fork's steady-state allocation count at zero:
+// every shell the replay enlists must come from the pools.
+func TestForkAllocFree(t *testing.T) {
+	cfg := benchConfig(1)
+	k := New(cfg)
+	bootBenchKernel(k)
+	img, err := k.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Fork(img, ForkConfig{Seed: 1}) // first fork moves onto pooled shells
+	seed := int64(2)
+	avg := testing.AllocsPerRun(100, func() {
+		k.Fork(img, ForkConfig{Seed: seed})
+		seed++
+	})
+	k.Drain()
+	if avg != 0 {
+		t.Fatalf("Fork allocates %.1f objects per call, want 0", avg)
+	}
+}

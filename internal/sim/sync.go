@@ -104,7 +104,9 @@ func (s *Sem) tryFast(t *Task) bool {
 		s.owner = th
 		th.owned = append(th.owned, s)
 		k.stats.SemAcquires++
-		k.emitThread(th, Event{Kind: EvSemAcquire, Label: s.name})
+		if k.tracing() {
+			k.emitThread(th, Event{Kind: EvSemAcquire, Label: s.name})
+		}
 		return true
 	}
 	if s.owner == th {
@@ -121,7 +123,9 @@ func (s *Sem) acquireSlow(t *Task, interruptible bool) error {
 	s.waiters = append(s.waiters, th)
 	k.stats.SemBlocks++
 	blockedAt := k.now
-	k.emitThread(th, Event{Kind: EvSemBlock, Label: s.name})
+	if k.tracing() {
+		k.emitThread(th, Event{Kind: EvSemBlock, Label: s.name})
+	}
 	th.blockCancel = func() { s.removeWaiter(th) }
 	if interruptible {
 		if in := k.cfg.Interrupter; in != nil {
@@ -178,7 +182,9 @@ func (s *Sem) Release(t *Task) {
 	if s.owner != th {
 		panic(fmt.Sprintf("sim: thread %q released semaphore %q it does not own", th.name, s.name))
 	}
-	k.emitThread(th, Event{Kind: EvSemRelease, Label: s.name})
+	if k.tracing() {
+		k.emitThread(th, Event{Kind: EvSemRelease, Label: s.name})
+	}
 	th.disown(s)
 	s.handoff(k)
 }

@@ -118,6 +118,19 @@ type Thread struct {
 
 	// cpuTime accumulates executed compute time, for accounting tests.
 	cpuTime time.Duration
+
+	// fn is the thread body for the current round. It lives on the
+	// struct (not in the launch closure) so a pooled shell can run a
+	// different body each round without a fresh goroutine.
+	fn func(*Task)
+	// task is the reusable Task handle passed to fn; sharing one per
+	// thread keeps the spawn path allocation-free.
+	task Task
+	// pooled marks a shell owned by the kernel's fork pool: its
+	// goroutine parks for reuse after each round instead of exiting.
+	pooled bool
+	// drain asks a parked pooled goroutine to exit (see Kernel.Drain).
+	drain bool
 }
 
 // ID returns the thread id.
@@ -154,58 +167,129 @@ func (t *Thread) SetScheduleClass(class uint16) { t.schedClass = class }
 // NewProcess registers a process with the given name and credentials.
 func (k *Kernel) NewProcess(name string, uid, gid int) *Process {
 	k.nextPID++
+	if k.pooling && k.procIdx < len(k.procPool) {
+		p := k.procPool[k.procIdx]
+		k.procIdx++
+		p.PID, p.Name, p.UID, p.GID = k.nextPID, name, uid, gid
+		p.k = k
+		p.threads = p.threads[:0]
+		p.liveCnt = 0
+		k.procs = append(k.procs, p)
+		return p
+	}
 	p := &Process{PID: k.nextPID, Name: name, UID: uid, GID: gid, k: k}
+	if k.pooling {
+		k.procPool = append(k.procPool, p)
+		k.procIdx = len(k.procPool)
+	}
 	k.procs = append(k.procs, p)
 	return p
 }
 
 // Spawn creates a thread in process p running fn and makes it runnable.
 // It may be called before Run or from inside a running thread function.
+// On a kernel replaying a forked prefix (see Fork) the thread reuses a
+// parked shell — struct, resume channel, and goroutine — from the pool;
+// a recycled shell is field-reset to the exact state of a fresh thread,
+// so pooled and unpooled spawns are observationally identical.
 func (k *Kernel) Spawn(p *Process, name string, fn func(*Task)) *Thread {
 	k.nextTID++
-	th := &Thread{
-		id:     k.nextTID,
-		proc:   p,
-		name:   name,
-		state:  StateReady,
-		cpu:    -1,
-		resume: make(chan struct{}),
+	var th *Thread
+	if k.pooling && k.poolIdx < len(k.pool) {
+		th = k.pool[k.poolIdx]
+		k.poolIdx++
+		th.id = k.nextTID
+		th.proc = p
+		th.name = name
+		th.state = StateReady
+		th.cpu = -1
+		th.computeLeft = 0
+		th.runStart = 0
+		th.workPending = false
+		th.workGen, th.schedGen, th.timerGen, th.intrGen = 0, 0, 0, 0
+		th.blockReason = ""
+		th.blockCancel = nil
+		th.timerArmed = false
+		th.intrDelivered = false
+		th.killed = false
+		th.err = nil
+		th.owned = th.owned[:0]
+		th.nice = 0
+		th.schedClass = 0
+		th.cpuTime = 0
+		th.fn = fn
+	} else {
+		th = &Thread{
+			id:     k.nextTID,
+			proc:   p,
+			name:   name,
+			state:  StateReady,
+			cpu:    -1,
+			resume: make(chan struct{}),
+			fn:     fn,
+		}
+		th.task = Task{k: k, th: th}
+		if k.pooling {
+			th.pooled = true
+			k.pool = append(k.pool, th)
+			k.poolIdx = len(k.pool)
+		}
+		k.launch(th)
 	}
 	k.threads = append(k.threads, th)
 	p.threads = append(p.threads, th)
 	p.liveCnt++
 	k.live++
-	k.emitThread(th, Event{Kind: EvSpawn, Label: name})
-	k.launch(th, fn)
+	if k.tracing() {
+		k.emitThread(th, Event{Kind: EvSpawn, Label: name})
+	}
 	k.makeReady(th)
 	return th
 }
 
 // launch starts the coroutine for th. The goroutine parks until the kernel
-// first hands it the control token, runs fn, then retires the thread in the
-// epilogue and keeps driving the event loop until the token moves on.
+// first hands it the control token, runs th.fn, then retires the thread in
+// the epilogue and keeps driving the event loop until the token moves on.
 // During unwindLive the epilogue instead hands the token straight back to
-// the unwinder.
-func (k *Kernel) launch(th *Thread, fn func(*Task)) {
+// the unwinder. A pooled shell then parks again, waiting to be re-enlisted
+// (with a new body) by a later Spawn on the same kernel; an unpooled
+// goroutine exits. Both the normal and the unwound round end with the
+// goroutine back at the resume park, so recycling needs no extra
+// synchronization beyond the existing token handshake.
+func (k *Kernel) launch(th *Thread) {
 	go func() {
-		<-th.resume
-		defer func() {
-			if r := recover(); r != nil {
-				if _, isKill := r.(killSignal); !isKill {
-					th.err = fmt.Errorf("sim: thread %q panicked: %v", th.name, r)
-				}
-			}
-			if k.unwinding {
-				k.mainResume <- struct{}{}
+		for {
+			<-th.resume
+			if th.drain {
 				return
 			}
-			k.finishThread(th)
-			k.runLoop(th, true)
-		}()
-		if !th.killed {
-			fn(&Task{k: k, th: th})
+			th.runRound(k)
+			if !th.pooled {
+				return
+			}
 		}
 	}()
+}
+
+// runRound executes one round's thread body with the epilogue that retires
+// the thread and keeps driving the event loop until the token moves on.
+func (th *Thread) runRound(k *Kernel) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSignal); !isKill {
+				th.err = fmt.Errorf("sim: thread %q panicked: %v", th.name, r)
+			}
+		}
+		if k.unwinding {
+			k.mainResume <- struct{}{}
+			return
+		}
+		k.finishThread(th)
+		k.runLoop(th, true)
+	}()
+	if !th.killed {
+		th.fn(&th.task)
+	}
 }
 
 // finishThread retires an exited thread and triggers process-exit hooks.
@@ -231,7 +315,9 @@ func (k *Kernel) finishThread(th *Thread) {
 			s.handoff(k)
 		}
 	}
-	k.emitThread(th, Event{Kind: EvExit, Label: th.name})
+	if k.tracing() {
+		k.emitThread(th, Event{Kind: EvExit, Label: th.name})
+	}
 	if th.err != nil && k.userErr == nil {
 		k.userErr = th.err
 	}
@@ -281,11 +367,11 @@ func (k *Kernel) Kill(th *Thread) {
 			th.schedGen++
 			c.th = nil
 			k.pendingOps++
-			k.schedule(k.now, func() { k.pendingOps--; k.dispatchCPU(c) })
+			k.scheduleKernel(k.now, evKillDispatch, nil, c, 0)
 		}
 		th.state = StateBlocked
 		k.pendingOps++
-		k.schedule(k.now, func() { k.pendingOps--; k.wake(th) })
+		k.scheduleKernel(k.now, evKillWake, th, nil, 0)
 	case StateBlocked:
 		if th.timerArmed {
 			th.timerArmed = false
@@ -297,7 +383,7 @@ func (k *Kernel) Kill(th *Thread) {
 			th.blockCancel = nil
 		}
 		k.pendingOps++
-		k.schedule(k.now, func() { k.pendingOps--; k.wake(th) })
+		k.scheduleKernel(k.now, evKillWake, th, nil, 0)
 	}
 }
 
@@ -349,6 +435,9 @@ func (t *Task) yieldTo(kind yieldKind) {
 	k, th := t.k, t.th
 	if kind == yieldCompute {
 		th.runStart = k.now
+		if k.completeInline(th) {
+			return
+		}
 		k.scheduleWork(th)
 	}
 	k.runLoop(th, false)
@@ -387,7 +476,9 @@ func (t *Task) blockTimed(reason string, d time.Duration, kind EventKind) {
 		return
 	}
 	k, th := t.k, t.th
-	k.emitThread(th, Event{Kind: kind, Label: reason, Arg: int64(d)})
+	if k.tracing() {
+		k.emitThread(th, Event{Kind: kind, Label: reason, Arg: int64(d)})
+	}
 	k.blockCurrent(th, reason)
 	k.timedCnt++
 	th.timerGen++
@@ -419,6 +510,10 @@ func (t *Task) Trace(ev Event) {
 	}
 	t.k.emitThread(t.th, ev)
 }
+
+// Tracing reports whether a tracer is attached to the kernel, so callers
+// on hot paths can skip building Event values that would be discarded.
+func (t *Task) Tracing() bool { return t.k.tracer != nil }
 
 // Mark emits an EvMark event with the given label.
 func (t *Task) Mark(label string) { t.Trace(Event{Kind: EvMark, Label: label}) }

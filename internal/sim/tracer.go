@@ -159,6 +159,12 @@ func (c *CountTracer) Emit(e Event) {
 	c.Counts[e.Kind]++
 }
 
+// tracing reports whether a tracer is attached. Hot paths check it before
+// constructing an Event literal: the by-value Event copy at the call site
+// is built before emit's own nil check can skip it, and at hundreds of
+// events per round that wasted copy is measurable.
+func (k *Kernel) tracing() bool { return k.tracer != nil }
+
 // emit sends an event to the configured tracer, if any, stamping the time.
 func (k *Kernel) emit(ev Event) {
 	if k.tracer == nil {

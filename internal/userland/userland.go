@@ -49,6 +49,19 @@ func NewImage(trapCost time.Duration, prefaulted bool) *Image {
 	return img
 }
 
+// Reset returns the image to the state NewImage(trapCost, prefaulted)
+// would produce, so a round-forking harness can reuse one allocation per
+// process across rounds.
+func (img *Image) Reset(trapCost time.Duration, prefaulted bool) {
+	img.trapCost = trapCost
+	img.faulted = 0
+	if prefaulted {
+		for p := PageStat; p <= PageMisc; p++ {
+			img.faulted |= 1 << p
+		}
+	}
+}
+
 // Faulted reports whether a page is resident.
 func (img *Image) Faulted(p Page) bool { return img.faulted&(1<<p) != 0 }
 
@@ -64,6 +77,14 @@ type Libc struct {
 // Bind attaches a thread to an fs through a process image.
 func Bind(task *sim.Task, f *fs.FS, img *Image) *Libc {
 	return &Libc{task: task, fs: f, img: img}
+}
+
+// Rebind repoints an existing Libc at a new thread, so a round-forking
+// harness can reuse one Libc allocation per process across rounds. The
+// receiver must not be in use by another live thread.
+func (c *Libc) Rebind(task *sim.Task, f *fs.FS, img *Image) *Libc {
+	c.task, c.fs, c.img = task, f, img
+	return c
 }
 
 // Task returns the bound thread handle.
