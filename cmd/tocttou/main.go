@@ -13,7 +13,7 @@
 //	tocttou -bench-baseline [-bench-out BENCH_1.json]
 //	tocttou -sweep [-adaptive] [-halfwidth 0.02] [-sweep-out BENCH_2.json]
 //	tocttou -bench-guard [-bench-against BENCH_2.json] [-bench-tolerance 0.10]
-//	tocttou -bench-compare BENCH_2.json,BENCH_3.json
+//	tocttou -bench-compare BENCH_3.json,BENCH_4.json [-strict [-alloc-tolerance 0.10]]
 //
 // Each experiment renders the corresponding table or figure of
 // "Multiprocessors May Reduce System Dependability under File-Based Race
@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -72,6 +73,8 @@ func run(args []string) error {
 	benchAgainst := fl.String("bench-against", "BENCH_2.json", "committed baseline record for -bench-guard")
 	benchTol := fl.Float64("bench-tolerance", 0.10, "allowed fractional slowdown for -bench-guard")
 	benchCmp := fl.String("bench-compare", "", "render a benchstat-style comparison of two committed sweep records: old.json,new.json")
+	benchStrict := fl.Bool("strict", false, "with -bench-compare: also diff allocs/op and exit non-zero past -alloc-tolerance")
+	allocTol := fl.Float64("alloc-tolerance", 0.10, "allowed fractional allocs/op growth for -bench-compare -strict")
 	explore := fl.Bool("explore", false, "exhaustively enumerate the schedule space of fig6 uniprocessor points (-sizes) and report exact win probabilities")
 	explorePhases := fl.Int("explore-phases", 0, "startup-phase slots for -explore (0 = engine default)")
 	preemptionBound := fl.Int("preemption-bound", 0, "max injected background preemptions per explored round (0 = none)")
@@ -80,6 +83,8 @@ func run(args []string) error {
 	checkpoint := fl.String("checkpoint", "", "crash-safe sweep checkpoint file for a single checkpointable -experiment; rerun with the same flags to resume")
 	faultRates := fl.String("fault-rates", "", "comma-separated fault injection rates in [0,1] for the faultsweep experiment")
 	faultSeed := fl.Int64("fault-seed", 0, "fault-plan seed for the faultsweep experiment (0 = fixed default)")
+	cpuProfile := fl.String("cpuprofile", "", "write a CPU profile of the selected run to this file")
+	memProfile := fl.String("memprofile", "", "write an end-of-run heap profile to this file")
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
@@ -87,9 +92,11 @@ func run(args []string) error {
 	// Reject contradictory or out-of-range adaptive settings up front
 	// instead of silently running with them.
 	var halfWidthSet, minRoundsSet, explorePhasesSet, preemptionBoundSet, witnessOutSet bool
-	var faultRatesSet, faultSeedSet bool
+	var faultRatesSet, faultSeedSet, allocTolSet bool
 	fl.Visit(func(f *flag.Flag) {
 		switch f.Name {
+		case "alloc-tolerance":
+			allocTolSet = true
 		case "halfwidth":
 			halfWidthSet = true
 		case "minrounds":
@@ -139,6 +146,15 @@ func run(args []string) error {
 	if *benchTol <= 0 {
 		return fmt.Errorf("-bench-tolerance must be > 0, got %v", *benchTol)
 	}
+	if *benchStrict && *benchCmp == "" {
+		return fmt.Errorf("-strict only applies with -bench-compare")
+	}
+	if allocTolSet && !*benchStrict {
+		return fmt.Errorf("-alloc-tolerance only applies with -bench-compare -strict")
+	}
+	if *allocTol <= 0 {
+		return fmt.Errorf("-alloc-tolerance must be > 0, got %v", *allocTol)
+	}
 
 	// The fault/checkpoint flags bind to specific experiment selections;
 	// reject mismatches at parse time like the adaptive flags above.
@@ -185,6 +201,37 @@ func run(args []string) error {
 		}
 	}
 
+	// Profiling wraps whichever mode runs below. Both files are created at
+	// parse time so an unwritable path fails the invocation up front (non-
+	// zero exit) instead of after a long profiled run.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tocttou: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+
 	if *benchBase {
 		return benchBaseline(*benchOut)
 	}
@@ -195,7 +242,7 @@ func run(args []string) error {
 		return benchGuardRun(*benchAgainst, *benchTol)
 	}
 	if *benchCmp != "" {
-		return benchCompare(*benchCmp)
+		return benchCompare(*benchCmp, *benchStrict, *allocTol)
 	}
 	if *traceOut != "" {
 		return traceExport(*traceOut, *traceScen, *seed, *traceKinds, *tracePID, *tracePath)
@@ -624,8 +671,13 @@ func benchGuardRun(baselinePath string, tol float64) error {
 // committed sweep records (e.g. BENCH_2.json vs BENCH_3.json), pairing
 // fixed rows by GOMAXPROCS. It reads committed JSON only — nothing is
 // re-timed — so it is safe to run on any host, including CI runners whose
-// wall times are not comparable to the baselines'.
-func benchCompare(arg string) error {
+// wall times are not comparable to the baselines'. In strict mode it
+// additionally diffs allocs/op per GOMAXPROCS row and returns an error —
+// non-zero exit — when the new record allocates more than allocTol past
+// the old one; rows either record lacks allocation data for (anything
+// before BENCH_4) are reported as n/a and skipped, never failed, so the
+// gate tightens only once both sides carry the data.
+func benchCompare(arg string, strict bool, allocTol float64) error {
 	parts := strings.Split(arg, ",")
 	if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
 		return fmt.Errorf("-bench-compare wants exactly two comma-separated records: old.json,new.json")
@@ -702,7 +754,48 @@ func benchCompare(arg string) error {
 			ms(oldRec.Adaptive.WallNs), ms(newRec.Adaptive.WallNs),
 			delta(oldRec.Adaptive.WallNs, newRec.Adaptive.WallNs))
 	}
+	if !strict {
+		return nil
+	}
+
+	fmt.Println()
+	fmt.Printf("%-34s %12s %12s %9s\n", "name", "old allocs/op", "new allocs/op", "delta")
+	var allocFailures []string
+	for _, nf := range newRec.Fixed {
+		name := fmt.Sprintf("Fig6SweepRound/GOMAXPROCS=%d", nf.GOMAXPROCS)
+		var of *sweepFixedRecord
+		for i := range oldRec.Fixed {
+			if oldRec.Fixed[i].GOMAXPROCS == nf.GOMAXPROCS {
+				of = &oldRec.Fixed[i]
+				break
+			}
+		}
+		if of == nil || of.AllocsPerRound == 0 || nf.AllocsPerRound == 0 {
+			// A zero means the record predates allocation capture.
+			fmt.Printf("%-34s %12s %12s %9s\n", name, allocStr(of), allocStr(&nf), "n/a")
+			continue
+		}
+		growth := nf.AllocsPerRound/of.AllocsPerRound - 1
+		fmt.Printf("%-34s %13.1f %13.1f %+8.2f%%\n", name, of.AllocsPerRound, nf.AllocsPerRound, growth*100)
+		if growth > allocTol {
+			allocFailures = append(allocFailures, fmt.Sprintf("GOMAXPROCS=%d: %.1f vs %.1f allocs/op (%+.1f%%)",
+				nf.GOMAXPROCS, nf.AllocsPerRound, of.AllocsPerRound, growth*100))
+		}
+	}
+	if len(allocFailures) > 0 {
+		return fmt.Errorf("bench-compare -strict: allocs/op regressed beyond %.0f%% tolerance:\n  %s",
+			allocTol*100, strings.Join(allocFailures, "\n  "))
+	}
 	return nil
+}
+
+// allocStr renders a record's allocs/op for the strict table, with "-"
+// standing in for records that predate allocation capture.
+func allocStr(f *sweepFixedRecord) string {
+	if f == nil || f.AllocsPerRound == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", f.AllocsPerRound)
 }
 
 // sweepFixedRecord compares the three ways of running the Fig 6 sweep at
@@ -718,6 +811,27 @@ type sweepFixedRecord struct {
 	SpeedupVsSerial float64 `json:"sweep_speedup_vs_serial"`
 	BitIdentical    bool    `json:"bit_identical"`
 	RoundsPerSecond float64 `json:"sweep_rounds_per_sec"`
+	// AllocsPerRound is the steady-state heap allocation count per sweep
+	// round (pool bookkeeping included). Added with BENCH_4; absent (0)
+	// in older committed records, which -bench-compare -strict skips.
+	AllocsPerRound float64 `json:"allocs_per_round,omitempty"`
+}
+
+// sweepCoalesceRecord brackets what stretch coalescing buys on the same
+// build: the full Fig 6 sweep and its largest point re-timed with
+// Config.DisableCoalesce forced on (every chunk stepped through the
+// event loop), against the production coalesced path, with bit-identity
+// of the two result sets verified. Measured at GOMAXPROCS=1 so the
+// ratio isolates the fast path from pool scheduling effects.
+type sweepCoalesceRecord struct {
+	SweepNs                  int64   `json:"sweep_ns"`
+	SweepSteppedNs           int64   `json:"sweep_stepped_ns"`
+	SweepSpeedup             float64 `json:"sweep_speedup"`
+	BigFileKB                int     `json:"bigfile_kb"`
+	BigFileNsPerRound        int64   `json:"bigfile_ns_per_round"`
+	BigFileSteppedNsPerRound int64   `json:"bigfile_stepped_ns_per_round"`
+	BigFileSpeedup           float64 `json:"bigfile_speedup"`
+	BitIdentical             bool    `json:"bit_identical"`
 }
 
 // sweepAdaptiveRecord reports what the opt-in sequential-stopping budget
@@ -746,6 +860,7 @@ type sweepRecord struct {
 	NumCPU         int                  `json:"num_cpu"`
 	Provenance     provenance           `json:"provenance"`
 	Fixed          []sweepFixedRecord   `json:"fixed"`
+	Coalesce       *sweepCoalesceRecord `json:"coalesce,omitempty"`
 	Adaptive       *sweepAdaptiveRecord `json:"adaptive,omitempty"`
 }
 
@@ -850,22 +965,92 @@ func benchSweep(out string, adaptive bool, halfWidth float64, minRounds int) err
 							identical = false
 						}
 					}
-					rec.Fixed = append(rec.Fixed, sweepFixedRecord{
-						GOMAXPROCS:      procs,
-						BaselineNs:      baseNs.Nanoseconds(),
-						SerialNs:        serialWall.Nanoseconds(),
-						SweepNs:         sweepWall.Nanoseconds(),
-						SpeedupVsBase:   float64(baseNs) / float64(sweepWall),
-						SpeedupVsSerial: float64(serialWall) / float64(sweepWall),
-						BitIdentical:    identical,
-						RoundsPerSecond: float64(len(scs)*rounds) / sweepWall.Seconds(),
-					})
+					// One untimed sweep bracketed by memstats reads gives
+					// the steady-state allocation count per round.
+					runtime.GC()
+					var m0, m1 runtime.MemStats
+					runtime.ReadMemStats(&m0)
+					if _, err = core.RunSweep(scs, rounds, core.SweepOptions{}); err == nil {
+						runtime.ReadMemStats(&m1)
+						rec.Fixed = append(rec.Fixed, sweepFixedRecord{
+							GOMAXPROCS:      procs,
+							BaselineNs:      baseNs.Nanoseconds(),
+							SerialNs:        serialWall.Nanoseconds(),
+							SweepNs:         sweepWall.Nanoseconds(),
+							SpeedupVsBase:   float64(baseNs) / float64(sweepWall),
+							SpeedupVsSerial: float64(serialWall) / float64(sweepWall),
+							BitIdentical:    identical,
+							RoundsPerSecond: float64(len(scs)*rounds) / sweepWall.Seconds(),
+							AllocsPerRound:  float64(m1.Mallocs-m0.Mallocs) / float64(len(scs)*rounds),
+						})
+					}
 				}
 			}
 		}
 		runtime.GOMAXPROCS(prev)
 		if err != nil {
 			return fmt.Errorf("sweep bench at GOMAXPROCS=%d: %w", procs, err)
+		}
+	}
+
+	// Bracket the coalescing fast path: the same sweep and its largest
+	// point with DisableCoalesce forced, at GOMAXPROCS=1.
+	{
+		stepped := make([]core.Scenario, len(scs))
+		for i, sc := range scs {
+			sc.DisableCoalesce = true
+			stepped[i] = sc
+		}
+		prev := runtime.GOMAXPROCS(1)
+		var coalRes, stepRes []core.CampaignResult
+		coalNs, err := bestOf(3, func() error {
+			var serr error
+			coalRes, serr = core.RunSweep(scs, rounds, core.SweepOptions{})
+			return serr
+		})
+		if err == nil {
+			var stepNs time.Duration
+			stepNs, err = bestOf(3, func() error {
+				var serr error
+				stepRes, serr = core.RunSweep(stepped, rounds, core.SweepOptions{})
+				return serr
+			})
+			if err == nil {
+				big, bigStepped := scs[len(scs)-1], stepped[len(stepped)-1]
+				var bigNs, bigStepNs time.Duration
+				bigNs, err = bestOf(3, func() error {
+					_, cerr := core.RunCampaign(big, rounds)
+					return cerr
+				})
+				if err == nil {
+					bigStepNs, err = bestOf(3, func() error {
+						_, cerr := core.RunCampaign(bigStepped, rounds)
+						return cerr
+					})
+					if err == nil {
+						identical := len(coalRes) == len(stepRes)
+						for i := range coalRes {
+							if coalRes[i] != stepRes[i] {
+								identical = false
+							}
+						}
+						rec.Coalesce = &sweepCoalesceRecord{
+							SweepNs:                  coalNs.Nanoseconds(),
+							SweepSteppedNs:           stepNs.Nanoseconds(),
+							SweepSpeedup:             float64(stepNs) / float64(coalNs),
+							BigFileKB:                int(big.FileSize >> 10),
+							BigFileNsPerRound:        bigNs.Nanoseconds() / int64(rounds),
+							BigFileSteppedNsPerRound: bigStepNs.Nanoseconds() / int64(rounds),
+							BigFileSpeedup:           float64(bigStepNs) / float64(bigNs),
+							BitIdentical:             identical,
+						}
+					}
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			return fmt.Errorf("coalesce bracket: %w", err)
 		}
 	}
 
@@ -913,6 +1098,13 @@ func benchSweep(out string, adaptive bool, halfWidth float64, minRounds int) err
 			out, f.GOMAXPROCS,
 			float64(f.BaselineNs)/1e6, float64(f.SerialNs)/1e6, float64(f.SweepNs)/1e6,
 			f.SpeedupVsBase, f.SpeedupVsSerial, f.BitIdentical)
+	}
+	if rec.Coalesce != nil {
+		c := rec.Coalesce
+		fmt.Printf("%s: coalescing@GOMAXPROCS=1: sweep %.1fms vs stepped %.1fms (%.2fx); %dKB point %.1fµs vs %.1fµs per round (%.2fx); bit-identical %v\n",
+			out, float64(c.SweepNs)/1e6, float64(c.SweepSteppedNs)/1e6, c.SweepSpeedup,
+			c.BigFileKB, float64(c.BigFileNsPerRound)/1e3, float64(c.BigFileSteppedNsPerRound)/1e3,
+			c.BigFileSpeedup, c.BitIdentical)
 	}
 	if rec.Adaptive != nil {
 		a := rec.Adaptive

@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+// benchRoundWith times forked rounds of the Fig 6 sweep's largest point
+// (1000KB — the one dominated by chunked-write simulation) with stretch
+// coalescing either enabled or forced off, so the two benchmarks bracket
+// exactly the win the coalescing fast path buys.
+func benchRoundWith(b *testing.B, disable bool) {
+	sc := benchScenario()
+	sc.FileSize = 1000 << 10
+	sc.Seed = 1007 + 9*7919 // the sweep's 1000KB point seed
+	sc.DisableCoalesce = disable
+	var st roundState
+	if _, err := runRound(sc, &st); err != nil {
+		b.Fatal(err)
+	}
+	if !st.prefix.valid {
+		b.Fatal("prefix not captured; scenario unexpectedly not forkable")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = 1007 + int64(i+1)*SeedStride
+		if _, err := runRound(sc, &st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBigFileRoundCoalesced is the production configuration: chunked
+// writes retire through Stretch coalescing wherever the stretch is
+// provably uncontended.
+func BenchmarkBigFileRoundCoalesced(b *testing.B) { benchRoundWith(b, false) }
+
+// BenchmarkBigFileRoundStepped forces Config.DisableCoalesce, stepping
+// every chunk through the event loop — the pre-coalescing cost model the
+// equivalence suite compares against bit for bit.
+func BenchmarkBigFileRoundStepped(b *testing.B) { benchRoundWith(b, true) }

@@ -118,6 +118,11 @@ type Scenario struct {
 	// StallBound caps chooser-driven storage stalls per round
 	// (sim.Config.StallBound); 0 = unbounded.
 	StallBound int
+	// DisableCoalesce forces every round onto the fully stepped event-loop
+	// path (sim.Config.DisableCoalesce), bypassing the stretch coalescing
+	// fast-forward. Outcomes are bit-identical either way — the
+	// equivalence suite flips this knob to prove it.
+	DisableCoalesce bool
 	// Horizon, when positive, truncates the round at that virtual time
 	// and evaluates the outcome as-is (the attack either already landed
 	// or it lost). Exploration uses it to bound the schedule tree of
@@ -257,6 +262,7 @@ func runClassicRound(sc Scenario, st *roundState) (Round, error) {
 	simCfg.Chooser = sc.Chooser
 	simCfg.NoiseSlots = sc.NoiseSlots
 	simCfg.StallBound = sc.StallBound
+	simCfg.DisableCoalesce = sc.DisableCoalesce
 	if sc.Horizon > 0 {
 		simCfg.MaxTime = sc.Horizon
 	} else if sc.Watchdog > 0 {

@@ -49,6 +49,7 @@ type prefixSig struct {
 	attackerNice int
 	noiseSlots   sim.NoiseSlotConfig
 	stallBound   int
+	noCoalesce   bool
 	horizon      time.Duration
 	watchdog     time.Duration
 	paths        Paths
@@ -70,6 +71,7 @@ func sigOf(sc Scenario) prefixSig {
 		attackerNice: sc.AttackerNice,
 		noiseSlots:   sc.NoiseSlots,
 		stallBound:   sc.StallBound,
+		noCoalesce:   sc.DisableCoalesce,
 		horizon:      sc.Horizon,
 		watchdog:     sc.Watchdog,
 		paths:        *sc.Paths,
@@ -214,6 +216,7 @@ func buildPrefix(sc Scenario, st *roundState, sig prefixSig, simTracer sim.Trace
 	simCfg := sc.Machine.SimConfig(sc.Seed, simTracer)
 	simCfg.NoiseSlots = sc.NoiseSlots
 	simCfg.StallBound = sc.StallBound
+	simCfg.DisableCoalesce = sc.DisableCoalesce
 	if sc.Horizon > 0 {
 		simCfg.MaxTime = sc.Horizon
 	} else if sc.Watchdog > 0 {

@@ -107,6 +107,11 @@ type SweepStats struct {
 	RoundsExecuted int
 	// PointsStopped counts points halted early by the adaptive rule.
 	PointsStopped int
+	// PointsMemoized counts points whose result was copied from an
+	// identically-configured earlier point instead of being simulated
+	// (see memo.go); memoized points contribute nothing to
+	// RoundsExecuted or RoundsCommitted.
+	PointsMemoized int
 }
 
 // ErrSweepInterrupted reports a sweep that stopped deliberately after a
@@ -148,7 +153,36 @@ func RunSweep(scs []Scenario, rounds int, opt SweepOptions) ([]CampaignResult, e
 }
 
 // RunSweepPoints is RunSweep with per-point budgets and execution stats.
+// Points that are provably duplicates — identical result-determining
+// configuration and identical round budgets — are simulated once and
+// share the result (see memo.go for the exact conditions).
 func RunSweepPoints(points []SweepPoint, opt SweepOptions) ([]CampaignResult, SweepStats, error) {
+	plan := memoizeSweep(points, opt)
+	if plan == nil {
+		return runSweepPointsDirect(points, opt)
+	}
+	sub := make([]SweepPoint, len(plan.uniq))
+	for u, i := range plan.uniq {
+		sub[u] = points[i]
+	}
+	res, stats, err := runSweepPointsDirect(sub, opt)
+	stats.PointsMemoized = len(points) - len(sub)
+	if err != nil {
+		var se *SweepError
+		if errors.As(err, &se) {
+			se.Point = plan.uniq[se.Point]
+		}
+		return nil, stats, err
+	}
+	out := make([]CampaignResult, len(points))
+	for i, r := range plan.rep {
+		out[i] = res[plan.toUniq[r]]
+	}
+	return out, stats, nil
+}
+
+// runSweepPointsDirect executes every point as given, with no dedupe.
+func runSweepPointsDirect(points []SweepPoint, opt SweepOptions) ([]CampaignResult, SweepStats, error) {
 	if len(points) == 0 {
 		return nil, SweepStats{}, nil
 	}

@@ -1,6 +1,8 @@
 package fs
 
 import (
+	"time"
+
 	"tocttou/internal/sim"
 )
 
@@ -154,6 +156,214 @@ func (fl *File) Write(t *sim.Task, n int64) error {
 // WriteBytes appends real bytes (stored only when the FS tracks content).
 func (fl *File) WriteBytes(t *sim.Task, b []byte) error {
 	return fl.writeCommon(t, int64(len(b)), b)
+}
+
+// WriteChunks appends total bytes as a sequence of chunk-sized appends,
+// bit-identical to the classic loop
+//
+//	for remaining > 0 {
+//		n := min(chunk, remaining)
+//		t.Compute(k.JitterDuration(prep(n)))   // omitted when prep is nil
+//		if err := fl.Write(t, n); err != nil { break }
+//	}
+//
+// but coalesced: runs of the loop that provably contain no pending kernel
+// event and no semaphore contention are retired in bulk through
+// sim.Stretch — one aggregate clock advance instead of per-chunk
+// event-loop iterations — and, when the latency model is draw-free (no
+// jitter, no stall probability, no fault hook), whole runs of full chunks
+// are applied analytically in O(1). prep must be a pure function of its
+// argument (the chunk's byte count), returning the user-space compute
+// charged before that chunk, pre-jitter; nil charges none.
+//
+// It returns how many bytes were appended. On error the failed chunk's
+// bytes are not counted, but its prep compute has been charged — a caller
+// that retries (prog.Robustness) re-issues only the failed chunk's Write,
+// exactly as the classic loop's retry of the failed call would.
+func (fl *File) WriteChunks(t *sim.Task, total, chunk int64, prep func(n int64) time.Duration) (int64, error) {
+	if total <= 0 {
+		return 0, nil
+	}
+	if chunk <= 0 {
+		return 0, pathErr("write", fl.path, EINVAL)
+	}
+	k := t.Kernel()
+	var written int64
+	for written < total {
+		done, err := fl.writeChunksCoalesced(t, k, total-written, chunk, prep)
+		written += done
+		if err != nil || written >= total {
+			return written, err
+		}
+		// Coalescing is unavailable here (a guard/tracer/chooser installed,
+		// the inode semaphore contended, or the thread in a state the
+		// stretch preconditions reject): run one chunk through the classic
+		// stepped path — guaranteed progress — then try again.
+		n := chunk
+		if rem := total - written; n > rem {
+			n = rem
+		}
+		if prep != nil {
+			t.Compute(k.JitterDuration(prep(n)))
+		}
+		if err := fl.Write(t, n); err != nil {
+			return written, err
+		}
+		written += n
+	}
+	return written, nil
+}
+
+// writeChunksCoalesced retires as many prep+write chunks as it can prove
+// uncontended, returning how many bytes it applied. A zero count with nil
+// error means coalescing is not currently available and the caller must
+// make progress through the stepped path. The RNG draw sequence — prep
+// jitter, fault-plan draw, write-cost jitter, stall Bernoulli (plus the
+// stall length when one fires) — is replayed per chunk in exactly the
+// stepped order, so seeded streams stay bit-identical; only the
+// event-loop traffic between the draws is elided. Whenever an effect must
+// be observable through the event loop (a pending event lands inside a
+// segment, a stall fires and the thread genuinely blocks, an injected
+// fault surfaces), the stretch is committed at that exact instant and the
+// affected part executes through the real machinery, preserving the
+// interleaving.
+func (fl *File) writeChunksCoalesced(t *sim.Task, k *sim.Kernel, total, chunk int64, prep func(n int64) time.Duration) (int64, error) {
+	f := fl.fs
+	if f.guard != nil || k.ChooserActive() {
+		return 0, nil
+	}
+	s, ok := t.BeginStretch()
+	if !ok {
+		return 0, nil
+	}
+	node := fl.node
+	sem := node.isem()
+	lat := &f.cfg.Latency
+	// With no jitter, no stall model, and no fault hook, a chunk's two
+	// segments are pure functions of its size and consume no draws, so
+	// runs of full chunks collapse to closed-form arithmetic.
+	deterministic := f.cfg.Faults == nil && !k.HasJitter() && lat.WriteStallProbPerKB <= 0
+	var written int64
+	for written < total {
+		if !sem.Quiet() {
+			break
+		}
+		if deterministic && total-written >= chunk && !fl.closed && fl.flags&OWrite != 0 {
+			var prepFull time.Duration
+			if prep != nil {
+				prepFull = prep(chunk)
+			}
+			costFull := lat.WriteBase + perKB(lat.WritePerKB, chunk)
+			if m := s.AdvanceBulk(prepFull, costFull, (total-written)/chunk); m > 0 {
+				sem.AcquireReleasePairs(t, m)
+				fl.applyChunks(chunk, m)
+				written += m * chunk
+				continue
+			}
+		}
+		n := chunk
+		if rem := total - written; n > rem {
+			n = rem
+		}
+		// The chunk's user-space prep, inside the stretch. A pending event
+		// inside the segment routes it through the real event loop
+		// (AdvanceRouted) — other threads may have run there, so the chunk
+		// continues coalesced only if the inode semaphore is still quiet;
+		// otherwise (or when the stretch broke) the rest of the chunk runs
+		// stepped: its fault draw has not happened yet, so Write replays
+		// the stepped sequence exactly.
+		if prep != nil {
+			if d := k.JitterDuration(prep(n)); d > 0 {
+				if r := s.Advance(d); r != sim.AdvanceCoalesced &&
+					(r == sim.AdvanceBroken || !sem.Quiet()) {
+					if err := fl.Write(t, n); err != nil {
+						return written, err
+					}
+					written += n
+					if s, ok = t.BeginStretch(); !ok {
+						return written, nil
+					}
+					continue
+				}
+			}
+		}
+		// The write body, draw for draw in writeCommon's order.
+		if f.cfg.Faults != nil {
+			if err := f.cfg.Faults.InjectOp(t, OpWrite, fl.path); err != nil {
+				s.Commit()
+				return written, err
+			}
+		}
+		if fl.closed || fl.flags&OWrite == 0 {
+			s.Commit()
+			return written, pathErr("write", fl.path, EBADF)
+		}
+		if err := sem.AcquireInterruptible(t); err != nil {
+			// Unreachable: the semaphore is Quiet, so the acquire takes the
+			// non-blocking fast path. Kept for parity with writeCommon.
+			s.Commit()
+			return written, pathErr("write", fl.path, EINTR)
+		}
+		// The media cost. When a pending event lands inside the copy the
+		// segment runs through the event loop; waiters may then be queued
+		// on the held inode semaphore, so the chunk's tail — stall model,
+		// mutation, and a genuine Release — finishes stepped.
+		cost := lat.WriteBase + perKB(lat.WritePerKB, n)
+		if d := k.JitterDuration(cost); d > 0 && s.Advance(d) != sim.AdvanceCoalesced {
+			fl.writeTailStepped(t, k, n)
+			written += n
+			if s, ok = t.BeginStretch(); !ok {
+				return written, nil
+			}
+			continue
+		}
+		// The storage-stall Bernoulli; a fired stall genuinely blocks (with
+		// the semaphore held, as writeCommon does), ending the stretch at
+		// the post-copy instant.
+		if p := lat.WriteStallProbPerKB * float64(n) / 1024.0; p > 0 && k.Bernoulli(p) {
+			s.Commit()
+			stall := k.LogNormalDuration(lat.StallMedian, 0.7)
+			t.BlockIO(stall)
+			fl.applyChunks(n, 1)
+			sem.Release(t)
+			written += n
+			if s, ok = t.BeginStretch(); !ok {
+				return written, nil
+			}
+			continue
+		}
+		// Content mutation and release, uncontended by construction.
+		fl.applyChunks(n, 1)
+		sem.Release(t)
+		written += n
+	}
+	s.Commit()
+	return written, nil
+}
+
+// writeTailStepped finishes a chunk whose media cost was already charged:
+// the stall model, content mutation, and semaphore release — writeCommon's
+// exact tail. The caller holds the inode semaphore and has verified no
+// Chooser is installed.
+func (fl *File) writeTailStepped(t *sim.Task, k *sim.Kernel, n int64) {
+	lat := &fl.fs.cfg.Latency
+	if p := lat.WriteStallProbPerKB * float64(n) / 1024.0; p > 0 && k.Bernoulli(p) {
+		stall := k.LogNormalDuration(lat.StallMedian, 0.7)
+		t.BlockIO(stall)
+	}
+	fl.applyChunks(n, 1)
+	fl.node.isem().Release(t)
+}
+
+// applyChunks applies the content effect of m appended chunks of n bytes
+// each: size, offset, and (when tracked) backing bytes.
+func (fl *File) applyChunks(n, m int64) {
+	node := fl.node
+	if fl.fs.cfg.TrackContent {
+		node.data = append(node.data, make([]byte, n*m)...)
+	}
+	node.size += n * m
+	fl.offset += n * m
 }
 
 func (fl *File) writeCommon(t *sim.Task, n int64, b []byte) error {

@@ -77,7 +77,15 @@ func Transient(err error) bool {
 // doubling backoff in virtual time and tries again, up to Retries extra
 // attempts. Non-transient errors surface immediately.
 func (r Robustness) Retry(c *userland.Libc, op func() error) error {
-	err := op()
+	return r.RetryAfter(op(), c, op)
+}
+
+// RetryAfter continues the policy after an attempt already failed with
+// err: it behaves exactly like Retry whose first op() call returned err.
+// Callers use it when the failed first attempt happened elsewhere — e.g.
+// a chunk inside the coalesced bulk write (userland.Libc.WriteChunks)
+// surfacing an injected fault.
+func (r Robustness) RetryAfter(err error, c *userland.Libc, op func() error) error {
 	for attempt := 0; attempt < r.Retries && err != nil && Transient(err); attempt++ {
 		if d := r.Backoff << uint(attempt); d > 0 {
 			c.Task().Sleep(d)

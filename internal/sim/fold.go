@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Interrupt folding. completeInline (and Stretch, its many-segment
+// generalization) retires a compute segment only when its completion
+// provably precedes every pending kernel event. On realistic machine
+// profiles that proof fails roughly once per millisecond of simulated
+// time: periodic timer ticks and background-noise bursts land inside any
+// long segment, and each one forces the segment through scheduleWork, an
+// event-loop pop, the interrupt handler, a completion re-arm, and a
+// second pop — five queue operations to model an interrupt whose entire
+// observable effect is a pair of counter bumps, at most two RNG draws,
+// a register re-arm, and a push-back of the completion instant.
+//
+// foldSegment performs that arithmetic directly. It consumes pending
+// tick, noise, and quantum-renewal fires in the identical global
+// (at, seq) order the event loop would pop them, replicating each
+// handler's exact effects (stats, RNG stream, register writes, clock,
+// step and sequence counters, work accrual), and retires the segment
+// inline when its completion becomes the globally earliest event. The
+// first event it cannot replicate — any heap event, a dispatch or
+// wake-up register, a steal against another thread's live segment, a
+// quantum expiry that would really preempt, or a budget trip — makes it
+// write the exact mid-segment kernel state back (including the armed
+// work register the stepped path would be carrying) and hand the rest of
+// the segment to runLoop, which continues bit-identically.
+
+// foldMask selects the slot registers whose fires foldSegment can retire
+// arithmetically: periodic timer ticks, background-noise bursts, and
+// quantum expiries that resolve to renewals. Everything else — thread
+// dispatches, other threads' compute completions, chooser noise slots,
+// and every heap event — routes the segment back through the event loop.
+const foldMask = 1<<slotTick | 1<<slotNoise | 1<<slotQuantum
+
+// foldOutcome reports how foldSegment handled a compute segment.
+type foldOutcome uint8
+
+const (
+	// foldIneligible: preconditions failed and no state was touched; the
+	// caller must run the classic scheduleWork+runLoop path.
+	foldIneligible foldOutcome = iota
+	// foldRetired: the segment — and every interrupt that landed inside
+	// it — was retired arithmetically; control never left the thread and
+	// no other thread ran.
+	foldRetired
+	// foldMaterialized: a non-foldable event landed inside the segment.
+	// The exact mid-segment state was written back, with the work
+	// register armed, and the caller must enter runLoop directly
+	// (without calling scheduleWork) to finish the segment stepped.
+	foldMaterialized
+)
+
+// foldSegment retires the calling thread's fresh compute segment
+// (th.runStart == k.now, th.computeLeft == the segment's duration,
+// workPending false) without entering the event loop, folding interrupt
+// fires that land inside it. See the package comment above for the
+// strategy; the preconditions mirror completeInline's fallback
+// conditions: no tracer (per-event trace records must be emitted), no
+// Chooser (background fires are choice points the explorer must see),
+// coalescing enabled, no pending user error, and no ghost work register
+// (the stepped path pops it as a counted no-op).
+func (k *Kernel) foldSegment(th *Thread) foldOutcome {
+	c := k.cpus[th.cpu]
+	if k.cfg.DisableCoalesce || k.tracer != nil || k.cfg.Chooser != nil ||
+		k.userErr != nil || c.slots[slotWork].armed {
+		return foldIneligible
+	}
+
+	// Virtual registers. seqV, stepsV, lastAtV, nowV and workGenV shadow
+	// their kernel counterparts; workAt/workSeq shadow the slotWork entry
+	// scheduleWork would have armed — seq k.seq+1 is the first sequence
+	// number the stepped path hands out, to that very arm.
+	var (
+		nowV      = k.now
+		runStartV = th.runStart
+		leftV     = th.computeLeft
+		seqV      = k.seq + 1
+		workGenV  = th.workGen + 1
+		stepsV    = k.steps
+		lastAtV   = k.lastAt
+	)
+	workAt := runStartV.Add(leftV)
+	workSeq := seqV
+	if workAt <= k.maxT && workAt > lastAtV {
+		lastAtV = workAt
+	}
+
+	// The (at, seq) minimum over every pending event the fold can never
+	// consume: the heap top and the non-foldable slot registers. No
+	// handler runs during the fold, so nothing is added to either and one
+	// scan stays valid throughout.
+	othersAt, othersSeq := timeInf, ^uint64(0)
+	if len(k.events) > 0 {
+		othersAt, othersSeq = k.events[0].at, k.events[0].seq
+	}
+	for _, c2 := range k.cpus {
+		for m := c2.armedMask &^ foldMask; m != 0; m &= m - 1 {
+			s := &c2.slots[bits.TrailingZeros8(m)]
+			if s.at < othersAt || (s.at == othersAt && s.seq < othersSeq) {
+				othersAt, othersSeq = s.at, s.seq
+			}
+		}
+	}
+
+	// steal replicates stealCPUTime against the virtual segment:
+	// accrueWork's generation bump and charge, the resumption push-back,
+	// and scheduleWork's re-arm (second generation bump, fresh sequence
+	// number, new completion instant).
+	steal := func(at Time, d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		workGenV++
+		if at > runStartV {
+			consumed := at.Sub(runStartV)
+			if consumed > leftV {
+				consumed = leftV
+			}
+			leftV -= consumed
+			th.cpuTime += consumed
+			k.stats.addBusy(th.cpu, consumed)
+		}
+		runStartV = at.Add(d)
+		workGenV++
+		seqV++
+		workAt = runStartV.Add(leftV)
+		workSeq = seqV
+		if workAt <= k.maxT && workAt > lastAtV {
+			lastAtV = workAt
+		}
+	}
+
+	// rearm replicates armSlot under the virtual sequence counter.
+	// armSlot's past-clamp is provably dead here: every re-arm instant is
+	// fire+period with period >= 0, never before the instant the stepped
+	// clock would hold. k.nextAt is deliberately not lowered — nothing
+	// reads it mid-fold, and both exits publish an exact bound.
+	rearm := func(cx *cpu, idx int, at Time, t2 *Thread, gen uint64) {
+		seqV++
+		if at <= k.maxT && at > lastAtV {
+			lastAtV = at
+		}
+		s := &cx.slots[idx]
+		s.at, s.seq, s.gen, s.th, s.armed = at, seqV, gen, t2, true
+		cx.armedMask |= 1 << idx
+	}
+
+	// materialize writes the exact mid-segment kernel state back — the
+	// state the stepped execution holds at the same instant, about to pop
+	// the event the fold could not consume — and arms the work register
+	// the stepped path would be carrying.
+	materialize := func(fireAt Time) foldOutcome {
+		if stepsV > k.steps {
+			k.checkPost = true // a dispatch ran; stepped sets this after each
+		}
+		k.seq = seqV
+		k.steps = stepsV
+		k.lastAt = lastAtV
+		k.now = nowV
+		th.workGen = workGenV
+		th.runStart = runStartV
+		th.computeLeft = leftV
+		th.workPending = true
+		ws := &c.slots[slotWork]
+		ws.at, ws.seq, ws.gen, ws.th, ws.armed = workAt, workSeq, workGenV, th, true
+		c.armedMask |= 1 << slotWork
+		next := othersAt
+		if fireAt < next {
+			next = fireAt
+		}
+		if workAt < next {
+			next = workAt
+		}
+		k.nextAt = next
+		return foldMaterialized
+	}
+
+	for {
+		// The earliest pending foldable fire.
+		var (
+			fireAt  = timeInf
+			fireSeq = ^uint64(0)
+			fireCPU *cpu
+			fireIdx int
+		)
+		for _, c2 := range k.cpus {
+			for m := c2.armedMask & foldMask; m != 0; m &= m - 1 {
+				i := bits.TrailingZeros8(m)
+				s := &c2.slots[i]
+				if s.at < fireAt || (s.at == fireAt && s.seq < fireSeq) {
+					fireAt, fireSeq, fireCPU, fireIdx = s.at, s.seq, c2, i
+				}
+			}
+		}
+		if (workAt < fireAt || (workAt == fireAt && workSeq < fireSeq)) &&
+			(workAt < othersAt || (workAt == othersAt && workSeq < othersSeq)) {
+			// The completion is the globally earliest event: retire it,
+			// replicating the loop's pop and workDone.
+			if workAt > k.maxT || stepsV >= k.cfg.MaxSteps {
+				return materialize(fireAt) // the pop trips a budget; let the loop do it
+			}
+			k.seq = seqV
+			k.steps = stepsV + 1
+			k.lastAt = lastAtV
+			k.now = workAt
+			th.workGen = workGenV
+			th.cpuTime += leftV
+			k.stats.addBusy(th.cpu, leftV)
+			th.computeLeft = 0
+			th.runStart = workAt
+			k.checkPost = true
+			if fireAt < othersAt {
+				k.nextAt = fireAt
+			} else {
+				k.nextAt = othersAt
+			}
+			return foldRetired
+		}
+		if othersAt < fireAt || (othersAt == fireAt && othersSeq < fireSeq) {
+			return materialize(fireAt) // a non-foldable event fires first
+		}
+		if fireAt > k.maxT || stepsV >= k.cfg.MaxSteps {
+			return materialize(fireAt) // the fire's pop trips a budget
+		}
+		reg := &fireCPU.slots[fireIdx]
+		switch fireIdx {
+		case slotTick, slotNoise:
+			if fireCPU != c {
+				if t2 := fireCPU.th; t2 != nil && t2.state == StateRunning && t2.workPending {
+					// The steal would push back another thread's live
+					// segment — not replicable here.
+					return materialize(fireAt)
+				}
+			}
+		case slotQuantum:
+			if t2 := reg.th; t2 != nil && t2.schedGen == reg.gen &&
+				t2.state == StateRunning && fireCPU.th == t2 &&
+				k.ready.Len() != 0 && k.ready.front().nice <= t2.nice {
+				// A live expiry that would really preempt.
+				return materialize(fireAt)
+			}
+		}
+		// Consume the fire: popNext's disarm, runLoop's clock advance and
+		// step count, then the handler's exact effects. The draw order
+		// inside each handler (noise: burst duration, steal, then gap)
+		// matches tickFire/noiseFire statement for statement.
+		reg.armed = false
+		fireCPU.armedMask &^= 1 << fireIdx
+		nowV = fireAt
+		stepsV++
+		switch fireIdx {
+		case slotTick:
+			k.stats.Ticks++
+			k.stats.TickNs += int64(k.cfg.TickCost)
+			if fireCPU == c {
+				steal(fireAt, k.cfg.TickCost)
+			}
+			rearm(fireCPU, slotTick, fireAt.Add(k.cfg.TickPeriod), nil, 0)
+		case slotNoise:
+			dur := k.LogNormalDuration(k.cfg.Noise.MeanDuration, 0.5)
+			k.stats.NoiseBursts++
+			k.stats.NoiseNs += int64(dur)
+			if fireCPU == c {
+				steal(fireAt, dur)
+			}
+			gap := k.ExpDuration(k.cfg.Noise.MeanInterval)
+			rearm(fireCPU, slotNoise, fireAt.Add(gap), nil, 0)
+		case slotQuantum:
+			t2, gen := reg.th, reg.gen
+			if t2 != nil && t2.schedGen == gen && t2.state == StateRunning && fireCPU.th == t2 {
+				// Renewal: nothing of sufficient priority waits (checked
+				// above, and the ready queue is frozen mid-fold).
+				rearm(fireCPU, slotQuantum, fireAt.Add(k.cfg.Quantum), t2, gen)
+			}
+			// A stale expiry pops as a generation-guarded no-op.
+		}
+	}
+}

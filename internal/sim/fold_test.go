@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// These tests pin the interrupt fold (fold.go) against the stepped event
+// loop: for every program below, a kernel with coalescing enabled and a
+// twin with Config.DisableCoalesce forced must finish with bit-identical
+// clock, error, per-thread CPU time, and kernel counters — including the
+// RNG-drawn noise stream, whose draws the fold replicates in order.
+
+// twinRun executes the same kernel construction twice — coalescing
+// enabled and disabled — compares everything observable, and returns the
+// coalesced run's final stats for the caller's own assertions.
+func twinRun(t *testing.T, cfg Config, build func(k *Kernel) []*Thread) KernelStats {
+	t.Helper()
+	type outcome struct {
+		now   Time
+		stats KernelStats
+		cpu   []time.Duration
+		err   error
+	}
+	run := func(disable bool) outcome {
+		c := cfg
+		c.DisableCoalesce = disable
+		k := New(c)
+		ths := build(k)
+		err := k.Run()
+		o := outcome{now: k.Now(), stats: k.Stats(), err: err}
+		for _, th := range ths {
+			o.cpu = append(o.cpu, th.CPUTime())
+		}
+		return o
+	}
+	co, st := run(false), run(true)
+	if (co.err == nil) != (st.err == nil) ||
+		(co.err != nil && co.err.Error() != st.err.Error()) {
+		t.Fatalf("errors diverge: coalesced %v, stepped %v", co.err, st.err)
+	}
+	if co.now != st.now {
+		t.Errorf("clock diverges: coalesced %v, stepped %v", co.now, st.now)
+	}
+	if co.stats != st.stats {
+		t.Errorf("kernel stats diverge:\ncoalesced: %+v\nstepped:   %+v", co.stats, st.stats)
+	}
+	for i := range co.cpu {
+		if co.cpu[i] != st.cpu[i] {
+			t.Errorf("thread %d cpu time diverges: coalesced %v, stepped %v", i, co.cpu[i], st.cpu[i])
+		}
+	}
+	return co.stats
+}
+
+// oneComputer spawns a single thread running the given segments.
+func oneComputer(segs ...time.Duration) func(k *Kernel) []*Thread {
+	return func(k *Kernel) []*Thread {
+		p := k.NewProcess("p", 0, 0)
+		th := k.Spawn(p, "t", func(task *Task) {
+			for _, d := range segs {
+				task.Compute(d)
+			}
+		})
+		return []*Thread{th}
+	}
+}
+
+func foldConfig() Config {
+	return Config{
+		CPUs:       1,
+		Quantum:    10 * time.Millisecond,
+		TickPeriod: time.Millisecond,
+		TickCost:   10 * time.Microsecond,
+		Seed:       4242,
+	}
+}
+
+func TestFoldTickInterruptsBitIdentical(t *testing.T) {
+	// Long segments spanning dozens of tick fires: the fold retires every
+	// one arithmetically; the stepped twin pops each through the loop.
+	stats := twinRun(t, foldConfig(), oneComputer(25*time.Millisecond, 3*time.Millisecond, 100*time.Microsecond))
+	if stats.Ticks == 0 {
+		t.Fatal("no tick interrupts fired; the fold path was not exercised")
+	}
+}
+
+func TestFoldNoiseDrawsBitIdentical(t *testing.T) {
+	// Noise bursts consume two RNG draws each (log-normal duration, then
+	// exponential gap) in a fixed order the fold must replicate exactly;
+	// any deviation shifts every later draw and diverges the stats.
+	cfg := foldConfig()
+	cfg.Noise = NoiseConfig{MeanInterval: 300 * time.Microsecond, MeanDuration: 40 * time.Microsecond}
+	stats := twinRun(t, cfg, oneComputer(20*time.Millisecond, 5*time.Millisecond, 7*time.Millisecond))
+	if stats.NoiseBursts == 0 {
+		t.Fatal("no noise bursts fired; the fold's RNG replication was not exercised")
+	}
+}
+
+func TestFoldQuantumRenewalBitIdentical(t *testing.T) {
+	// A lone thread's quantum expiries resolve to renewals (nothing of
+	// equal priority waits), which the fold consumes as register re-arms.
+	cfg := foldConfig()
+	cfg.Quantum = time.Millisecond
+	stats := twinRun(t, cfg, oneComputer(30*time.Millisecond))
+	if stats.Preemptions != 0 {
+		t.Fatalf("lone thread was preempted %d times; renewals expected", stats.Preemptions)
+	}
+}
+
+func TestFoldContendedQuantumPreempts(t *testing.T) {
+	// With a ready peer, quantum expiry really preempts — the fold must
+	// hand the segment back to the loop, and the interleaving must still
+	// match the stepped execution exactly.
+	cfg := foldConfig()
+	cfg.Quantum = 5 * time.Millisecond
+	cfg.CtxSwitch = 20 * time.Microsecond
+	stats := twinRun(t, cfg, func(k *Kernel) []*Thread {
+		p := k.NewProcess("p", 0, 0)
+		ths := make([]*Thread, 2)
+		for i := range ths {
+			ths[i] = k.Spawn(p, fmt.Sprintf("t%d", i), func(task *Task) {
+				for j := 0; j < 4; j++ {
+					task.Compute(8 * time.Millisecond)
+				}
+			})
+		}
+		return ths
+	})
+	if stats.Preemptions == 0 {
+		t.Fatal("contended run saw no preemptions; the materialize path was not exercised")
+	}
+}
+
+func TestFoldSMPOtherCPUFires(t *testing.T) {
+	// On two CPUs, each thread's segment absorbs its own CPU's fires while
+	// the sibling CPU's tick and noise fires interleave in global (at,
+	// seq) order — the fold consumes other-CPU fires only while they
+	// cannot steal from a live segment, so both paths must agree.
+	cfg := foldConfig()
+	cfg.CPUs = 2
+	cfg.Noise = NoiseConfig{MeanInterval: 250 * time.Microsecond, MeanDuration: 30 * time.Microsecond}
+	twinRun(t, cfg, func(k *Kernel) []*Thread {
+		p := k.NewProcess("p", 0, 0)
+		ths := make([]*Thread, 2)
+		for i := range ths {
+			d := time.Duration(i+1) * 9 * time.Millisecond
+			ths[i] = k.Spawn(p, fmt.Sprintf("t%d", i), func(task *Task) {
+				task.Compute(d)
+				task.Compute(d / 3)
+			})
+		}
+		return ths
+	})
+}
+
+func TestFoldFireExactlyAtCompletionInstant(t *testing.T) {
+	// The boundary the fold must order exactly: a tick fire landing one
+	// nanosecond before, precisely on, and one nanosecond after a
+	// segment's completion instant. Ties resolve by sequence number, and
+	// the fold's virtual (at, seq) comparisons must match the heap's.
+	for _, delta := range []time.Duration{-time.Nanosecond, 0, time.Nanosecond} {
+		t.Run(fmt.Sprintf("delta=%v", delta), func(t *testing.T) {
+			twinRun(t, foldConfig(), oneComputer(time.Millisecond+delta, 4*time.Millisecond))
+		})
+	}
+}
+
+func TestFoldMaxTimeMidSegment(t *testing.T) {
+	// The budget trips mid-segment: the fold must hand over to the loop
+	// so ErrMaxTime surfaces at the identical instant.
+	cfg := foldConfig()
+	cfg.MaxTime = 7 * time.Millisecond
+	twinRun(t, cfg, oneComputer(20*time.Millisecond))
+}
+
+func TestFoldMaxStepsMidSegment(t *testing.T) {
+	// A step budget small enough to exhaust on folded tick fires: the
+	// fold counts virtual steps exactly like the loop counts pops, so
+	// ErrMaxSteps must fire at the same event either way.
+	cfg := foldConfig()
+	cfg.MaxSteps = 12
+	twinRun(t, cfg, oneComputer(30*time.Millisecond))
+}

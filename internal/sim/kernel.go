@@ -100,6 +100,12 @@ type Config struct {
 	// keeps every acquire uninterruptible, bit-identical to the historical
 	// behavior. Used by the fault-injection layer (internal/fault).
 	Interrupter Interrupter
+	// DisableCoalesce forces every compute segment and bulk file write
+	// through the fully stepped event-loop path, turning off the stretch
+	// coalescing fast-forward (see Stretch). The coalesced path is proven
+	// bit-identical to the stepped one, so the knob changes no simulated
+	// outcome; the equivalence suite flips it to compare both executions.
+	DisableCoalesce bool
 	// MaxSteps bounds the number of processed events (0 = default 50M).
 	MaxSteps int64
 	// MaxTime bounds virtual time (0 = default 10 virtual minutes).

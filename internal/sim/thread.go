@@ -438,7 +438,14 @@ func (t *Task) yieldTo(kind yieldKind) {
 		if k.completeInline(th) {
 			return
 		}
-		k.scheduleWork(th)
+		switch k.foldSegment(th) {
+		case foldRetired:
+			return
+		case foldIneligible:
+			k.scheduleWork(th)
+		}
+		// foldMaterialized: the segment's remainder is armed with exact
+		// mid-segment state; fall through to the loop without re-arming.
 	}
 	k.runLoop(th, false)
 }

@@ -143,6 +143,45 @@ func (c *Libc) Write(f *fs.File, n int64) error {
 	return f.Write(c.task, n)
 }
 
+// WriteChunks writes total bytes to f in chunk-sized Write calls, each
+// preceded by prep(n) of user compute at machine scale (nil charges
+// none) — bit-identical to the classic loop
+//
+//	for remaining > 0 {
+//		n := min(chunk, remaining)
+//		c.Compute(prep(n))
+//		if err := c.Write(f, n); err != nil { break }
+//	}
+//
+// but coalesced through the file system's bulk path (see
+// fs.File.WriteChunks). prep must be a pure function of its argument.
+// It returns the bytes written before an error; the failed chunk's prep
+// compute is already charged, so callers retry just that chunk (e.g. via
+// prog.Robustness.RetryAfter) and call WriteChunks again for the rest.
+func (c *Libc) WriteChunks(f *fs.File, total, chunk int64, prep func(n int64) time.Duration) (int64, error) {
+	if total <= 0 {
+		return 0, nil
+	}
+	if chunk > 0 && !c.img.Faulted(PageReadWrite) {
+		// Cold stub page: run the first chunk through the classic wrapper
+		// so the demand-paging trap lands after that chunk's prep, exactly
+		// where the stepped loop puts it.
+		n := chunk
+		if n > total {
+			n = total
+		}
+		if prep != nil {
+			c.Compute(prep(n))
+		}
+		if err := c.Write(f, n); err != nil {
+			return 0, err
+		}
+		done, err := f.WriteChunks(c.task, total-n, chunk, prep)
+		return n + done, err
+	}
+	return f.WriteChunks(c.task, total, chunk, prep)
+}
+
 // Read wraps File.Read.
 func (c *Libc) Read(f *fs.File, n int64) (int64, error) {
 	c.fault(PageReadWrite)

@@ -89,15 +89,26 @@ func (v *Vi) Run(c *userland.Libc, env prog.Env) error {
 		return fmt.Errorf("vi: create: %w", err)
 	}
 	c.Compute(scale(v.PostOpenCompute))
+	// vi prepares each chunk in user space before writing it.
+	prep := func(n int64) time.Duration {
+		return scale(time.Duration(float64(v.PerChunkCompute) * float64(n) / float64(v.ChunkSize)))
+	}
 	remaining := env.FileSize
 	for remaining > 0 {
+		written, werr := c.WriteChunks(f, remaining, v.ChunkSize, prep)
+		remaining -= written
+		if werr == nil {
+			continue
+		}
+		// One chunk failed with its prep already charged — the exact state
+		// the stepped loop is in when c.Write returns an injected error.
+		// Run that chunk's retries under the robustness policy, then
+		// resume the coalesced path for the remainder.
 		n := v.ChunkSize
 		if n > remaining {
 			n = remaining
 		}
-		// vi prepares each chunk in user space before writing it.
-		c.Compute(scale(time.Duration(float64(v.PerChunkCompute) * float64(n) / float64(v.ChunkSize))))
-		if err := r.Retry(c, func() error { return c.Write(f, n) }); err != nil {
+		if err := r.RetryAfter(werr, c, func() error { return c.Write(f, n) }); err != nil {
 			return fmt.Errorf("vi: write: %w", err)
 		}
 		remaining -= n
@@ -164,17 +175,11 @@ func (g *Gedit) Run(c *userland.Libc, env prog.Env) error {
 	if err != nil {
 		return fmt.Errorf("gedit: scratch create: %w", err)
 	}
-	remaining := env.FileSize
-	for remaining > 0 {
-		n := g.ChunkSize
-		if n > remaining {
-			n = remaining
-		}
-		c.Compute(scale(time.Duration(float64(g.PerChunkCompute) * float64(n) / float64(g.ChunkSize))))
-		if err := c.Write(tmp, n); err != nil {
-			return fmt.Errorf("gedit: scratch write: %w", err)
-		}
-		remaining -= n
+	prep := func(n int64) time.Duration {
+		return scale(time.Duration(float64(g.PerChunkCompute) * float64(n) / float64(g.ChunkSize)))
+	}
+	if _, err := c.WriteChunks(tmp, env.FileSize, g.ChunkSize, prep); err != nil {
+		return fmt.Errorf("gedit: scratch write: %w", err)
 	}
 	if err := c.Close(tmp); err != nil {
 		return fmt.Errorf("gedit: scratch close: %w", err)
@@ -295,16 +300,8 @@ func (r *AlwaysSuspended) Run(c *userland.Libc, env prog.Env) error {
 	if err != nil {
 		return fmt.Errorf("rpm-like: create: %w", err)
 	}
-	remaining := env.FileSize
-	for remaining > 0 {
-		n := r.ChunkSize
-		if n > remaining {
-			n = remaining
-		}
-		if err := c.Write(f, n); err != nil {
-			return fmt.Errorf("rpm-like: write: %w", err)
-		}
-		remaining -= n
+	if _, err := c.WriteChunks(f, env.FileSize, r.ChunkSize, nil); err != nil {
+		return fmt.Errorf("rpm-like: write: %w", err)
 	}
 	// The guaranteed suspension inside the window.
 	if err := c.Fsync(f); err != nil {
