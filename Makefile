@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline bench-sweep bench-guard bench-profile golden golden-check
+.PHONY: check vet build test race bench bench-baseline bench-sweep bench-guard bench-profile golden golden-check scenario-check
 
 # check is the gate every change must pass: vet, build, the full test
 # suite, and a race-detector pass over the parallel campaign worker pool
@@ -19,6 +19,7 @@ test:
 race:
 	$(GO) test -race ./internal/core/ -run 'Campaign|Sweep|Adaptive|FindRound|OnRound|Aborted|Explore|Fault|Checkpoint|Watchdog|Panic|Fork|Coalesced|Memo|Horizon|EINTR'
 	$(GO) test -race ./internal/experiments/ -run 'Sweep|Adaptive|Fault|Checkpoint'
+	$(GO) test -race ./internal/scenario/ -run 'Fleet|Equivalent|Checkpoint'
 	$(GO) test -race ./internal/sim/ ./internal/metrics/ ./internal/trace/ ./internal/explore/ ./internal/fault/ ./internal/fs/
 
 # bench runs the per-layer microbenchmarks (see DESIGN.md's Performance
@@ -71,3 +72,18 @@ golden-check:
 	diff -ru testdata/golden $$tmp && \
 	rm -rf $$tmp && \
 	echo "golden-check: snapshots match"
+
+# scenario-check proves the declarative layer's equivalence contract: the
+# shipped fig6/faultsweep scenario files must reproduce the committed
+# experiment goldens byte-for-byte (same campaigns, same rendering), and
+# the 600-victim generated fleet must run to completion with its
+# assertions passing.
+scenario-check:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/tocttou -scenario examples/scenarios/fig6.yaml -golden $$tmp && \
+	$(GO) run ./cmd/tocttou -scenario examples/scenarios/faultsweep.yaml -golden $$tmp && \
+	diff -u testdata/golden/fig6.txt $$tmp/fig6.txt && \
+	diff -u testdata/golden/faultsweep.txt $$tmp/faultsweep.txt && \
+	$(GO) run ./cmd/tocttou -scenario examples/scenarios/fleet.yaml -golden $$tmp && \
+	rm -rf $$tmp && \
+	echo "scenario-check: scenario output matches the experiment goldens"

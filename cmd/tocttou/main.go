@@ -8,6 +8,7 @@
 //	tocttou -experiment fig6,headline,eq1-exact,faultsweep -golden testdata/golden
 //	tocttou -experiment faultsweep [-fault-rates 0,0.01,0.2] [-fault-seed 9973]
 //	tocttou -experiment headline -checkpoint headline.ckpt   (crash-safe; rerun resumes)
+//	tocttou -scenario examples/scenarios/fig6.yaml [-golden dir] [-checkpoint file.ckpt]
 //	tocttou -explore [-sizes 100,500] [-explore-phases 24] [-preemption-bound 1] [-witness-out prefix]
 //	tocttou -trace-out trace.jsonl [-trace-scenario vi-smp] [-trace-kinds enter,exit] [-trace-pid 2] [-trace-path /tmp/x]
 //	tocttou -bench-baseline [-bench-out BENCH_1.json]
@@ -37,6 +38,7 @@ import (
 	"tocttou/internal/experiments"
 	"tocttou/internal/machine"
 	"tocttou/internal/prog"
+	"tocttou/internal/scenario"
 	"tocttou/internal/sim"
 	"tocttou/internal/trace"
 	"tocttou/internal/victim"
@@ -79,6 +81,7 @@ func run(args []string) error {
 	explorePhases := fl.Int("explore-phases", 0, "startup-phase slots for -explore (0 = engine default)")
 	preemptionBound := fl.Int("preemption-bound", 0, "max injected background preemptions per explored round (0 = none)")
 	witnessOut := fl.String("witness-out", "", "path prefix for -explore witness traces (<prefix>-<point>-win.jsonl / -lose.jsonl)")
+	scenarioPath := fl.String("scenario", "", "run a declarative scenario file (YAML or JSON); exits non-zero on a malformed spec or a failed assertion")
 	goldenDir := fl.String("golden", "", "write each -experiment rendering to <dir>/<name>.txt instead of stdout")
 	checkpoint := fl.String("checkpoint", "", "crash-safe sweep checkpoint file for a single checkpointable -experiment; rerun with the same flags to resume")
 	faultRates := fl.String("fault-rates", "", "comma-separated fault injection rates in [0,1] for the faultsweep experiment")
@@ -93,7 +96,9 @@ func run(args []string) error {
 	// instead of silently running with them.
 	var halfWidthSet, minRoundsSet, explorePhasesSet, preemptionBoundSet, witnessOutSet bool
 	var faultRatesSet, faultSeedSet, allocTolSet bool
+	setFlags := make(map[string]bool)
 	fl.Visit(func(f *flag.Flag) {
+		setFlags[f.Name] = true
 		switch f.Name {
 		case "alloc-tolerance":
 			allocTolSet = true
@@ -134,8 +139,22 @@ func run(args []string) error {
 	if *preemptionBound < 0 {
 		return fmt.Errorf("-preemption-bound must be >= 0, got %d", *preemptionBound)
 	}
-	if *goldenDir != "" && *name == "" {
-		return fmt.Errorf("-golden requires -experiment (the experiments to snapshot)")
+	if *goldenDir != "" && *name == "" && *scenarioPath == "" {
+		return fmt.Errorf("-golden requires -experiment or -scenario (the runs to snapshot)")
+	}
+	// A scenario file carries its whole configuration, so every knob that
+	// would override part of it is a contradiction, rejected at parse time.
+	if *scenarioPath != "" {
+		for _, conflicting := range []string{
+			"experiment", "rounds", "seed", "sizes", "metrics",
+			"adaptive", "halfwidth", "minrounds", "fault-rates", "fault-seed",
+			"list", "explore", "bench-baseline", "sweep", "bench-guard",
+			"bench-compare", "trace-out",
+		} {
+			if setFlags[conflicting] {
+				return fmt.Errorf("-%s does not apply to -scenario runs (the scenario file carries the configuration)", conflicting)
+			}
+		}
 	}
 	if *adaptive && (*halfWidth <= 0 || *halfWidth >= 1) {
 		return fmt.Errorf("-halfwidth must be strictly between 0 and 1 (a success-rate half-width), got %v", *halfWidth)
@@ -159,9 +178,9 @@ func run(args []string) error {
 	// The fault/checkpoint flags bind to specific experiment selections;
 	// reject mismatches at parse time like the adaptive flags above.
 	names := splitNames(*name)
-	if *checkpoint != "" {
+	if *checkpoint != "" && *scenarioPath == "" {
 		if *benchBase || *sweep || *benchGuard || *traceOut != "" || *explore {
-			return fmt.Errorf("-checkpoint only applies to -experiment runs")
+			return fmt.Errorf("-checkpoint only applies to -experiment and -scenario runs")
 		}
 		if len(names) != 1 || names[0] == "all" {
 			return fmt.Errorf("-checkpoint requires exactly one -experiment name (each sweep maps to one checkpoint file)")
@@ -249,6 +268,9 @@ func run(args []string) error {
 	}
 	if *explore {
 		return exploreRun(sizes, *seed, *explorePhases, *preemptionBound, *rounds, *witnessOut)
+	}
+	if *scenarioPath != "" {
+		return scenarioRun(*scenarioPath, *goldenDir, *checkpoint)
 	}
 
 	if *list || *name == "" {
@@ -439,6 +461,50 @@ type provenance struct {
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
 	Hostname  string `json:"hostname,omitempty"`
+}
+
+// scenarioRun executes a declarative scenario file end-to-end: parse-time
+// validation (a malformed spec exits non-zero before any round runs), the
+// sweep itself — through the crash-safe checkpoint runner when -checkpoint
+// is set — rendering to stdout or a -golden snapshot, and finally the
+// spec's assertions, whose first failure is the process's error.
+func scenarioRun(path, goldenDir, checkpoint string) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	started := time.Now()
+	out, err := scenario.Run(spec, scenario.RunOptions{Checkpoint: checkpoint})
+	if err != nil {
+		return err
+	}
+	if goldenDir != "" {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			return err
+		}
+		// Golden snapshots carry the rendering only — no wall-time
+		// header, so reruns diff clean.
+		dst := goldenDir + "/" + spec.Name + ".txt"
+		f, err := os.Create(dst)
+		if err != nil {
+			return err
+		}
+		if err := out.Render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", dst)
+	} else {
+		fmt.Printf("==== scenario %s (%.1fs) ====\n", spec.Name, time.Since(started).Seconds())
+		if err := out.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return out.CheckAssertions()
 }
 
 // captureProvenance gathers the current build/host identity.

@@ -158,9 +158,12 @@ func run(args []string) error {
 
 // renderInput renders a JSONL export instead of running a round. An
 // unreadable file or malformed line is a hard error, so scripted pipelines
-// see a non-zero exit rather than a partial timeline. Process display names
-// come from the trace's spawn events; PIDs whose spawns were filtered out
-// of the export fall back to "pid<N>".
+// see a non-zero exit rather than a partial timeline — but an export that
+// parses and merely has nothing to draw (zero events, or only point-like
+// events such as choices and faults with no time span) is valid input and
+// renders a clean report with exit 0. Process display names come from the
+// trace's spawn events; PIDs whose spawns were filtered out of the export
+// fall back to "pid<N>".
 func renderInput(path string, width int, csvPath string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -170,9 +173,6 @@ func renderInput(path string, width int, csvPath string) error {
 	events, err := trace.ReadJSONL(f)
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
-	}
-	if len(events) == 0 {
-		return fmt.Errorf("%s: no events", path)
 	}
 	labels := make(map[int32]string)
 	var end sim.Time
@@ -193,10 +193,21 @@ func renderInput(path string, width int, csvPath string) error {
 	}
 
 	fmt.Printf("input: %s (%d events, %.1fms span)\n\n", path, len(events), float64(end)/1e6)
-	log := trace.New(events)
-	fmt.Print(trace.RenderASCII(trace.BuildTimeline(log, labels), 0, end, width))
-	fmt.Println("\nper-thread activity over the whole trace:")
-	fmt.Print(trace.RenderSummaries(trace.Summarize(log), labels))
+	if len(events) == 0 {
+		fmt.Println("(no events: nothing to render)")
+	} else {
+		log := trace.New(events)
+		timeline := trace.RenderASCII(trace.BuildTimeline(log, labels), 0, end, width)
+		if timeline == "" {
+			// Point-like events (choices, faults) at a single instant give
+			// the timeline no span; the summaries below still apply.
+			fmt.Println("(no time span: timeline omitted)")
+		} else {
+			fmt.Print(timeline)
+		}
+		fmt.Println("\nper-thread activity over the whole trace:")
+		fmt.Print(trace.RenderSummaries(trace.Summarize(log), labels))
+	}
 
 	if csvPath != "" {
 		out, err := os.Create(csvPath)

@@ -43,8 +43,10 @@ func TestFlagValidationAtParseTime(t *testing.T) {
 }
 
 // TestInputErrorsAreFatal pins the non-zero-exit contract for -input: an
-// unreadable file, a malformed line, and an empty export are all errors
-// (main turns any run() error into exit status 1).
+// unreadable file, a malformed line, and an unknown event kind are all
+// errors (main turns any run() error into exit status 1). Non-zero exit is
+// reserved for genuinely malformed input — valid-but-empty exports are
+// covered by TestInputDegenerateButValid.
 func TestInputErrorsAreFatal(t *testing.T) {
 	dir := t.TempDir()
 
@@ -52,25 +54,103 @@ func TestInputErrorsAreFatal(t *testing.T) {
 		t.Error("unreadable -input file: expected an error, got none")
 	}
 
-	bad := filepath.Join(dir, "bad.jsonl")
-	if err := os.WriteFile(bad, []byte("{\"t_ns\":0,\"kind\":\"spawn\"}\nnot json at all\n"), 0o644); err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name    string
+		content string
+		want    string
+	}{
+		{"not json", "{\"t_ns\":0,\"kind\":\"spawn\"}\nnot json at all\n", "line 2"},
+		{"unknown kind", "{\"t_ns\":0,\"kind\":\"warp-core-breach\"}\n", "unknown event kind"},
+		{"truncated object", "{\"t_ns\":0,\"kind\":\"spawn\"\n", "line 1"},
 	}
-	err := run([]string{"-input", bad})
-	if err == nil {
-		t.Fatal("malformed -input JSONL: expected an error, got none")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, "bad.jsonl")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			err := run([]string{"-input", path})
+			if err == nil {
+				t.Fatal("malformed -input JSONL: expected an error, got none")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
-	if !strings.Contains(err.Error(), "line 2") {
-		t.Errorf("malformed-line error %q does not name the offending line", err)
-	}
+}
 
-	empty := filepath.Join(dir, "empty.jsonl")
-	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+// TestInputDegenerateButValid pins the other side of that contract: an
+// export that parses but has nothing (or nothing span-shaped) to draw —
+// zero events, or only point-like EvChoice/EvFault records — renders a
+// clean report with a nil error, never a hard failure.
+func TestInputDegenerateButValid(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		want    []string
+	}{
+		{"empty file", "", []string{"0 events", "nothing to render"}},
+		{"blank lines only", "\n\n\n", []string{"0 events", "nothing to render"}},
+		{"choice events only",
+			"{\"t_ns\":0,\"kind\":\"choice\",\"label\":\"dispatch\",\"arg\":1}\n" +
+				"{\"t_ns\":0,\"kind\":\"choice\",\"label\":\"stall\"}\n",
+			[]string{"2 events", "timeline omitted"}},
+		{"fault events only",
+			"{\"t_ns\":0,\"kind\":\"fault\",\"pid\":3,\"label\":\"errno\",\"arg\":5}\n",
+			[]string{"1 events", "timeline omitted"}},
+		{"choice and fault mixed",
+			"{\"t_ns\":0,\"kind\":\"choice\",\"label\":\"dispatch\",\"arg\":2}\n" +
+				"{\"t_ns\":1500,\"kind\":\"fault\",\"pid\":2,\"label\":\"kill\"}\n",
+			[]string{"2 events"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "trace.jsonl")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			out := captureStdout(t, func() {
+				if err := run([]string{"-input", path}); err != nil {
+					t.Errorf("valid degenerate input rejected: %v", err)
+				}
+			})
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-input", empty}); err == nil {
-		t.Error("empty -input export: expected an error, got none")
-	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	fn()
+	w.Close()
+	return <-done
 }
 
 // TestInputRendersExportedRound round-trips a real traced round through the

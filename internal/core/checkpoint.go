@@ -63,26 +63,62 @@ func RunSweepPointsCheckpoint(points []SweepPoint, opt SweepOptions, path string
 	}
 
 	results := make([]CampaignResult, len(points))
-	var remaining []SweepPoint
-	var remapped []int // remapped[subIdx] = original point index
-	for i, p := range points {
+	// A restored point can stand in for an identically-configured pending
+	// one exactly as in-process memoization would (memo.go states the
+	// conditions): the copy is flushed to the file like a simulated
+	// completion and the duplicate never re-runs, so a resumed sweep does
+	// not re-simulate — or double-count — work the first run already
+	// recorded for the same configuration.
+	var restored map[memoKey]CampaignResult
+	memoOK := !memoObservable(opt)
+	if memoOK {
+		restored = make(map[memoKey]CampaignResult, len(done))
+	}
+	for i := range points {
 		if res, ok := done[i]; ok {
 			results[i] = res
+			if memoOK {
+				if k, keyable := memoKeyOf(points[i]); keyable {
+					restored[k] = res
+				}
+			}
+		}
+	}
+	w := &checkpointWriter{path: path, fp: fp, points: len(points), done: done}
+	var remaining []SweepPoint
+	var remapped []int // remapped[subIdx] = original point index
+	restoredCopies := 0
+	for i, p := range points {
+		if _, ok := done[i]; ok {
 			continue
+		}
+		if memoOK && p.Rounds > 0 {
+			if k, keyable := memoKeyOf(p); keyable {
+				if res, hit := restored[k]; hit {
+					results[i] = res
+					w.flush(i, res)
+					restoredCopies++
+					continue
+				}
+			}
 		}
 		remaining = append(remaining, p)
 		remapped = append(remapped, i)
 	}
 	if len(remaining) == 0 {
-		return results, SweepStats{}, nil
+		st := SweepStats{PointsMemoized: restoredCopies}
+		if werr := w.firstErr(); werr != nil {
+			return nil, st, fmt.Errorf("core: checkpoint: %w", werr)
+		}
+		return results, st, nil
 	}
 
-	w := &checkpointWriter{path: path, fp: fp, points: len(points), done: done}
 	sub := opt
 	sub.onPointDone = func(p int, res CampaignResult) {
 		w.flush(remapped[p], res)
 	}
 	subRes, st, err := RunSweepPoints(remaining, sub)
+	st.PointsMemoized += restoredCopies
 	if werr := w.firstErr(); werr != nil {
 		// A checkpoint that cannot be written is a failed run: continuing
 		// would silently drop the crash-safety the caller asked for.

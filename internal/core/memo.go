@@ -21,15 +21,19 @@ import (
 // exactly the cache key such a service would use.
 //
 // Memoization must never change what a caller observes, so it stands
-// down whenever per-point execution is observable: a round or point
-// callback installed (each executed round must be reported), adaptive
-// stopping enabled (PointsStopped accounting is per executed point), the
+// down whenever per-point execution is observable: a round callback
+// installed (each executed round must be reported), adaptive stopping
+// enabled (PointsStopped accounting is per executed point), the
 // crash-test stop knob set, or a point carrying code the key cannot
 // capture (success-check, guard, or chooser hooks, or a program whose
-// dynamic type is not comparable). Execution-shaping results are still
-// exact for memoized sweeps: duplicate points simply contribute no
-// RoundsExecuted/RoundsCommitted, which SweepStats.PointsMemoized makes
-// visible.
+// dynamic type is not comparable). The onPointDone completion hook is
+// the one observer memoization composes with: a duplicate point
+// completes the moment its representative does, so RunSweepPoints fans
+// the representative's completion out to every duplicate — the
+// checkpoint writer therefore flushes memoized points like executed
+// ones. Execution-shaping results are still exact for memoized sweeps:
+// duplicate points simply contribute no RoundsExecuted/RoundsCommitted,
+// which SweepStats.PointsMemoized makes visible.
 
 // planKey is fault.Plan flattened into a comparable value (FSOps, the
 // one slice field, collapses to a canonical string).
@@ -115,12 +119,20 @@ type memoPlan struct {
 	toUniq []int // representative original index -> position in uniq (-1 elsewhere)
 }
 
+// memoObservable reports whether the options make per-point execution
+// observable in a way memoization cannot reproduce. onPointDone is
+// deliberately absent: completions of duplicates are fanned out by
+// RunSweepPoints, so the hook composes with memoization (checkpointed
+// sweeps dedupe like plain ones).
+func memoObservable(opt SweepOptions) bool {
+	return opt.OnRound != nil || opt.stopAfterPoints != 0 || opt.Adaptive.enabled()
+}
+
 // memoizeSweep plans the dedupe, or returns nil when memoization is
 // inapplicable or would save nothing (the common all-distinct case costs
 // one fingerprint per point and no allocation beyond the key map).
 func memoizeSweep(points []SweepPoint, opt SweepOptions) *memoPlan {
-	if opt.OnRound != nil || opt.onPointDone != nil || opt.stopAfterPoints != 0 ||
-		opt.Adaptive.enabled() || len(points) < 2 {
+	if memoObservable(opt) || len(points) < 2 {
 		return nil
 	}
 	type slot struct {
@@ -163,4 +175,17 @@ func memoizeSweep(points []SweepPoint, opt SweepOptions) *memoPlan {
 		}
 	}
 	return plan
+}
+
+// duplicates maps each representative's original index to the original
+// indices of the points it stands in for, in original order. Only
+// representatives with at least one duplicate appear.
+func (p *memoPlan) duplicates() map[int][]int {
+	d := make(map[int][]int)
+	for i, r := range p.rep {
+		if r != i {
+			d[r] = append(d[r], i)
+		}
+	}
+	return d
 }

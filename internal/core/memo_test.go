@@ -98,8 +98,8 @@ func TestSweepMemoizationStandsDown(t *testing.T) {
 	if memoizeSweep(dup, SweepOptions{OnRound: func(int, int, Round) {}}) != nil {
 		t.Error("memoized despite OnRound callback")
 	}
-	if memoizeSweep(dup, SweepOptions{onPointDone: func(int, CampaignResult) {}}) != nil {
-		t.Error("memoized despite onPointDone hook")
+	if memoizeSweep(dup, SweepOptions{onPointDone: func(int, CampaignResult) {}}) == nil {
+		t.Error("onPointDone alone suppressed memoization; completions fan out, so it must compose")
 	}
 	if memoizeSweep(dup, SweepOptions{stopAfterPoints: 1}) != nil {
 		t.Error("memoized despite stopAfterPoints")

@@ -157,6 +157,13 @@ func RunSweep(scs []Scenario, rounds int, opt SweepOptions) ([]CampaignResult, e
 // configuration and identical round budgets — are simulated once and
 // share the result (see memo.go for the exact conditions).
 func RunSweepPoints(points []SweepPoint, opt SweepOptions) ([]CampaignResult, SweepStats, error) {
+	// Budgets are validated before memoization so the reported index is
+	// the caller's grid coordinate, never a post-dedupe dense index.
+	for i, p := range points {
+		if p.Rounds <= 0 {
+			return nil, SweepStats{}, fmt.Errorf("core: sweep point %d needs rounds > 0, got %d", i, p.Rounds)
+		}
+	}
 	plan := memoizeSweep(points, opt)
 	if plan == nil {
 		return runSweepPointsDirect(points, opt)
@@ -165,7 +172,22 @@ func RunSweepPoints(points []SweepPoint, opt SweepOptions) ([]CampaignResult, Sw
 	for u, i := range plan.uniq {
 		sub[u] = points[i]
 	}
-	res, stats, err := runSweepPointsDirect(sub, opt)
+	subOpt := opt
+	if opt.onPointDone != nil {
+		// A memoized duplicate completes the moment its representative
+		// does: fan the completion out under the same fold lock, with the
+		// duplicate's own index, so observers (the checkpoint writer) see
+		// every point exactly once.
+		dups := plan.duplicates()
+		subOpt.onPointDone = func(u int, res CampaignResult) {
+			orig := plan.uniq[u]
+			opt.onPointDone(orig, res)
+			for _, d := range dups[orig] {
+				opt.onPointDone(d, res)
+			}
+		}
+	}
+	res, stats, err := runSweepPointsDirect(sub, subOpt)
 	stats.PointsMemoized = len(points) - len(sub)
 	if err != nil {
 		var se *SweepError

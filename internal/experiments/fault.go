@@ -31,6 +31,22 @@ var faultPolicies = []faultPolicy{
 	{"retry+fallback", prog.Robustness{Retries: 4, Backoff: 20 * time.Microsecond, Fallback: true}},
 }
 
+// Policy is a named error-handling discipline that declarative scenarios
+// can reference; Label doubles as the rendering's series name.
+type Policy struct {
+	Label  string
+	Robust prog.Robustness
+}
+
+// Policies returns the built-in robustness policies in sweep order.
+func Policies() []Policy {
+	out := make([]Policy, len(faultPolicies))
+	for i, p := range faultPolicies {
+		out[i] = Policy{Label: p.label, Robust: p.robust}
+	}
+	return out
+}
+
 // defaultFaultRates is the injection-rate ladder: a fault-free baseline,
 // then roughly decade steps up to a heavily faulty world.
 var defaultFaultRates = []float64{0, 0.002, 0.01, 0.05, 0.2}
@@ -87,20 +103,31 @@ func (r *FaultSweepResult) Render(w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 	// One series per policy: how fast the attack's success decays as the
-	// world gets faultier, under each error-handling discipline.
-	series := make([]report.Series, 0, len(faultPolicies))
+	// world gets faultier, under each error-handling discipline. The
+	// policy set comes from the rows themselves (first-appearance order),
+	// so results built from declarative scenarios with custom policies
+	// chart just like the built-in grid.
+	var policyOrder []string
+	seen := make(map[string]bool)
+	for _, row := range r.Rows {
+		if !seen[row.Policy] {
+			seen[row.Policy] = true
+			policyOrder = append(policyOrder, row.Policy)
+		}
+	}
+	series := make([]report.Series, 0, len(policyOrder))
 	var xs []float64
-	for _, p := range faultPolicies {
+	for _, label := range policyOrder {
 		var ys []float64
 		xs = xs[:0]
 		for _, row := range r.Rows {
-			if row.Policy != p.label {
+			if row.Policy != label {
 				continue
 			}
 			xs = append(xs, row.Rate*100)
 			ys = append(ys, row.Result.Rate()*100)
 		}
-		series = append(series, report.Series{Name: p.label, Ys: ys})
+		series = append(series, report.Series{Name: label, Ys: ys})
 	}
 	chart := &report.Chart{
 		Title:  "attack success vs fault rate, by robustness policy",

@@ -123,14 +123,19 @@ func Fig6(opt Options) (Result, error) {
 	}
 	out := &Fig6Result{Rounds: rounds, ShowMetrics: opt.Metrics}
 	for i, kb := range sizes {
-		// Model prediction: window ≈ measured-on-SMP per-KB growth; use
-		// the analytic window estimate from the vi calibration.
-		window := viWindowEstimate(m, int64(kb)<<10)
-		stall := model.StallProbability(int64(kb)<<10, m.Latency.WriteStallProbPerKB)
-		pred := model.UniprocessorSuspension(window, m.Quantum, stall)
-		out.Rows = append(out.Rows, SweepRow{SizeKB: kb, Result: results[i], Predicted: pred})
+		out.Rows = append(out.Rows, SweepRow{SizeKB: kb, Result: results[i], Predicted: Fig6Prediction(m, kb)})
 	}
 	return out, nil
+}
+
+// Fig6Prediction is the closed-form model prediction the fig6 rendering
+// pairs with each measured point: window ≈ measured-on-SMP per-KB growth,
+// via the analytic window estimate from the vi calibration. Exported so
+// declarative scenarios replicating fig6 render the exact same column.
+func Fig6Prediction(m machine.Profile, sizeKB int) float64 {
+	window := viWindowEstimate(m, int64(sizeKB)<<10)
+	stall := model.StallProbability(int64(sizeKB)<<10, m.Latency.WriteStallProbPerKB)
+	return model.UniprocessorSuspension(window, m.Quantum, stall)
 }
 
 // viWindowEstimate approximates vi's vulnerability window length for a

@@ -1,0 +1,225 @@
+package scenario
+
+// Equivalence suite: the shipped fig6/faultsweep scenario files must be
+// the hand-wired experiments in declarative clothing. Two layers:
+// structural (the full-fidelity files compile to exactly the grids the
+// experiments build — machine, seeds, sizes, fault plans, watchdogs)
+// and behavioral (reduced-budget twins produce bit-identical campaign
+// results AND byte-identical renderings). The full-budget byte-for-byte
+// golden diff runs in CI via `make scenario-check`.
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tocttou/internal/experiments"
+	"tocttou/internal/fault"
+	"tocttou/internal/machine"
+)
+
+func loadExample(t *testing.T, name string) *Spec {
+	t.Helper()
+	spec, err := Load(filepath.Join("..", "..", "examples", "scenarios", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestFig6ScenarioStructure pins the shipped fig6.yaml to the exact grid
+// the fig6 experiment hand-wires.
+func TestFig6ScenarioStructure(t *testing.T) {
+	spec := loadExample(t, "fig6.yaml")
+	c, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 10 {
+		t.Fatalf("fig6.yaml compiles to %d points, want 10", len(c.Points))
+	}
+	uni := machine.Uniprocessor()
+	for i, p := range c.Points {
+		sc := p.Scenario
+		wantKB := 100 * (i + 1)
+		if sc.FileSize != int64(wantKB)<<10 {
+			t.Errorf("point %d: FileSize %d, want %d KB", i, sc.FileSize, wantKB)
+		}
+		if sc.Seed != 1007+int64(i)*7919 {
+			t.Errorf("point %d: Seed %d, want %d", i, sc.Seed, 1007+int64(i)*7919)
+		}
+		if sc.Machine.Name != uni.Name {
+			t.Errorf("point %d: machine %q, want %q", i, sc.Machine.Name, uni.Name)
+		}
+		if sc.UseSyscall != "chown" || sc.Trace || sc.Watchdog != 0 || sc.Faults.Enabled() {
+			t.Errorf("point %d: stray knobs set: %+v", i, sc)
+		}
+		if p.Rounds != 500 {
+			t.Errorf("point %d: rounds %d, want 500", i, p.Rounds)
+		}
+	}
+}
+
+// TestFaultSweepScenarioStructure pins faultsweep.yaml to the experiment's
+// (rate × policy) grid, including the exact fault plan.
+func TestFaultSweepScenarioStructure(t *testing.T) {
+	spec := loadExample(t, "faultsweep.yaml")
+	c, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := []float64{0, 0.002, 0.01, 0.05, 0.2}
+	policies := experiments.Policies()
+	if len(c.Points) != len(rates)*len(policies) {
+		t.Fatalf("faultsweep.yaml compiles to %d points, want %d", len(c.Points), len(rates)*len(policies))
+	}
+	for ri, rate := range rates {
+		for pi, pol := range policies {
+			idx := ri*len(policies) + pi
+			sc := c.Points[idx].Scenario
+			if sc.Seed != 6007+int64(idx)*7121 {
+				t.Errorf("point %d: Seed %d, want %d", idx, sc.Seed, 6007+int64(idx)*7121)
+			}
+			want := fault.Plan{
+				Seed:             9973,
+				FSRate:           rate,
+				SemIntrRate:      rate,
+				SemIntrDelay:     time.Microsecond,
+				KillVictimRate:   rate / 2,
+				KillAttackerRate: rate / 2,
+				KillWindow:       4 * time.Millisecond,
+				Restart:          true,
+			}
+			if sc.Faults.Seed != want.Seed || sc.Faults.FSRate != want.FSRate ||
+				sc.Faults.SemIntrRate != want.SemIntrRate ||
+				sc.Faults.SemIntrDelay != want.SemIntrDelay ||
+				sc.Faults.KillVictimRate != want.KillVictimRate ||
+				sc.Faults.KillAttackerRate != want.KillAttackerRate ||
+				sc.Faults.KillWindow != want.KillWindow ||
+				sc.Faults.Restart != want.Restart ||
+				sc.Faults.RestartDelay != 0 {
+				t.Errorf("point %d: fault plan %+v, want %+v", idx, sc.Faults, want)
+			}
+			if sc.Watchdog != 5*time.Second || sc.FileSize != 100<<10 {
+				t.Errorf("point %d: watchdog %v size %d", idx, sc.Watchdog, sc.FileSize)
+			}
+			if c.Meta[idx].Policy != pol.Label || c.Meta[idx].Rate != rate {
+				t.Errorf("point %d: meta %+v", idx, c.Meta[idx])
+			}
+		}
+	}
+}
+
+// TestFig6ScenarioEquivalentToExperiment runs a reduced-budget twin of
+// the shipped file against experiments.Fig6 with the same overrides:
+// bit-identical campaign results, byte-identical rendering.
+func TestFig6ScenarioEquivalentToExperiment(t *testing.T) {
+	spec := loadExample(t, "fig6.yaml")
+	spec.Rounds = 40
+	spec.SizesKB = []int{100, 300}
+	spec.Assertions = nil
+
+	out, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiments.Fig6(experiments.Options{Rounds: 40, Sizes: []int{100, 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6 := res.(*experiments.Fig6Result)
+	if len(fig6.Rows) != len(out.Results) {
+		t.Fatalf("row counts differ: %d vs %d", len(fig6.Rows), len(out.Results))
+	}
+	for i, row := range fig6.Rows {
+		if out.Results[i] != row.Result {
+			t.Errorf("point %d: scenario result %+v != experiment result %+v", i, out.Results[i], row.Result)
+		}
+	}
+	var got, want bytes.Buffer
+	if err := out.Render(&got); err != nil {
+		t.Fatal(err)
+	}
+	// The experiment's Rounds header reflects its own budget.
+	if err := fig6.Render(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("renderings differ:\n--- scenario ---\n%s\n--- experiment ---\n%s", got.String(), want.String())
+	}
+}
+
+// TestFaultSweepScenarioEquivalentToExperiment is the same contract for
+// the faultsweep pair.
+func TestFaultSweepScenarioEquivalentToExperiment(t *testing.T) {
+	spec := loadExample(t, "faultsweep.yaml")
+	spec.Rounds = 30
+	spec.FaultRates = []float64{0, 0.05}
+
+	out, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiments.FaultSweep(experiments.Options{Rounds: 30, FaultRates: []float64{0, 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsw := res.(*experiments.FaultSweepResult)
+	if len(fsw.Rows) != len(out.Results) {
+		t.Fatalf("row counts differ: %d vs %d", len(fsw.Rows), len(out.Results))
+	}
+	for i, row := range fsw.Rows {
+		if out.Results[i] != row.Result {
+			t.Errorf("point %d (%s p=%.3f): results differ", i, row.Policy, row.Rate)
+		}
+	}
+	var got, want bytes.Buffer
+	if err := out.Render(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsw.Render(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("renderings differ:\n--- scenario ---\n%s\n--- experiment ---\n%s", got.String(), want.String())
+	}
+}
+
+// TestScenarioCheckpointComposes pins that -scenario × -checkpoint rides
+// the sweep engine's crash-safe path: a checkpointed scenario run matches
+// the direct run bit-for-bit, and a rerun resumes from the file without
+// re-simulating (memoized restores count, nothing executes twice).
+func TestScenarioCheckpointComposes(t *testing.T) {
+	spec := loadExample(t, "fig6.yaml")
+	spec.Rounds = 25
+	spec.SizesKB = []int{100, 200}
+	spec.Assertions = nil
+
+	direct, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "scenario.ckpt")
+	first, err := Run(spec, RunOptions{Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Results {
+		if direct.Results[i] != first.Results[i] {
+			t.Errorf("point %d: checkpointed result differs from direct", i)
+		}
+	}
+	second, err := Run(spec, RunOptions{Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.RoundsExecuted != 0 {
+		t.Errorf("resumed run executed %d rounds, want 0 (all restored)", second.Stats.RoundsExecuted)
+	}
+	for i := range direct.Results {
+		if direct.Results[i] != second.Results[i] {
+			t.Errorf("point %d: resumed result differs from direct", i)
+		}
+	}
+}

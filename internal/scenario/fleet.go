@@ -1,0 +1,105 @@
+package scenario
+
+// Fleet generation: stamping out hundreds-to-thousands of
+// parameter-jittered victims from weighted templates. All jitter draws
+// come from one splitmix64 stream seeded by fleet.jitter_seed and are
+// consumed entirely at compile time, before any round runs — so the
+// jitter stream is disjoint from the scheduling, noise, and fault
+// streams by construction (those draw from per-round streams derived
+// from Scenario.Seed, which the generator only assigns, never samples).
+
+import (
+	"fmt"
+
+	"tocttou/internal/core"
+)
+
+// splitmix64 is the jitter PRNG: tiny, stdlib-free, and with a
+// well-known reference output, so the fleet a spec generates is
+// reproducible from the file alone on any platform.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// intn draws a uniform integer in [0, n) by rejection, avoiding the
+// modulo bias a bare % n would add for n not dividing 2^64.
+func (s *splitmix64) intn(n int) int {
+	bound := uint64(n)
+	limit := -bound % bound // (2^64 - bound) mod bound: rejection zone size
+	for {
+		v := s.next()
+		if v >= limit || limit == 0 {
+			return int(v % bound)
+		}
+	}
+}
+
+// compileFleet lowers a fleet spec: member k picks a weighted template,
+// jitters its file size, and runs at seed spec.Seed + k*spec.SeedStride.
+func compileFleet(s *Spec) (*Compiled, error) {
+	fl := s.Fleet
+	c := &Compiled{Spec: s}
+	totalWeight := 0
+	for _, t := range fl.Templates {
+		totalWeight += t.Weight
+	}
+	rng := &splitmix64{state: uint64(fl.JitterSeed)}
+	for k := 0; k < fl.Total; k++ {
+		draw := rng.intn(totalWeight)
+		var tmpl Template
+		for _, t := range fl.Templates {
+			if draw < t.Weight {
+				tmpl = t
+				break
+			}
+			draw -= t.Weight
+		}
+		kb := tmpl.SizeMinKB
+		if tmpl.SizeMaxKB > tmpl.SizeMinKB {
+			kb += rng.intn(tmpl.SizeMaxKB - tmpl.SizeMinKB + 1)
+		}
+		vict, att, err := buildPrograms(tmpl.Victim, tmpl.Attacker, Policy{}, false)
+		if err != nil {
+			return nil, fmt.Errorf("fleet member %d (template %s): %w", k, tmpl.Name, err)
+		}
+		use := tmpl.Syscall
+		if use == "" {
+			use = defaultSyscall(tmpl.Victim)
+		}
+		sc := core.Scenario{
+			Machine:    s.Machine,
+			Victim:     vict,
+			Attacker:   att,
+			UseSyscall: use,
+			FileSize:   int64(kb) << 10,
+			Seed:       s.Seed + int64(k)*s.SeedStride,
+			Trace:      s.Trace,
+			Watchdog:   s.Watchdog,
+		}
+		if s.Faults != nil {
+			plan, err := s.Faults.plan(0)
+			if err != nil {
+				return nil, fmt.Errorf("fleet member %d: %w", k, err)
+			}
+			sc.Faults = plan
+		}
+		c.Points = append(c.Points, core.SweepPoint{Scenario: sc, Rounds: s.Rounds})
+		c.Meta = append(c.Meta, PointMeta{
+			Label:    fmt.Sprintf("%s#%d %s/%s %dKB", tmpl.Name, k, tmpl.Victim, tmpl.Attacker, kb),
+			Victim:   tmpl.Victim,
+			Attacker: tmpl.Attacker,
+			SizeKB:   kb,
+			Template: tmpl.Name,
+		})
+	}
+	return c, nil
+}

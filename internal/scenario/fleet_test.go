@@ -1,0 +1,134 @@
+package scenario
+
+// Fleet determinism suite: the shipped fleet.yaml (600 jittered victims)
+// must generate the same fleet from the file alone — same template
+// picks, same size jitter, same per-member seeds — and its campaign
+// must be bit-identical regardless of GOMAXPROCS. CI additionally runs
+// this under -race at GOMAXPROCS 1 and 8.
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestFleetGenerationDeterministic pins the compile-time jitter stream:
+// two compilations of the same file agree exactly, member parameters
+// stay inside their template's declared ranges, every template is
+// realized, and per-member seeds follow the spec stride.
+func TestFleetGenerationDeterministic(t *testing.T) {
+	spec := loadExample(t, "fleet.yaml")
+	a, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(loadExample(t, "fleet.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != spec.Fleet.Total || len(a.Points) < 500 {
+		t.Fatalf("fleet compiled to %d points, want %d (>= 500)", len(a.Points), spec.Fleet.Total)
+	}
+	if !reflect.DeepEqual(a.Meta, b.Meta) {
+		t.Error("two compilations of the same file generated different fleets")
+	}
+	byName := make(map[string]Template)
+	for _, tm := range spec.Fleet.Templates {
+		byName[tm.Name] = tm
+	}
+	counts := make(map[string]int)
+	for k, m := range a.Meta {
+		tmpl, ok := byName[m.Template]
+		if !ok {
+			t.Fatalf("member %d references unknown template %q", k, m.Template)
+		}
+		counts[m.Template]++
+		if m.SizeKB < tmpl.SizeMinKB || m.SizeKB > tmpl.SizeMaxKB {
+			t.Errorf("member %d: size %dKB outside template %s's [%d, %d]",
+				k, m.SizeKB, tmpl.Name, tmpl.SizeMinKB, tmpl.SizeMaxKB)
+		}
+		if got, want := a.Points[k].Scenario.Seed, spec.Seed+int64(k)*spec.SeedStride; got != want {
+			t.Errorf("member %d: seed %d, want %d", k, got, want)
+		}
+		if a.Points[k].Scenario.Machine.Name != spec.Machine.Name {
+			t.Errorf("member %d: machine %q", k, a.Points[k].Scenario.Machine.Name)
+		}
+	}
+	for name, tmpl := range byName {
+		if counts[name] == 0 {
+			t.Errorf("template %q (weight %d) drew no members in %d picks", name, tmpl.Weight, spec.Fleet.Total)
+		}
+	}
+	// vi-small outweighs patched 5:2; the realized split must reflect it.
+	if counts["vi-small"] <= counts["patched"] {
+		t.Errorf("weights ignored: vi-small %d members vs patched %d", counts["vi-small"], counts["patched"])
+	}
+}
+
+// TestFleetRunBitIdenticalAcrossGOMAXPROCS runs the shipped 600-victim
+// fleet serially and maximally parallel: every campaign result must be
+// bit-identical (CampaignResult is a pure comparable value, so == is the
+// full-field check), and the shipped assertions must pass.
+func TestFleetRunBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("600-member fleet campaign in -short mode")
+	}
+	runAt := func(procs int) *Outcome {
+		t.Helper()
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		out, err := Run(loadExample(t, "fleet.yaml"), RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := runAt(1)
+	parallel := runAt(8)
+	if len(serial.Results) != len(parallel.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial.Results), len(parallel.Results))
+	}
+	for i := range serial.Results {
+		if serial.Results[i] != parallel.Results[i] {
+			t.Errorf("member %d: GOMAXPROCS=1 and GOMAXPROCS=8 results differ", i)
+		}
+	}
+	if err := serial.CheckAssertions(); err != nil {
+		t.Errorf("shipped fleet assertions failed: %v", err)
+	}
+}
+
+// TestAssertionFailureNamesFirst pins the non-zero-exit contract's error
+// shape: the first failing assertion is reported by index, metric,
+// selection, measured value, and violated bound.
+func TestAssertionFailureNamesFirst(t *testing.T) {
+	spec := mustParse(t, minimalSpec+`assertions:
+  - metric: rounds
+    min: 10
+  - metric: rounds
+    max: 5
+  - metric: success_rate
+    min: 2
+`)
+	out, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = out.CheckAssertions()
+	if err == nil {
+		t.Fatal("expected the max-rounds assertion to fail")
+	}
+	ae, ok := err.(*AssertionError)
+	if !ok {
+		t.Fatalf("got %T (%v), want *AssertionError", err, err)
+	}
+	if ae.Index != 1 || ae.Value != 10 {
+		t.Errorf("failure = %+v, want index 1 (the FIRST failing assertion) at value 10", ae)
+	}
+	for _, want := range []string{"assertion 1", "rounds", "above max 5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

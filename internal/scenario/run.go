@@ -1,0 +1,175 @@
+package scenario
+
+// Execution and rendering: a compiled scenario runs through the same
+// sweep engine as the hand-wired experiments, then renders either the
+// generic table or — for report: fig6 / faultsweep — the exact
+// experiment rendering, so scenario output can be diffed byte-for-byte
+// against the experiment goldens.
+
+import (
+	"fmt"
+	"io"
+
+	"tocttou/internal/core"
+	"tocttou/internal/experiments"
+	"tocttou/internal/report"
+)
+
+// RunOptions tunes a scenario execution.
+type RunOptions struct {
+	// Checkpoint, when non-empty, runs the sweep crash-safely through
+	// core.RunSweepPointsCheckpoint with this state file.
+	Checkpoint string
+}
+
+// Outcome is a completed scenario run.
+type Outcome struct {
+	Spec     *Spec
+	Compiled *Compiled
+	Results  []core.CampaignResult
+	Stats    core.SweepStats
+}
+
+// Run compiles and executes the scenario.
+func Run(spec *Spec, opt RunOptions) (*Outcome, error) {
+	c, err := Compile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	var results []core.CampaignResult
+	var stats core.SweepStats
+	if opt.Checkpoint != "" {
+		results, stats, err = core.RunSweepPointsCheckpoint(c.Points, core.SweepOptions{}, opt.Checkpoint)
+	} else {
+		results, stats, err = core.RunSweepPoints(c.Points, core.SweepOptions{})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	return &Outcome{Spec: spec, Compiled: c, Results: results, Stats: stats}, nil
+}
+
+// Render writes the outcome's report.
+func (o *Outcome) Render(w io.Writer) error {
+	switch o.Spec.Report {
+	case "fig6":
+		return o.renderFig6(w)
+	case "faultsweep":
+		return o.renderFaultSweep(w)
+	}
+	return o.renderTable(w)
+}
+
+// renderFig6 reuses the experiment's rendering verbatim: same table,
+// same chart, same model-prediction column.
+func (o *Outcome) renderFig6(w io.Writer) error {
+	res := &experiments.Fig6Result{Rounds: o.Spec.Rounds}
+	for i, m := range o.Compiled.Meta {
+		res.Rows = append(res.Rows, experiments.SweepRow{
+			SizeKB:    m.SizeKB,
+			Result:    o.Results[i],
+			Predicted: experiments.Fig6Prediction(o.Spec.Machine, m.SizeKB),
+		})
+	}
+	return res.Render(w)
+}
+
+// renderFaultSweep reuses the faultsweep experiment's rendering; the
+// chart's policy series derive from row order, so custom policy sets
+// chart just like the built-in grid.
+func (o *Outcome) renderFaultSweep(w io.Writer) error {
+	res := &experiments.FaultSweepResult{Rounds: o.Spec.Rounds}
+	for i, m := range o.Compiled.Meta {
+		res.Rows = append(res.Rows, experiments.FaultRow{
+			Rate:   m.Rate,
+			Policy: m.Policy,
+			Result: o.Results[i],
+		})
+	}
+	return res.Render(w)
+}
+
+// renderTable is the generic report: one row per point, plus a pooled
+// per-template section for fleets (the per-member table of a 600-victim
+// fleet is data, not a summary — the template aggregates are the
+// headline there).
+func (o *Outcome) renderTable(w io.Writer) error {
+	s := o.Spec
+	fmt.Fprintf(w, "scenario %s — %d points × %d rounds\n", s.Name, len(o.Results), s.Rounds)
+	if s.Description != "" {
+		fmt.Fprintf(w, "%s\n", s.Description)
+	}
+	fmt.Fprintln(w)
+
+	hasFaults := s.Faults != nil
+	if s.Fleet != nil {
+		if err := o.renderTemplateAggregates(w, hasFaults); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "per-member results:")
+	}
+	tbl := &report.Table{Headers: pointHeaders(hasFaults)}
+	for i, m := range o.Compiled.Meta {
+		tbl.AddRow(pointRow(fmt.Sprintf("%d", i), m.Label, o.Results[i], hasFaults)...)
+	}
+	return tbl.Render(w)
+}
+
+func pointHeaders(faults bool) []string {
+	h := []string{"point", "label", "success", "rate", "victim-fail", "attack-err"}
+	if faults {
+		h = append(h, "fs-err/rnd", "eintr/rnd", "kill/rnd", "restart/rnd")
+	}
+	return h
+}
+
+func pointRow(id, label string, res core.CampaignResult, faults bool) []string {
+	row := []string{
+		id, label,
+		fmt.Sprintf("%d/%d", res.Successes, res.Rounds),
+		fmt.Sprintf("%.1f%%", res.Rate()*100),
+		fmt.Sprintf("%d", res.VictimErrors),
+		fmt.Sprintf("%d", res.AttackErrors),
+	}
+	if faults {
+		n := float64(res.Rounds)
+		row = append(row,
+			fmt.Sprintf("%.2f", float64(res.Faults.FSErrors)/n),
+			fmt.Sprintf("%.2f", float64(res.Faults.SemInterrupts)/n),
+			fmt.Sprintf("%.2f", float64(res.Faults.Kills)/n),
+			fmt.Sprintf("%.2f", float64(res.Faults.Restarts)/n),
+		)
+	}
+	return row
+}
+
+// renderTemplateAggregates pools each template's members into one row,
+// in the spec's template order.
+func (o *Outcome) renderTemplateAggregates(w io.Writer, hasFaults bool) error {
+	fmt.Fprintf(w, "fleet: %d members from %d templates (jitter seed %d)\n\n",
+		o.Spec.Fleet.Total, len(o.Spec.Fleet.Templates), o.Spec.Fleet.JitterSeed)
+	tbl := &report.Table{Headers: append([]string{"template", "members"}, pointHeaders(hasFaults)[2:]...)}
+	for _, t := range o.Spec.Fleet.Templates {
+		var sum core.CampaignResult
+		members := 0
+		for i, m := range o.Compiled.Meta {
+			if m.Template != t.Name {
+				continue
+			}
+			members++
+			r := o.Results[i]
+			sum.Rounds += r.Rounds
+			sum.Successes += r.Successes
+			sum.VictimErrors += r.VictimErrors
+			sum.AttackErrors += r.AttackErrors
+			sum.Faults.Add(r.Faults)
+		}
+		row := pointRow(t.Name, "", sum, hasFaults)
+		// pointRow's first two columns are id+label; collapse to
+		// template name + member count for the aggregate view.
+		row[1] = fmt.Sprintf("%d", members)
+		tbl.AddRow(row...)
+	}
+	return tbl.Render(w)
+}

@@ -1,0 +1,507 @@
+package scenario
+
+// Hand-rolled loader for the scenario file format. The repo takes no
+// dependencies, so this implements the small YAML subset the scenario
+// schema needs rather than pulling in a YAML library:
+//
+//   - block maps ("key: value", "key:" + indented block)
+//   - block sequences ("- item", including the compact "- key: value"
+//     map-item form)
+//   - flow sequences ("[a, b, c]") and flow maps ("{a: 1, b: 2}")
+//   - single- and double-quoted strings, "#" comments, blank lines
+//
+// Indentation must be spaces (a tab in indentation is an error, as in
+// YAML proper), and every node remembers its source line so validation
+// errors can name the offending path AND line. Files ending in ".json"
+// are decoded as JSON into the same node tree (line numbers unavailable).
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type nodeKind int
+
+const (
+	nullNode nodeKind = iota
+	scalarNode
+	mapNode
+	seqNode
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case nullNode:
+		return "null"
+	case scalarNode:
+		return "scalar"
+	case mapNode:
+		return "mapping"
+	case seqNode:
+		return "sequence"
+	}
+	return "unknown"
+}
+
+// node is one parsed value. line is 1-based; 0 means "unknown" (JSON
+// input), and error formatting omits it.
+type node struct {
+	line    int
+	kind    nodeKind
+	scalar  string
+	quoted  bool // scalar came quoted: always a string, never a number/bool
+	keys    []string
+	vals    map[string]*node
+	keyLine map[string]int
+	items   []*node
+}
+
+// srcLine is one logical (non-blank, comment-stripped) input line.
+type srcLine struct {
+	indent  int
+	content string
+	line    int
+}
+
+type yamlParser struct {
+	lines []srcLine
+	i     int
+}
+
+// parseYAML parses a whole document into a node tree.
+func parseYAML(data []byte) (*node, error) {
+	lines, err := logicalLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return &node{kind: nullNode}, nil
+	}
+	p := &yamlParser{lines: lines}
+	n, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if p.i != len(p.lines) {
+		l := p.lines[p.i]
+		return nil, fmt.Errorf("line %d: unexpected content %q after the document", l.line, l.content)
+	}
+	return n, nil
+}
+
+// logicalLines splits the input, strips comments, and drops blanks.
+func logicalLines(data []byte) ([]srcLine, error) {
+	var out []srcLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		lineno := i + 1
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if indent < len(raw) && raw[indent] == '\t' {
+			return nil, fmt.Errorf("line %d: tab in indentation (use spaces)", lineno)
+		}
+		content := stripComment(raw[indent:])
+		if content == "" {
+			continue
+		}
+		if content == "---" {
+			continue // document start marker
+		}
+		out = append(out, srcLine{indent: indent, content: content, line: lineno})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "# ..." comment, honoring quotes. A '#'
+// only opens a comment at the start of the content or after whitespace.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			inD = !inD
+		case c == '#' && !inS && !inD && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return strings.TrimRight(s[:i], " \t")
+		}
+	}
+	return strings.TrimRight(s, " \t")
+}
+
+// keySplit splits "key: rest" at the first top-level colon followed by a
+// space (or end of line). Colons inside quotes or flow brackets don't
+// count, so "label: 'a: b'" and "sizes: [1, 2]" split correctly.
+func keySplit(s string) (key, rest string, ok bool) {
+	depth := 0
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			inD = !inD
+		case inS || inD:
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+		case c == ':' && depth == 0 && (i+1 == len(s) || s[i+1] == ' '):
+			return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+func isSeqItem(content string) bool {
+	return content == "-" || strings.HasPrefix(content, "- ")
+}
+
+// parseBlock parses the value starting at the current line, whose indent
+// defines the block's indent.
+func (p *yamlParser) parseBlock() (*node, error) {
+	l := p.lines[p.i]
+	if isSeqItem(l.content) {
+		return p.parseSeq(l.indent)
+	}
+	if _, _, ok := keySplit(l.content); ok {
+		return p.parseMap(l.indent)
+	}
+	p.i++
+	return parseInline(l.content, l.line)
+}
+
+func (p *yamlParser) parseMap(indent int) (*node, error) {
+	n := &node{
+		kind:    mapNode,
+		line:    p.lines[p.i].line,
+		vals:    make(map[string]*node),
+		keyLine: make(map[string]int),
+	}
+	for p.i < len(p.lines) {
+		l := p.lines[p.i]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation", l.line)
+		}
+		if isSeqItem(l.content) {
+			return nil, fmt.Errorf("line %d: sequence item in a mapping (expected \"key: value\")", l.line)
+		}
+		key, rest, ok := keySplit(l.content)
+		if !ok || key == "" {
+			return nil, fmt.Errorf("line %d: expected \"key: value\", got %q", l.line, l.content)
+		}
+		key = unquoteScalarKey(key)
+		if _, dup := n.vals[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.line, key)
+		}
+		p.i++
+		var val *node
+		var err error
+		if rest == "" {
+			if p.i < len(p.lines) && p.lines[p.i].indent > indent {
+				val, err = p.parseBlock()
+			} else {
+				val = &node{kind: nullNode, line: l.line}
+			}
+		} else {
+			val, err = parseInline(rest, l.line)
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.keys = append(n.keys, key)
+		n.vals[key] = val
+		n.keyLine[key] = l.line
+	}
+	return n, nil
+}
+
+func (p *yamlParser) parseSeq(indent int) (*node, error) {
+	n := &node{kind: seqNode, line: p.lines[p.i].line}
+	for p.i < len(p.lines) {
+		l := p.lines[p.i]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation", l.line)
+		}
+		if !isSeqItem(l.content) {
+			break
+		}
+		var item *node
+		var err error
+		if l.content == "-" {
+			p.i++
+			if p.i < len(p.lines) && p.lines[p.i].indent > indent {
+				item, err = p.parseBlock()
+			} else {
+				item = &node{kind: nullNode, line: l.line}
+			}
+		} else {
+			// Compact form: the item's value starts on the dash line. The
+			// content after "- " becomes a virtual line indented at its own
+			// column, so "- key: value" plus deeper keys parse as one map.
+			rest := strings.TrimLeft(l.content[1:], " ")
+			restIndent := l.indent + (len(l.content) - len(rest))
+			p.lines[p.i] = srcLine{indent: restIndent, content: rest, line: l.line}
+			item, err = p.parseBlock()
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+// parseInline parses a value that fits on one line: a flow collection, a
+// quoted string, or a plain scalar.
+func parseInline(s string, line int) (*node, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "" || s == "~" || s == "null":
+		return &node{kind: nullNode, line: line}, nil
+	case s[0] == '[' || s[0] == '{':
+		f := &flowParser{s: s, line: line}
+		n, err := f.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		f.skipSpaces()
+		if f.i != len(f.s) {
+			return nil, fmt.Errorf("line %d: trailing content %q after flow value", line, f.s[f.i:])
+		}
+		return n, nil
+	case s[0] == '"' || s[0] == '\'':
+		f := &flowParser{s: s, line: line}
+		n, err := f.parseQuoted()
+		if err != nil {
+			return nil, err
+		}
+		if f.i != len(f.s) {
+			return nil, fmt.Errorf("line %d: trailing content %q after quoted string", line, f.s[f.i:])
+		}
+		return n, nil
+	default:
+		return &node{kind: scalarNode, scalar: s, line: line}, nil
+	}
+}
+
+func unquoteScalarKey(key string) string {
+	if len(key) >= 2 && (key[0] == '"' || key[0] == '\'') && key[len(key)-1] == key[0] {
+		return key[1 : len(key)-1]
+	}
+	return key
+}
+
+// flowParser parses "[...]", "{...}", and quoted strings.
+type flowParser struct {
+	s    string
+	i    int
+	line int
+}
+
+func (f *flowParser) skipSpaces() {
+	for f.i < len(f.s) && (f.s[f.i] == ' ' || f.s[f.i] == '\t') {
+		f.i++
+	}
+}
+
+func (f *flowParser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", f.line, fmt.Sprintf(format, args...))
+}
+
+func (f *flowParser) parseValue() (*node, error) {
+	f.skipSpaces()
+	if f.i >= len(f.s) {
+		return nil, f.errf("unexpected end of flow value")
+	}
+	switch f.s[f.i] {
+	case '[':
+		return f.parseFlowSeq()
+	case '{':
+		return f.parseFlowMap()
+	case '"', '\'':
+		return f.parseQuoted()
+	default:
+		start := f.i
+		for f.i < len(f.s) && !strings.ContainsRune(",]}", rune(f.s[f.i])) {
+			f.i++
+		}
+		sc := strings.TrimSpace(f.s[start:f.i])
+		if sc == "" || sc == "~" || sc == "null" {
+			return &node{kind: nullNode, line: f.line}, nil
+		}
+		return &node{kind: scalarNode, scalar: sc, line: f.line}, nil
+	}
+}
+
+func (f *flowParser) parseFlowSeq() (*node, error) {
+	n := &node{kind: seqNode, line: f.line}
+	f.i++ // '['
+	f.skipSpaces()
+	if f.i < len(f.s) && f.s[f.i] == ']' {
+		f.i++
+		return n, nil
+	}
+	for {
+		item, err := f.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+		f.skipSpaces()
+		if f.i >= len(f.s) {
+			return nil, f.errf("unterminated flow sequence")
+		}
+		switch f.s[f.i] {
+		case ',':
+			f.i++
+		case ']':
+			f.i++
+			return n, nil
+		default:
+			return nil, f.errf("expected ',' or ']' in flow sequence, got %q", f.s[f.i])
+		}
+	}
+}
+
+func (f *flowParser) parseFlowMap() (*node, error) {
+	n := &node{
+		kind:    mapNode,
+		line:    f.line,
+		vals:    make(map[string]*node),
+		keyLine: make(map[string]int),
+	}
+	f.i++ // '{'
+	f.skipSpaces()
+	if f.i < len(f.s) && f.s[f.i] == '}' {
+		f.i++
+		return n, nil
+	}
+	for {
+		f.skipSpaces()
+		start := f.i
+		for f.i < len(f.s) && f.s[f.i] != ':' && f.s[f.i] != '}' {
+			f.i++
+		}
+		if f.i >= len(f.s) || f.s[f.i] != ':' {
+			return nil, f.errf("expected \"key: value\" in flow mapping")
+		}
+		key := unquoteScalarKey(strings.TrimSpace(f.s[start:f.i]))
+		if key == "" {
+			return nil, f.errf("empty key in flow mapping")
+		}
+		if _, dup := n.vals[key]; dup {
+			return nil, f.errf("duplicate key %q", key)
+		}
+		f.i++ // ':'
+		val, err := f.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		n.keys = append(n.keys, key)
+		n.vals[key] = val
+		n.keyLine[key] = f.line
+		f.skipSpaces()
+		if f.i >= len(f.s) {
+			return nil, f.errf("unterminated flow mapping")
+		}
+		switch f.s[f.i] {
+		case ',':
+			f.i++
+		case '}':
+			f.i++
+			return n, nil
+		default:
+			return nil, f.errf("expected ',' or '}' in flow mapping, got %q", f.s[f.i])
+		}
+	}
+}
+
+func (f *flowParser) parseQuoted() (*node, error) {
+	quote := f.s[f.i]
+	f.i++
+	var sb strings.Builder
+	for f.i < len(f.s) {
+		c := f.s[f.i]
+		switch {
+		case c == quote && quote == '\'' && f.i+1 < len(f.s) && f.s[f.i+1] == '\'':
+			sb.WriteByte('\'') // YAML single-quote escape: ''
+			f.i += 2
+		case c == quote:
+			f.i++
+			return &node{kind: scalarNode, scalar: sb.String(), quoted: true, line: f.line}, nil
+		case c == '\\' && quote == '"' && f.i+1 < len(f.s):
+			switch e := f.s[f.i+1]; e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '"', '\\', '/':
+				sb.WriteByte(e)
+			default:
+				return nil, f.errf("unsupported escape \\%c in double-quoted string", e)
+			}
+			f.i += 2
+		default:
+			sb.WriteByte(c)
+			f.i++
+		}
+	}
+	return nil, f.errf("unterminated quoted string")
+}
+
+// parseJSON decodes a JSON document into the same node tree. JSON has no
+// line information here, so nodes carry line 0 and errors name paths only.
+func parseJSON(data []byte) (*node, error) {
+	var v any
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("json: %w", err)
+	}
+	return jsonNode(v), nil
+}
+
+func jsonNode(v any) *node {
+	switch t := v.(type) {
+	case nil:
+		return &node{kind: nullNode}
+	case map[string]any:
+		n := &node{kind: mapNode, vals: make(map[string]*node), keyLine: make(map[string]int)}
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			n.keys = append(n.keys, k)
+			n.vals[k] = jsonNode(t[k])
+		}
+		return n
+	case []any:
+		n := &node{kind: seqNode}
+		for _, item := range t {
+			n.items = append(n.items, jsonNode(item))
+		}
+		return n
+	case string:
+		return &node{kind: scalarNode, scalar: t, quoted: true}
+	case bool:
+		return &node{kind: scalarNode, scalar: strconv.FormatBool(t)}
+	case json.Number:
+		return &node{kind: scalarNode, scalar: t.String()}
+	default:
+		return &node{kind: scalarNode, scalar: fmt.Sprint(t)}
+	}
+}

@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestYAMLBlockStructures pins the structural subset the parser accepts:
+// nested block maps, block sequences (including compact "- key: value"
+// items), flow collections, quoting, and comments.
+func TestYAMLBlockStructures(t *testing.T) {
+	src := `
+# leading comment
+name: demo            # trailing comment
+count: 42
+rate: 0.25
+nested:
+  inner: yes-indeed
+  deeper:
+    leaf: 7
+list:
+  - alpha
+  - beta
+compact:
+  - name: first
+    weight: 1
+  - name: second
+    weight: 2
+flow_seq: [1, 2, 3]
+flow_map: {a: 1, b: two}
+quoted_single: 'it''s'
+quoted_double: "tab\there"
+hash_in_value: a#b
+empty:
+`
+	root, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.kind != mapNode {
+		t.Fatalf("root kind = %v, want map", root.kind)
+	}
+	get := func(key string) *node {
+		t.Helper()
+		n := root.vals[key]
+		if n == nil {
+			t.Fatalf("missing key %q", key)
+		}
+		return n
+	}
+	if v := get("name"); v.scalar != "demo" {
+		t.Errorf("name = %q (trailing comment must strip)", v.scalar)
+	}
+	if v := get("count"); v.scalar != "42" {
+		t.Errorf("count = %q", v.scalar)
+	}
+	if v := get("nested").vals["deeper"].vals["leaf"]; v.scalar != "7" {
+		t.Errorf("nested.deeper.leaf = %q", v.scalar)
+	}
+	if items := get("list").items; len(items) != 2 || items[1].scalar != "beta" {
+		t.Errorf("list = %v", items)
+	}
+	compact := get("compact").items
+	if len(compact) != 2 {
+		t.Fatalf("compact has %d items, want 2", len(compact))
+	}
+	if compact[1].vals["name"].scalar != "second" || compact[1].vals["weight"].scalar != "2" {
+		t.Errorf("compact[1] decoded wrong: %v", compact[1].vals)
+	}
+	if items := get("flow_seq").items; len(items) != 3 || items[2].scalar != "3" {
+		t.Errorf("flow_seq = %v", items)
+	}
+	if v := get("flow_map").vals["b"]; v == nil || v.scalar != "two" {
+		t.Errorf("flow_map.b = %v", v)
+	}
+	if v := get("quoted_single"); v.scalar != "it's" || !v.quoted {
+		t.Errorf("quoted_single = %q quoted=%v", v.scalar, v.quoted)
+	}
+	if v := get("quoted_double"); v.scalar != "tab\there" {
+		t.Errorf("quoted_double = %q", v.scalar)
+	}
+	if v := get("hash_in_value"); v.scalar != "a#b" {
+		t.Errorf("hash_in_value = %q ('#' mid-word is not a comment)", v.scalar)
+	}
+	if v := get("empty"); v.kind != nullNode {
+		t.Errorf("empty key kind = %v, want null", v.kind)
+	}
+}
+
+// TestYAMLLineNumbers pins that nodes carry their source line — the
+// whole point of hand-rolling the parser is error messages that name
+// where in the file the problem is.
+func TestYAMLLineNumbers(t *testing.T) {
+	src := "name: x\nnested:\n  leaf: 1\nlist:\n  - a\n"
+	root, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.vals["name"].line; got != 1 {
+		t.Errorf("name on line %d, want 1", got)
+	}
+	if got := root.vals["nested"].vals["leaf"].line; got != 3 {
+		t.Errorf("nested.leaf on line %d, want 3", got)
+	}
+	if got := root.vals["list"].items[0].line; got != 5 {
+		t.Errorf("list[0] on line %d, want 5", got)
+	}
+	if got := root.keyLine["nested"]; got != 2 {
+		t.Errorf("keyLine[nested] = %d, want 2", got)
+	}
+}
+
+// TestYAMLParseErrors pins the rejection set, each error naming its line.
+func TestYAMLParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"tab indent", "name: x\n\tbad: y\n", "tab"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"unterminated single quote", "a: 'oops\n", "quote"},
+		{"unterminated flow seq", "a: [1, 2\n", "unterminated flow sequence"},
+		{"unterminated flow map", "a: {x: 1\n", "unterminated flow mapping"},
+		{"overindented key", "a: 1\n    b: 2\n", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parseYAML(%q): expected an error", tc.src)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "line") {
+				t.Errorf("error %q does not name a line", err)
+			}
+		})
+	}
+}
+
+// TestJSONRoundTrip pins the JSON front end: the same node shapes come
+// out, with numbers kept verbatim via json.Number.
+func TestJSONRoundTrip(t *testing.T) {
+	src := `{"name": "demo", "count": 42, "rate": 0.002, "list": [1, "two"], "flag": true}`
+	root, err := parseJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := root.vals["name"]; v.scalar != "demo" || !v.quoted {
+		t.Errorf("name = %q quoted=%v", v.scalar, v.quoted)
+	}
+	if v := root.vals["rate"]; v.scalar != "0.002" || v.quoted {
+		t.Errorf("rate = %q quoted=%v (numbers must stay unquoted scalars)", v.scalar, v.quoted)
+	}
+	if v := root.vals["flag"]; v.scalar != "true" {
+		t.Errorf("flag = %q", v.scalar)
+	}
+	if items := root.vals["list"].items; len(items) != 2 || !items[1].quoted {
+		t.Errorf("list = %v", items)
+	}
+	if _, err := parseJSON([]byte(`{"a": `)); err == nil {
+		t.Error("truncated JSON: expected an error")
+	}
+}
