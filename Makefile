@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline bench-sweep bench-guard bench-profile golden golden-check scenario-check
+.PHONY: check vet build test race bench bench-baseline bench-sweep bench-guard bench-profile golden golden-check scenario-check serve-check
 
 # check is the gate every change must pass: vet, build, the full test
 # suite, and a race-detector pass over the parallel campaign worker pool
@@ -20,6 +20,7 @@ race:
 	$(GO) test -race ./internal/core/ -run 'Campaign|Sweep|Adaptive|FindRound|OnRound|Aborted|Explore|Fault|Checkpoint|Watchdog|Panic|Fork|Coalesced|Memo|Horizon|EINTR'
 	$(GO) test -race ./internal/experiments/ -run 'Sweep|Adaptive|Fault|Checkpoint'
 	$(GO) test -race ./internal/scenario/ -run 'Fleet|Equivalent|Checkpoint'
+	$(GO) test -race ./internal/campaignd/
 	$(GO) test -race ./internal/sim/ ./internal/metrics/ ./internal/trace/ ./internal/explore/ ./internal/fault/ ./internal/fs/
 
 # bench runs the per-layer microbenchmarks (see DESIGN.md's Performance
@@ -87,3 +88,11 @@ scenario-check:
 	$(GO) run ./cmd/tocttou -scenario examples/scenarios/fleet.yaml -golden $$tmp && \
 	rm -rf $$tmp && \
 	echo "scenario-check: scenario output matches the experiment goldens"
+
+# serve-check is the campaign service's end-to-end gate — the identical
+# script CI's service job runs: loopback smoke (submit fig6, watch, diff
+# against the golden), the spec-error round-trip, and the kill -9
+# mid-campaign + bit-identical-resume drill. Logs land in a temp dir
+# (override with SERVE_CHECK_LOGS=dir).
+serve-check:
+	bash scripts/serve_check.sh

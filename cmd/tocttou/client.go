@@ -1,0 +1,94 @@
+package main
+
+// Client verbs for a campaignd server (see cmd/tocttoud). The watch
+// verb's contract is the service's headline correctness property: the
+// report it writes to stdout is byte-identical to running the same
+// scenario file locally — progress chatter goes to stderr so stdout
+// diffs clean against golden snapshots.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tocttou/internal/campaignd"
+)
+
+func clientRun(server, submit, watch string, jobs bool) error {
+	c := &campaignd.Client{Server: server}
+	switch {
+	case submit != "":
+		return clientSubmit(c, submit)
+	case watch != "":
+		return clientWatch(c, watch)
+	case jobs:
+		return clientJobs(c)
+	}
+	return fmt.Errorf("no client verb selected")
+}
+
+// clientSubmit posts a scenario file and prints the job, id first, so
+// scripts can capture it: `ID=$(tocttou -server ... -submit f | awk '{print $1}')`.
+func clientSubmit(c *campaignd.Client, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	info, err := c.Submit(filepath.Base(path), data)
+	if err != nil {
+		return err
+	}
+	extra := ""
+	if info.Cached {
+		extra = ", cached"
+	}
+	fmt.Printf("%s %s %s (%d points%s)\n", info.ID, info.State, info.Name, info.Points, extra)
+	return nil
+}
+
+// clientWatch follows a campaign to completion: per-point progress on
+// stderr, the final report verbatim on stdout. A failed campaign or a
+// failed spec assertion is the process's error (non-zero exit), exactly
+// as a local -scenario run behaves.
+func clientWatch(c *campaignd.Client, id string) error {
+	end, err := c.Watch(context.Background(), id, func(ev campaignd.PointEvent) {
+		fmt.Fprintf(os.Stderr, "point %d %s: %d/%d successes (%.1f%%)\n",
+			ev.Point, ev.Label, ev.Successes, ev.Rounds, ev.Rate*100)
+	})
+	if err != nil {
+		return err
+	}
+	if end.State != campaignd.StateDone {
+		return fmt.Errorf("campaign %s %s: %s", id, end.State, end.Error)
+	}
+	report, err := c.Report(id)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stdout.Write(report); err != nil {
+		return err
+	}
+	if end.AssertionFailure != "" {
+		return errors.New(end.AssertionFailure)
+	}
+	return nil
+}
+
+func clientJobs(c *campaignd.Client) error {
+	jobs, err := c.Jobs()
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Println("no campaigns")
+		return nil
+	}
+	fmt.Printf("%-16s %-11s %9s  %-20s %s\n", "ID", "STATE", "POINTS", "NAME", "SUBMITTED")
+	for _, j := range jobs {
+		fmt.Printf("%-16s %-11s %4d/%-4d  %-20s %s\n",
+			j.ID, j.State, j.Committed, j.Points, j.Name, j.SubmittedAt)
+	}
+	return nil
+}

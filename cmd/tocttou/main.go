@@ -88,6 +88,10 @@ func run(args []string) error {
 	faultSeed := fl.Int64("fault-seed", 0, "fault-plan seed for the faultsweep experiment (0 = fixed default)")
 	cpuProfile := fl.String("cpuprofile", "", "write a CPU profile of the selected run to this file")
 	memProfile := fl.String("memprofile", "", "write an end-of-run heap profile to this file")
+	serverURL := fl.String("server", "", "campaignd base URL for the client verbs (-submit, -watch, -jobs)")
+	submitPath := fl.String("submit", "", "submit a scenario file to -server and print the job (id first)")
+	watchID := fl.String("watch", "", "follow a campaign on -server: progress streams to stderr, the completed report to stdout")
+	jobsList := fl.Bool("jobs", false, "list the campaigns -server knows, in submission order")
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
@@ -155,6 +159,33 @@ func run(args []string) error {
 				return fmt.Errorf("-%s does not apply to -scenario runs (the scenario file carries the configuration)", conflicting)
 			}
 		}
+	}
+	// The client verbs talk to a campaignd server; every local-run flag is
+	// a contradiction (the server owns the execution), rejected up front.
+	clientVerbs := 0
+	for _, set := range []bool{*submitPath != "", *watchID != "", *jobsList} {
+		if set {
+			clientVerbs++
+		}
+	}
+	if clientVerbs > 0 || *serverURL != "" {
+		if *serverURL == "" {
+			return fmt.Errorf("-submit, -watch, and -jobs require -server <url>")
+		}
+		if clientVerbs == 0 {
+			return fmt.Errorf("-server requires one of -submit, -watch, -jobs")
+		}
+		if clientVerbs > 1 {
+			return fmt.Errorf("-submit, -watch, and -jobs are mutually exclusive (one verb per invocation)")
+		}
+		for name := range setFlags {
+			switch name {
+			case "server", "submit", "watch", "jobs":
+			default:
+				return fmt.Errorf("-%s does not apply to client-verb runs (the server owns the execution)", name)
+			}
+		}
+		return clientRun(*serverURL, *submitPath, *watchID, *jobsList)
 	}
 	if *adaptive && (*halfWidth <= 0 || *halfWidth >= 1) {
 		return fmt.Errorf("-halfwidth must be strictly between 0 and 1 (a success-rate half-width), got %v", *halfWidth)

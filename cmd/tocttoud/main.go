@@ -1,0 +1,102 @@
+// Command tocttoud serves campaigns over HTTP: clients submit the same
+// declarative scenario files `tocttou -scenario` runs, the daemon shards
+// their sweep points across a bounded worker pool, and every committed
+// point streams to watchers as NDJSON. Jobs are durable — a killed and
+// restarted daemon resumes in-flight campaigns bit-identically from
+// their checkpoints — and identical re-submissions are cache hits.
+//
+// Usage:
+//
+//	tocttoud -listen 127.0.0.1:8080 -data ./tocttoud-data [-max-jobs 2]
+//	tocttoud -listen 127.0.0.1:0 -addr-file addr.txt   (scripts learn the port)
+//
+// SIGTERM or SIGINT drains gracefully: new submissions get 503, running
+// sweeps stop at the next point boundary with their checkpoints flushed,
+// and interrupted jobs resume on the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tocttou/internal/campaignd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "tocttoud: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fl := flag.NewFlagSet("tocttoud", flag.ContinueOnError)
+	listen := fl.String("listen", "127.0.0.1:8080", "address to serve the campaign API on")
+	dataDir := fl.String("data", "tocttoud-data", "durability root: specs, checkpoints, event logs, reports")
+	maxJobs := fl.Int("max-jobs", 0, "max concurrently running campaigns (0 = default 2)")
+	addrFile := fl.String("addr-file", "", "write the bound address to this file once listening (useful with -listen :0)")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fl.Args())
+	}
+	if *maxJobs < 0 {
+		return fmt.Errorf("-max-jobs must be >= 0, got %d", *maxJobs)
+	}
+
+	logger := log.New(os.Stderr, "tocttoud: ", log.LstdFlags|log.Lmicroseconds)
+	srv, err := campaignd.New(campaignd.Config{
+		DataDir:       *dataDir,
+		MaxActiveJobs: *maxJobs,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s (data %s)", ln.Addr(), *dataDir)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("-addr-file: %w", err)
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %v; draining (in-flight points finish committing, checkpoints flush)", sig)
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		logger.Printf("drained; interrupted campaigns resume on the next start")
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

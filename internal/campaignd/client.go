@@ -1,0 +1,232 @@
+package campaignd
+
+// Client for the campaign service. The client side of the headline
+// correctness contract lives here: Watch follows a campaign's event
+// stream across disconnects and server restarts by carrying the event
+// offset in the Last-Point header, so the sequence of point events it
+// delivers — and the final report it fetches — is byte-identical to a
+// local run of the same scenario.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to one campaignd server.
+type Client struct {
+	// Server is the base URL, e.g. "http://127.0.0.1:8080".
+	Server string
+	// HTTP is the underlying client; nil selects http.DefaultClient.
+	HTTP *http.Client
+	// RetryDelay paces Watch's reconnect attempts; 0 selects 500ms.
+	RetryDelay time.Duration
+	// MaxRetries bounds consecutive no-progress reconnects in Watch;
+	// 0 selects 20. Progress (any new event) resets the count.
+	MaxRetries int
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Server, "/") + path
+}
+
+// apiError turns a non-2xx response into an error carrying the body
+// verbatim — for a 400 that is the server's file/line-accurate spec
+// error, identical to what a local -scenario run prints.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	msg := strings.TrimRight(string(body), "\n")
+	if msg == "" {
+		msg = resp.Status
+	}
+	return errors.New(msg)
+}
+
+// Submit posts a scenario spec and returns the job — fresh, joined
+// in-flight, or a cache hit (Cached=true) for a completed identical one.
+func (c *Client) Submit(filename string, spec []byte) (JobInfo, error) {
+	u := c.url("/v1/campaigns")
+	if filename != "" {
+		u += "?filename=" + url.QueryEscape(filename)
+	}
+	resp, err := c.http().Post(u, "application/x-yaml", bytes.NewReader(spec))
+	if err != nil {
+		return JobInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return JobInfo{}, apiError(resp)
+	}
+	var info JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return JobInfo{}, fmt.Errorf("decoding job: %w", err)
+	}
+	return info, nil
+}
+
+// Jobs lists every job the server knows, in submission order.
+func (c *Client) Jobs() ([]JobInfo, error) {
+	resp, err := c.http().Get(c.url("/v1/campaigns"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var out struct {
+		Jobs []JobInfo `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding jobs: %w", err)
+	}
+	return out.Jobs, nil
+}
+
+// Job fetches one job's state.
+func (c *Client) Job(id string) (JobInfo, error) {
+	resp, err := c.http().Get(c.url("/v1/campaigns/" + url.PathEscape(id)))
+	if err != nil {
+		return JobInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobInfo{}, apiError(resp)
+	}
+	var info JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return JobInfo{}, fmt.Errorf("decoding job: %w", err)
+	}
+	return info, nil
+}
+
+// Report fetches a completed campaign's rendering — the exact bytes a
+// local run of the same scenario writes.
+func (c *Client) Report(id string) ([]byte, error) {
+	resp, err := c.http().Get(c.url("/v1/campaigns/" + url.PathEscape(id) + "/report"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Stream follows one events connection from *last, invoking onEvent per
+// point and advancing *last past each delivered event. It returns the
+// stream's end event, or nil with an error when the connection broke
+// before one arrived (the caller reconnects from the updated *last).
+func (c *Client) Stream(ctx context.Context, id string, last *int, onEvent func(PointEvent)) (*EndEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.url("/v1/campaigns/"+url.PathEscape(id)+"/events"), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Last-Point", strconv.Itoa(*last))
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			return nil, fmt.Errorf("malformed event: %w", err)
+		}
+		switch kind.Type {
+		case "point":
+			var ev PointEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return nil, fmt.Errorf("malformed point event: %w", err)
+			}
+			*last++
+			if onEvent != nil {
+				onEvent(ev)
+			}
+		case "end":
+			var end EndEvent
+			if err := json.Unmarshal(line, &end); err != nil {
+				return nil, fmt.Errorf("malformed end event: %w", err)
+			}
+			return &end, nil
+		default:
+			return nil, fmt.Errorf("unknown event type %q", kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, errors.New("stream ended without an end event")
+}
+
+// Watch follows a campaign to a settled outcome, reconnecting through
+// dropped connections, server drains, and restarts. The Last-Point
+// offset carries across every reconnect, so onEvent sees each committed
+// point exactly once, in log order, no matter how many times the
+// connection (or the server) dies. It returns the end event for state
+// "done" or "failed"; "interrupted" streams are retried, since a
+// restarted server resumes the campaign.
+func (c *Client) Watch(ctx context.Context, id string, onEvent func(PointEvent)) (*EndEvent, error) {
+	delay := c.RetryDelay
+	if delay <= 0 {
+		delay = 500 * time.Millisecond
+	}
+	maxRetries := c.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 20
+	}
+	last := 0
+	attempts := 0
+	var lastErr error
+	for {
+		before := last
+		end, err := c.Stream(ctx, id, &last, onEvent)
+		if end != nil && (end.State == StateDone || end.State == StateFailed) {
+			return end, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if err != nil {
+			lastErr = err
+		} else if end != nil {
+			lastErr = fmt.Errorf("campaign %s (awaiting resume)", end.State)
+		}
+		if last > before {
+			attempts = 0 // progress: the campaign is alive, keep following
+		} else if attempts++; attempts >= maxRetries {
+			return nil, fmt.Errorf("watch %s: giving up after %d attempts: %w", id, attempts, lastErr)
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

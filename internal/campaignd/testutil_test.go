@@ -1,0 +1,38 @@
+package campaignd
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"testing"
+)
+
+func copyBody(dst io.Writer, resp *http.Response) (int64, error) {
+	return io.Copy(dst, resp.Body)
+}
+
+// tearEventLog simulates a kill -9 landing mid-append on a finished
+// job's directory: the event log loses part of its final line, and
+// state.json reverts to "running" as a crashed server would leave it.
+func tearEventLog(t *testing.T, j *job) {
+	t.Helper()
+	data, err := os.ReadFile(j.eventsPath())
+	if err != nil {
+		t.Fatalf("reading event log: %v", err)
+	}
+	if len(data) < 10 {
+		t.Fatalf("event log too short to tear (%d bytes)", len(data))
+	}
+	if err := os.WriteFile(j.eventsPath(), data[:len(data)-10], 0o644); err != nil {
+		t.Fatalf("tearing event log: %v", err)
+	}
+	info := j.snapshot()
+	info.State = StateRunning
+	info.Error = ""
+	if err := writeJSONAtomic(j.statePath(), info); err != nil {
+		t.Fatalf("rewriting state: %v", err)
+	}
+	if err := os.Remove(j.reportPath()); err != nil && !os.IsNotExist(err) {
+		t.Fatalf("removing report: %v", err)
+	}
+}

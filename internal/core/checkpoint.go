@@ -89,7 +89,14 @@ func RunSweepPointsCheckpoint(points []SweepPoint, opt SweepOptions, path string
 	var remapped []int // remapped[subIdx] = original point index
 	restoredCopies := 0
 	for i, p := range points {
-		if _, ok := done[i]; ok {
+		if res, ok := done[i]; ok {
+			// Restored points replay through the public completion hook in
+			// ascending index order, before any simulation: a resumed sweep's
+			// observer (the campaign service's event stream) sees every
+			// point exactly once, whether it was simulated this run or last.
+			if opt.OnPointDone != nil {
+				opt.OnPointDone(i, res)
+			}
 			continue
 		}
 		if memoOK && p.Rounds > 0 {
@@ -97,6 +104,9 @@ func RunSweepPointsCheckpoint(points []SweepPoint, opt SweepOptions, path string
 				if res, hit := restored[k]; hit {
 					results[i] = res
 					w.flush(i, res)
+					if opt.OnPointDone != nil {
+						opt.OnPointDone(i, res)
+					}
 					restoredCopies++
 					continue
 				}
@@ -114,8 +124,13 @@ func RunSweepPointsCheckpoint(points []SweepPoint, opt SweepOptions, path string
 	}
 
 	sub := opt
+	user := opt.OnPointDone
+	sub.OnPointDone = nil // re-dispatched below with the caller's indices
 	sub.onPointDone = func(p int, res CampaignResult) {
 		w.flush(remapped[p], res)
+		if user != nil {
+			user(remapped[p], res)
+		}
 	}
 	subRes, st, err := RunSweepPoints(remaining, sub)
 	st.PointsMemoized += restoredCopies
@@ -135,6 +150,16 @@ func RunSweepPointsCheckpoint(points []SweepPoint, opt SweepOptions, path string
 		results[remapped[si]] = r
 	}
 	return results, st, nil
+}
+
+// SweepFingerprint is the FNV-1a hash of a sweep's result-determining
+// configuration — the same value the checkpoint file embeds. External
+// result stores (the campaign service's completed-job cache) key on it:
+// two sweeps with equal fingerprints run bit-identical campaigns, modulo
+// the code-valued hooks the hash cannot see (SuccessCheck, NewGuard,
+// Chooser — it records only their presence).
+func SweepFingerprint(points []SweepPoint, ad AdaptiveStop) uint64 {
+	return sweepFingerprint(points, ad)
 }
 
 // sweepFingerprint hashes the sweep-shaping configuration: everything

@@ -84,6 +84,26 @@ type SweepOptions struct {
 	// alias a worker's reused trace buffer) and the Round must not be
 	// retained past the call.
 	OnRound func(point, round int, r Round)
+	// OnPointDone, when non-nil, observes each point the moment its last
+	// round commits (full budget spent or adaptive rule satisfied), with
+	// the caller's point index. It fires exactly once per completed
+	// point, under that point's fold lock; calls for different points
+	// may be concurrent, and points cut short by cancellation or
+	// Interrupt never fire. Unlike OnRound it composes with sweep-point
+	// memoization: a memoized duplicate fires the moment its
+	// representative completes, with the duplicate's own index. Under
+	// RunSweepPointsCheckpoint it additionally replays restored points
+	// (ascending index order, before any simulation), so a resumed sweep
+	// reports every point exactly once — the streaming seam the campaign
+	// service is built on.
+	OnPointDone func(point int, res CampaignResult)
+	// Interrupt, when non-nil, requests a graceful mid-sweep stop the
+	// moment it is closed: workers stop claiming rounds, in-flight
+	// rounds finish and commit, and the sweep returns
+	// ErrSweepInterrupted. Points that completed before the interrupt
+	// have already reached OnPointDone (and, under checkpointing, the
+	// checkpoint file), so an interrupted sweep resumes bit-identically.
+	Interrupt <-chan struct{}
 	// onPointDone, when non-nil, observes each point the moment its last
 	// round commits (full budget spent or adaptive rule satisfied), under
 	// that point's fold lock. It fires exactly once per completed point
@@ -114,10 +134,11 @@ type SweepStats struct {
 	PointsMemoized int
 }
 
-// ErrSweepInterrupted reports a sweep that stopped deliberately after a
-// requested number of completed points (the checkpoint tests' simulated
-// crash), with every result committed so far already flushed through
-// onPointDone. It is not a round failure: no SweepError wraps it.
+// ErrSweepInterrupted reports a sweep that stopped deliberately — the
+// Interrupt channel closed (a draining server), or the checkpoint tests'
+// simulated crash after a requested number of completed points — with
+// every result committed so far already flushed through the completion
+// hooks. It is not a round failure: no SweepError wraps it.
 var ErrSweepInterrupted = errors.New("core: sweep interrupted")
 
 // SweepError reports the sweep point and round whose simulation failed.
@@ -157,6 +178,20 @@ func RunSweep(scs []Scenario, rounds int, opt SweepOptions) ([]CampaignResult, e
 // configuration and identical round budgets — are simulated once and
 // share the result (see memo.go for the exact conditions).
 func RunSweepPoints(points []SweepPoint, opt SweepOptions) ([]CampaignResult, SweepStats, error) {
+	// The public completion hook folds into the internal one so a single
+	// dispatch point (fold, plus the memo fan-out below) serves both; the
+	// checkpoint runner clears OnPointDone before its sub-sweep and
+	// re-dispatches with original indices itself.
+	if opt.OnPointDone != nil {
+		user, inner := opt.OnPointDone, opt.onPointDone
+		opt.OnPointDone = nil
+		opt.onPointDone = func(p int, res CampaignResult) {
+			if inner != nil {
+				inner(p, res)
+			}
+			user(p, res)
+		}
+	}
 	// Budgets are validated before memoization so the reported index is
 	// the caller's grid coordinate, never a post-dedupe dense index.
 	for i, p := range points {
@@ -300,6 +335,20 @@ func (r *sweepRun) runOn(st *roundState) {
 // barrier in between.
 func (r *sweepRun) work(st *roundState) {
 	for !r.cancel.Load() {
+		if r.opt.Interrupt != nil {
+			select {
+			case <-r.opt.Interrupt:
+				// Graceful stop: claim no further rounds. Rounds already in
+				// flight on other workers still commit (commit ignores the
+				// cancel flag), so a point whose last round is mid-simulation
+				// completes and reaches the completion hooks before the sweep
+				// drains.
+				r.interrupted.Store(true)
+				r.cancel.Store(true)
+				return
+			default:
+			}
+		}
 		t := r.next.Add(1) - 1
 		if t >= r.total {
 			return

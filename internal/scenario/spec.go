@@ -136,6 +136,16 @@ func Load(path string) (*Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
+	return LoadBytes(path, data)
+}
+
+// LoadBytes parses and validates scenario bytes exactly as Load would
+// parse the file at path: the extension selects the format and every
+// error names path, the offending key, and (for YAML) the source line.
+// It is the seam the campaign service decodes submissions through, so a
+// server-side rejection carries the identical message a local
+// `tocttou -scenario` run prints.
+func LoadBytes(path string, data []byte) (*Spec, error) {
 	spec, err := Parse(data, strings.HasSuffix(path, ".json"))
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", path, err)

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# serve_check.sh — the campaign service's end-to-end gate, run by both
+# `make serve-check` and CI's service job (same script, same assertions).
+#
+# Phase 1 (equivalence): build tocttoud + tocttou, start the daemon on a
+# loopback port, submit examples/scenarios/fig6.yaml, stream it with
+# -watch, and diff the watched report against the committed golden —
+# byte-identical is the service's headline correctness contract.
+#
+# Phase 2 (durability): submit the seconds-long service-kill campaign,
+# wait until points are committed on both sides of a cut, kill -9 the
+# daemon mid-campaign, restart it over the same data directory, watch
+# the resumed campaign to completion, and diff the report against an
+# uninterrupted local run of the same scenario file — bit-identical
+# resume. A re-submission of the finished campaign must be a cache hit.
+#
+# Logs land in $SERVE_CHECK_LOGS (default: a fresh temp dir, printed on
+# failure); CI uploads that directory as an artifact when the job fails.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+LOGS="${SERVE_CHECK_LOGS:-$(mktemp -d /tmp/serve-check.XXXXXX)}"
+mkdir -p "$LOGS"
+WORK="$(mktemp -d /tmp/serve-check-work.XXXXXX)"
+DATA="$WORK/data"
+DAEMON_PID=""
+
+fail() {
+    echo "serve-check: FAIL: $*" >&2
+    echo "serve-check: logs in $LOGS" >&2
+    exit 1
+}
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# start_daemon <logfile>: launches tocttoud over $DATA on an ephemeral
+# port, waits for the address file, and sets DAEMON_PID and SERVER.
+start_daemon() {
+    local logfile="$1"
+    rm -f "$WORK/addr.txt"
+    "$WORK/tocttoud" -listen 127.0.0.1:0 -data "$DATA" -addr-file "$WORK/addr.txt" \
+        >>"$LOGS/$logfile" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$WORK/addr.txt" ] && break
+        kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited at startup (see $LOGS/$logfile)"
+        sleep 0.1
+    done
+    [ -s "$WORK/addr.txt" ] || fail "daemon never wrote its address file"
+    SERVER="http://$(cat "$WORK/addr.txt")"
+    echo "serve-check: daemon pid $DAEMON_PID at $SERVER"
+}
+
+# committed <id>: prints the job's committed-point count.
+committed() {
+    "$WORK/tocttou" -server "$SERVER" -jobs 2>/dev/null \
+        | awk -v id="$1" '$1 == id { split($3, a, "/"); print a[1] }'
+}
+
+echo "serve-check: building binaries"
+go build -o "$WORK/tocttoud" ./cmd/tocttoud || fail "building tocttoud"
+go build -o "$WORK/tocttou" ./cmd/tocttou || fail "building tocttou"
+
+# ---- Phase 1: submit fig6, watch, diff against the committed golden ----
+start_daemon tocttoud-phase1.log
+
+SUBMIT=$("$WORK/tocttou" -server "$SERVER" -submit examples/scenarios/fig6.yaml) \
+    || fail "submitting fig6"
+FIG6_ID=$(echo "$SUBMIT" | awk '{print $1}')
+echo "serve-check: fig6 submitted as $FIG6_ID"
+
+"$WORK/tocttou" -server "$SERVER" -watch "$FIG6_ID" \
+    >"$LOGS/fig6-watched.txt" 2>"$LOGS/fig6-progress.txt" \
+    || fail "watching fig6 (see $LOGS/fig6-progress.txt)"
+diff -u testdata/golden/fig6.txt "$LOGS/fig6-watched.txt" \
+    || fail "watched fig6 report is not byte-identical to the golden"
+echo "serve-check: watched fig6 report is byte-identical to the golden"
+
+# A malformed spec's 400 body must be the exact message a local run prints.
+printf 'name: broken\nfrobnicate: 1\n' >"$WORK/broken.yaml"
+SERVER_ERR=$("$WORK/tocttou" -server "$SERVER" -submit "$WORK/broken.yaml" 2>&1)
+[ $? -ne 0 ] || fail "server accepted a malformed spec"
+# The client submits the file's basename, so invoke the local reference
+# with the same relative name to get the identical path in the message.
+LOCAL_ERR=$(cd "$WORK" && ./tocttou -scenario broken.yaml 2>&1)
+[ "$SERVER_ERR" = "$LOCAL_ERR" ] \
+    || fail "spec errors diverged:"$'\n'"  server: $SERVER_ERR"$'\n'"  local:  $LOCAL_ERR"
+echo "serve-check: malformed-spec error round-trips byte-identically"
+
+# ---- Phase 2: kill -9 mid-campaign, restart, assert bit-identical resume ----
+SUBMIT=$("$WORK/tocttou" -server "$SERVER" -submit examples/scenarios/service-kill.yaml) \
+    || fail "submitting service-kill"
+KILL_ID=$(echo "$SUBMIT" | awk '{print $1}')
+TOTAL=$(echo "$SUBMIT" | sed -n 's/.*(\([0-9]*\) points.*/\1/p')
+echo "serve-check: service-kill submitted as $KILL_ID ($TOTAL points)"
+
+# Wait for a genuine mid-campaign state: >=2 points committed, <TOTAL.
+DONE=0
+for _ in $(seq 1 600); do
+    DONE=$(committed "$KILL_ID")
+    DONE=${DONE:-0}
+    [ "$DONE" -ge 2 ] && break
+    sleep 0.05
+done
+[ "$DONE" -ge 2 ] || fail "no points committed within 30s (see $LOGS/tocttoud-phase1.log)"
+[ "$DONE" -lt "$TOTAL" ] || fail "campaign finished before the kill; grow service-kill.yaml's rounds"
+echo "serve-check: killing daemon with $DONE/$TOTAL points committed"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+
+start_daemon tocttoud-phase2.log
+"$WORK/tocttou" -server "$SERVER" -watch "$KILL_ID" \
+    >"$LOGS/service-kill-watched.txt" 2>"$LOGS/service-kill-progress.txt" \
+    || fail "watching resumed service-kill (see $LOGS/service-kill-progress.txt)"
+
+# The reference: an uninterrupted local run of the very same file.
+go run ./cmd/tocttou -scenario examples/scenarios/service-kill.yaml -golden "$WORK/golden" \
+    >/dev/null || fail "local service-kill reference run"
+diff -u "$WORK/golden/service-kill.txt" "$LOGS/service-kill-watched.txt" \
+    || fail "resumed report is not bit-identical to the uninterrupted local run"
+echo "serve-check: resumed report is bit-identical to the uninterrupted local run"
+
+# The finished campaign's identity is content-derived: resubmitting the
+# same file is a cache hit, not a re-run.
+RESUBMIT=$("$WORK/tocttou" -server "$SERVER" -submit examples/scenarios/service-kill.yaml) \
+    || fail "resubmitting service-kill"
+echo "$RESUBMIT" | grep -q "cached" || fail "resubmit was not served from the completed store: $RESUBMIT"
+echo "$RESUBMIT" | awk '{print $1}' | grep -qx "$KILL_ID" || fail "resubmit minted a new job id: $RESUBMIT"
+echo "serve-check: identical resubmission is a cache hit"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+echo "serve-check: PASS"
