@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline bench-sweep bench-guard bench-profile golden golden-check scenario-check serve-check
+.PHONY: check vet build test race bench bench-baseline bench-sweep bench-guard bench-profile golden golden-check scenario-check serve-check chaos-check
 
 # check is the gate every change must pass: vet, build, the full test
 # suite, and a race-detector pass over the parallel campaign worker pool
@@ -21,6 +21,7 @@ race:
 	$(GO) test -race ./internal/experiments/ -run 'Sweep|Adaptive|Fault|Checkpoint'
 	$(GO) test -race ./internal/scenario/ -run 'Fleet|Equivalent|Checkpoint'
 	$(GO) test -race ./internal/campaignd/
+	$(GO) test -race ./internal/workerpool/
 	$(GO) test -race ./internal/sim/ ./internal/metrics/ ./internal/trace/ ./internal/explore/ ./internal/fault/ ./internal/fs/
 
 # bench runs the per-layer microbenchmarks (see DESIGN.md's Performance
@@ -96,3 +97,13 @@ scenario-check:
 # (override with SERVE_CHECK_LOGS=dir).
 serve-check:
 	bash scripts/serve_check.sh
+
+# chaos-check is the worker fleet's chaos gate — the identical script
+# CI's chaos job runs: tocttoud under -workers with a TOCTTOU_CHAOS
+# schedule that kills every initial worker (crash, torn write, stall,
+# crash-between-commit-and-ack) must still produce a fig6 report
+# byte-identical to the golden with no double-counted lease, and a
+# poison point must be quarantined while the other points complete.
+# Logs land in a temp dir (override with CHAOS_CHECK_LOGS=dir).
+chaos-check:
+	bash scripts/chaos_check.sh

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fleet flags are validated at parse time, before the daemon binds
+// its listener or touches the data directory; every rejected value must
+// name the offending flag so the error is actionable.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"negative max-jobs",
+			[]string{"-max-jobs", "-1"},
+			"-max-jobs",
+		},
+		{
+			"negative workers",
+			[]string{"-workers", "-2"},
+			"-workers must be >= 0",
+		},
+		{
+			"zero heartbeat",
+			[]string{"-workers", "2", "-heartbeat-interval", "0s"},
+			"-heartbeat-interval must be > 0",
+		},
+		{
+			"zero lease timeout",
+			[]string{"-workers", "2", "-lease-timeout", "0s"},
+			"-lease-timeout must be > 0",
+		},
+		{
+			"lease timeout not exceeding heartbeat",
+			[]string{"-workers", "2", "-heartbeat-interval", "1s", "-lease-timeout", "1s"},
+			"must exceed -heartbeat-interval",
+		},
+		{
+			"zero point retries",
+			[]string{"-workers", "2", "-max-point-retries", "0"},
+			"-max-point-retries must be > 0",
+		},
+		{
+			"fleet flags validated without workers too",
+			[]string{"-max-point-retries", "-3"},
+			"-max-point-retries must be > 0",
+		},
+		{
+			"positional arguments",
+			[]string{"extra"},
+			"unexpected arguments",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) = %q, want it to mention %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// A malformed TOCTTOU_CHAOS schedule fails the daemon at startup with
+// the grammar error, instead of failing every worker it later spawns.
+func TestRunRejectsBadChaosSchedule(t *testing.T) {
+	t.Setenv("TOCTTOU_CHAOS", "explode@1")
+	err := run([]string{"-workers", "2", "-data", t.TempDir(), "-listen", "127.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "TOCTTOU_CHAOS") || !strings.Contains(err.Error(), "unknown action") {
+		t.Fatalf("run with bad TOCTTOU_CHAOS = %v, want a schedule parse error", err)
+	}
+}

@@ -72,6 +72,10 @@ type JobInfo struct {
 	// AssertionFailure carries the first failed spec assertion for an
 	// otherwise completed campaign (the report still renders).
 	AssertionFailure string `json:"assertion_failure,omitempty"`
+	// Quarantined lists poison point indices a worker fleet set aside
+	// after repeated worker kills (fleet mode only): the campaign is done,
+	// but these points have no committed result.
+	Quarantined []int `json:"quarantined,omitempty"`
 }
 
 // PointEvent is one committed sweep point on the NDJSON event stream.
@@ -101,6 +105,7 @@ type EndEvent struct {
 	Error            string `json:"error,omitempty"`
 	Watchdog         bool   `json:"watchdog,omitempty"`
 	AssertionFailure string `json:"assertion_failure,omitempty"`
+	Quarantined      []int  `json:"quarantined,omitempty"`
 }
 
 // job is the server-side state of one campaign.
@@ -180,6 +185,7 @@ func (j *job) endEventLocked() json.RawMessage {
 		Error:            j.info.Error,
 		Watchdog:         j.info.Watchdog,
 		AssertionFailure: j.info.AssertionFailure,
+		Quarantined:      j.info.Quarantined,
 	}
 	data, err := json.Marshal(ev)
 	if err != nil {

@@ -48,6 +48,7 @@ import (
 
 	"tocttou/internal/core"
 	"tocttou/internal/scenario"
+	"tocttou/internal/workerpool"
 )
 
 // Config tunes a Server.
@@ -57,6 +58,25 @@ type Config struct {
 	// MaxActiveJobs bounds concurrently running campaigns (each one
 	// shards its points over the shared round pool); 0 selects 2.
 	MaxActiveJobs int
+	// Workers, when positive, executes each campaign's points in a
+	// supervised fleet of worker subprocesses (internal/workerpool)
+	// launched via WorkerCommand instead of in-process — one panicking
+	// or runaway point can then kill only its worker, never the daemon
+	// or the other campaigns. MaxActiveJobs still bounds concurrent
+	// campaigns; each running campaign gets its own fleet.
+	Workers int
+	// WorkerCommand is the argv launching one worker (typically the
+	// daemon's own binary with -worker); required when Workers > 0.
+	WorkerCommand []string
+	// WorkerEnv is extra environment for workers (e.g. a TOCTTOU_CHAOS
+	// schedule in soaks).
+	WorkerEnv []string
+	// HeartbeatInterval, LeaseTimeout, and MaxPointRetries tune fleet
+	// supervision; zero values select workerpool's defaults (100ms,
+	// 10s, 3).
+	HeartbeatInterval time.Duration
+	LeaseTimeout      time.Duration
+	MaxPointRetries   int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -77,6 +97,12 @@ type Server struct {
 	memoHits        atomic.Int64 // submits served from the completed store
 	pointsCommitted atomic.Int64
 
+	// Fleet supervision counters, aggregated across campaigns (zero
+	// when Workers == 0).
+	workerRestarts atomic.Int64
+	leasesRequeued atomic.Int64
+	pointsDeduped  atomic.Int64
+
 	slots chan struct{}  // MaxActiveJobs tokens
 	wg    sync.WaitGroup // running job goroutines
 }
@@ -87,6 +113,9 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.MaxActiveJobs <= 0 {
 		cfg.MaxActiveJobs = 2
+	}
+	if cfg.Workers > 0 && len(cfg.WorkerCommand) == 0 {
+		return nil, fmt.Errorf("campaignd: Workers > 0 requires a WorkerCommand")
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -317,6 +346,10 @@ func (s *Server) runJob(j *job) {
 	if err := j.setState(func(info *JobInfo) { info.State = StateRunning }); err != nil {
 		s.cfg.Logf("campaignd: job %s: persisting running state: %v", j.id, err)
 	}
+	if s.cfg.Workers > 0 {
+		s.runJobFleet(j)
+		return
+	}
 
 	var logErr atomic.Value
 	opt := core.SweepOptions{
@@ -350,14 +383,16 @@ func (s *Server) runJob(j *job) {
 			info.Watchdog = strings.Contains(err.Error(), "core: watchdog:")
 		})
 	default:
-		s.finishDone(j, results, stats)
+		s.finishDone(j, results, stats, nil)
 	}
 }
 
 // finishDone renders the completed campaign's report — the bytes a local
 // `tocttou -scenario` golden snapshot would hold — persists it, and
-// evaluates the spec's assertions.
-func (s *Server) finishDone(j *job, results []core.CampaignResult, stats core.SweepStats) {
+// evaluates the spec's assertions. Quarantined points (fleet mode only)
+// are appended after the rendering so an unchaosed report stays
+// byte-identical to the local golden.
+func (s *Server) finishDone(j *job, results []core.CampaignResult, stats core.SweepStats, quarantined []workerpool.Quarantine) {
 	out := &scenario.Outcome{Spec: j.spec, Compiled: j.compiled, Results: results, Stats: stats}
 	var buf strings.Builder
 	if err := out.Render(&buf); err != nil {
@@ -368,6 +403,9 @@ func (s *Server) finishDone(j *job, results []core.CampaignResult, stats core.Sw
 		return
 	}
 	report := []byte(buf.String())
+	if len(quarantined) > 0 {
+		report = append(report, renderQuarantine(j, quarantined)...)
+	}
 	if err := writeFileAtomic(j.reportPath(), report); err != nil {
 		s.settle(j, func(info *JobInfo) {
 			info.State = StateFailed
@@ -386,8 +424,24 @@ func (s *Server) finishDone(j *job, results []core.CampaignResult, stats core.Sw
 		info.State = StateDone
 		info.Memoized = stats.PointsMemoized
 		info.AssertionFailure = assertion
+		info.Quarantined = nil
+		for _, q := range quarantined {
+			info.Quarantined = append(info.Quarantined, q.Point)
+		}
 	})
-	s.cfg.Logf("campaignd: job %s done (%d points, %d memoized)", j.id, len(results), stats.PointsMemoized)
+	s.cfg.Logf("campaignd: job %s done (%d points, %d memoized, %d quarantined)", j.id, len(results), stats.PointsMemoized, len(quarantined))
+}
+
+// renderQuarantine is the report appendix describing poison points: the
+// campaign completed around them, but they have no committed result and
+// the grid rows render zeros.
+func renderQuarantine(j *job, qs []workerpool.Quarantine) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nquarantined points: %d of %d (no committed result; each killed workers until set aside)\n", len(qs), len(j.compiled.Points))
+	for _, q := range qs {
+		fmt.Fprintf(&b, "  point %d (%s): blamed for %d worker kills\n", q.Point, j.compiled.Meta[q.Point].Label, q.Kills)
+	}
+	return []byte(b.String())
 }
 
 // settle applies a terminal transition and logs a persistence failure
@@ -527,8 +581,19 @@ type Stats struct {
 	PointsPerSec    float64        `json:"points_per_sec"`
 	MemoHits        int64          `json:"memo_hits"`
 	PointsMemoized  int            `json:"points_memoized"`
-	Draining        bool           `json:"draining"`
-	UptimeSec       float64        `json:"uptime_sec"`
+	// Fleet supervision counters (always present; zero in-process).
+	// WorkerRestarts counts worker replacements after crashes/stalls;
+	// LeasesRequeued counts leases a worker death sent back to the
+	// queue; PointsDeduped counts committed points a dead worker's lease
+	// would have double-counted (the exactly-once seam, the fleet
+	// analogue of PointsMemoized); PointsQuarantined counts poison
+	// points set aside across all jobs.
+	WorkerRestarts    int64   `json:"worker_restarts"`
+	LeasesRequeued    int64   `json:"leases_requeued"`
+	PointsDeduped     int64   `json:"points_deduped"`
+	PointsQuarantined int     `json:"points_quarantined"`
+	Draining          bool    `json:"draining"`
+	UptimeSec         float64 `json:"uptime_sec"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -538,10 +603,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		info := j.snapshot()
 		st.Jobs[info.State]++
 		st.PointsMemoized += info.Memoized
+		st.PointsQuarantined += len(info.Quarantined)
 	}
 	s.mu.Unlock()
 	st.PointsCommitted = s.pointsCommitted.Load()
 	st.MemoHits = s.memoHits.Load()
+	st.WorkerRestarts = s.workerRestarts.Load()
+	st.LeasesRequeued = s.leasesRequeued.Load()
+	st.PointsDeduped = s.pointsDeduped.Load()
 	st.UptimeSec = time.Since(s.started).Seconds()
 	if st.UptimeSec > 0 {
 		st.PointsPerSec = float64(st.PointsCommitted) / st.UptimeSec

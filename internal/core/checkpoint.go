@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"sort"
 	"sync"
@@ -169,22 +170,30 @@ func sweepFingerprint(points []SweepPoint, ad AdaptiveStop) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "v%d n=%d adaptive=%v|", checkpointVersion, len(points), ad)
 	for _, p := range points {
-		sc := p.Scenario
-		victim, attacker := "", ""
-		if sc.Victim != nil {
-			victim = sc.Victim.Name()
-		}
-		if sc.Attacker != nil {
-			attacker = sc.Attacker.Name()
-		}
-		fmt.Fprintf(h, "r=%d m=%s/%d v=%s a=%s sys=%s size=%d seed=%d trace=%v su=%v uid=%d gid=%d load=%d nice=%d chooser=%v ph=%d ns=%v sb=%d hz=%v wd=%v faults=%v|",
-			p.Rounds, sc.Machine.Name, sc.Machine.CPUs, victim, attacker,
-			sc.UseSyscall, sc.FileSize, sc.Seed, sc.Trace, sc.VictimStartupMax,
-			sc.AttackerUID, sc.AttackerGID, sc.LoadThreads, sc.AttackerNice,
-			sc.Chooser != nil, sc.PhaseSlots, sc.NoiseSlots, sc.StallBound,
-			sc.Horizon, sc.Watchdog, sc.Faults)
+		hashPoint(h, p)
 	}
 	return h.Sum64()
+}
+
+// hashPoint writes one point's result-determining record into a
+// fingerprint hash — the shared unit of sweepFingerprint and the
+// exported per-point PointFingerprint (subset.go), so the two can never
+// drift apart.
+func hashPoint(h io.Writer, p SweepPoint) {
+	sc := p.Scenario
+	victim, attacker := "", ""
+	if sc.Victim != nil {
+		victim = sc.Victim.Name()
+	}
+	if sc.Attacker != nil {
+		attacker = sc.Attacker.Name()
+	}
+	fmt.Fprintf(h, "r=%d m=%s/%d v=%s a=%s sys=%s size=%d seed=%d trace=%v su=%v uid=%d gid=%d load=%d nice=%d chooser=%v ph=%d ns=%v sb=%d hz=%v wd=%v faults=%v|",
+		p.Rounds, sc.Machine.Name, sc.Machine.CPUs, victim, attacker,
+		sc.UseSyscall, sc.FileSize, sc.Seed, sc.Trace, sc.VictimStartupMax,
+		sc.AttackerUID, sc.AttackerGID, sc.LoadThreads, sc.AttackerNice,
+		sc.Chooser != nil, sc.PhaseSlots, sc.NoiseSlots, sc.StallBound,
+		sc.Horizon, sc.Watchdog, sc.Faults)
 }
 
 // loadCheckpoint reads and validates an existing checkpoint file. A
@@ -270,4 +279,61 @@ func (w *checkpointWriter) firstErr() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.err
+}
+
+// CheckpointStore exposes the sweep checkpoint file to an external
+// scheduler — the campaign service's worker-fleet supervisor, which
+// commits points as lease results arrive instead of through a single
+// in-process sweep. OpenCheckpoint validates the file against the sweep
+// configuration exactly as RunSweepPointsCheckpoint would, and Flush
+// makes one more completed point durable with the same atomic-replace
+// discipline, so a file written through a CheckpointStore and one
+// written by RunSweepPointsCheckpoint over the same points are
+// interchangeable: either runner resumes from either file.
+type CheckpointStore struct {
+	w        *checkpointWriter
+	restored map[int]CampaignResult
+}
+
+// OpenCheckpoint opens (or implicitly creates) the checkpoint at path
+// for the given sweep grid. A file written for a different sweep is
+// rejected by fingerprint, never merged. Flush is safe for concurrent
+// use; write errors are sticky and surface from every later Flush.
+func OpenCheckpoint(path string, points []SweepPoint, ad AdaptiveStop) (*CheckpointStore, error) {
+	if path == "" {
+		return nil, fmt.Errorf("core: checkpoint: empty path")
+	}
+	fp := sweepFingerprint(points, ad)
+	done, err := loadCheckpoint(path, fp, len(points))
+	if err != nil {
+		return nil, err
+	}
+	restored := make(map[int]CampaignResult, len(done))
+	for i, r := range done {
+		restored[i] = r
+	}
+	return &CheckpointStore{
+		w:        &checkpointWriter{path: path, fp: fp, points: len(points), done: done},
+		restored: restored,
+	}, nil
+}
+
+// Restored returns the completions the file held when opened, keyed by
+// point index. The caller owns the map; it is a copy, unaffected by
+// later Flush calls.
+func (c *CheckpointStore) Restored() map[int]CampaignResult { return c.restored }
+
+// Flush records one completed point and atomically rewrites the file.
+// It returns the store's first write error (sticky, as in the
+// checkpointed sweep runner: a checkpoint that cannot be written means
+// the crash-safety the caller asked for is gone).
+func (c *CheckpointStore) Flush(point int, res CampaignResult) error {
+	if point < 0 || point >= c.w.points {
+		return fmt.Errorf("core: checkpoint: point %d out of range [0, %d)", point, c.w.points)
+	}
+	c.w.flush(point, res)
+	if err := c.w.firstErr(); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,177 @@
+package workerpool
+
+// Deterministic chaos injection for crash-recovery soaks. A worker
+// parses the TOCTTOU_CHAOS environment variable into a Schedule and
+// consults it around every leased point; the supervisor never sees the
+// schedule — it must survive whatever the workers do to themselves,
+// which is the point of the drill.
+//
+// Grammar (semicolon-separated directives):
+//
+//	schedule  := directive (';' directive)*
+//	directive := [ 'w' ID ':' ] action '@' trigger
+//	action    := 'crash' | 'crash-after' | 'stall' | 'torn' | 'exit' [ '=' code ]
+//	trigger   := N | 'point=' I
+//
+// 'wID:' scopes a directive to the worker whose TOCTTOU_WORKER_ID is
+// ID. Worker ids are spawn-incarnation counters — a restarted worker
+// gets a fresh id — so a scoped directive fires at most once per
+// campaign, which is what lets a soak kill "each worker once" and still
+// terminate. An unscoped directive applies to every worker, including
+// replacements.
+//
+// The trigger N fires on the Nth point the worker begins executing
+// (1-based, counted across leases); 'point=I' fires whenever the worker
+// reaches global point index I. An unscoped 'crash@point=I' is the
+// poison-point schedule: every worker that leases point I dies there,
+// until the supervisor quarantines it.
+//
+// Actions:
+//
+//	crash        exit(11) before simulating the point
+//	crash-after  simulate and commit the point's result, then exit(12)
+//	             before the lease ack — the exactly-once requeue drill
+//	stall        stop heartbeating and hang; the supervisor's lease
+//	             timeout must detect and reap it
+//	torn         simulate the point, write half its result line, exit(13)
+//	exit[=code]  exit(code, default 3) before simulating the point
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chaos exit codes, distinct per action so soak logs attribute deaths.
+const (
+	ExitCrash      = 11
+	ExitCrashAfter = 12
+	ExitTorn       = 13
+	ExitDefault    = 3
+)
+
+type chaosAction int
+
+const (
+	actCrash chaosAction = iota
+	actCrashAfter
+	actStall
+	actTorn
+	actExit
+)
+
+type directive struct {
+	worker int // scoped worker id; -1 = any worker
+	action chaosAction
+	code   int // exit code for actExit
+	nth    int // 1-based per-worker execution count; 0 when point-indexed
+	point  int // global point index; -1 when nth-indexed
+}
+
+// Schedule is a parsed TOCTTOU_CHAOS value. The zero/nil Schedule
+// matches nothing.
+type Schedule struct {
+	ds []directive
+}
+
+// ParseSchedule parses the TOCTTOU_CHAOS grammar; an empty string is a
+// valid empty schedule.
+func ParseSchedule(s string) (*Schedule, error) {
+	sched := &Schedule{}
+	for _, raw := range strings.Split(s, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		d, err := parseDirective(raw)
+		if err != nil {
+			return nil, fmt.Errorf("workerpool: chaos schedule %q: %w", s, err)
+		}
+		sched.ds = append(sched.ds, d)
+	}
+	return sched, nil
+}
+
+func parseDirective(raw string) (directive, error) {
+	d := directive{worker: -1, point: -1}
+	rest := raw
+	if strings.HasPrefix(rest, "w") {
+		if head, tail, ok := strings.Cut(rest, ":"); ok {
+			id, err := strconv.Atoi(head[1:])
+			if err != nil || id < 0 {
+				return d, fmt.Errorf("directive %q: bad worker scope %q", raw, head)
+			}
+			d.worker = id
+			rest = tail
+		}
+	}
+	action, trigger, ok := strings.Cut(rest, "@")
+	if !ok {
+		return d, fmt.Errorf("directive %q: want action@trigger", raw)
+	}
+	switch {
+	case action == "crash":
+		d.action = actCrash
+	case action == "crash-after":
+		d.action = actCrashAfter
+	case action == "stall":
+		d.action = actStall
+	case action == "torn":
+		d.action = actTorn
+	case action == "exit" || strings.HasPrefix(action, "exit="):
+		d.action = actExit
+		d.code = ExitDefault
+		if _, arg, has := strings.Cut(action, "="); has {
+			code, err := strconv.Atoi(arg)
+			if err != nil || code < 1 || code > 255 {
+				return d, fmt.Errorf("directive %q: exit code %q must be 1..255", raw, arg)
+			}
+			d.code = code
+		}
+	default:
+		return d, fmt.Errorf("directive %q: unknown action %q", raw, action)
+	}
+	if arg, ok := strings.CutPrefix(trigger, "point="); ok {
+		idx, err := strconv.Atoi(arg)
+		if err != nil || idx < 0 {
+			return d, fmt.Errorf("directive %q: bad point index %q", raw, arg)
+		}
+		d.point = idx
+		return d, nil
+	}
+	nth, err := strconv.Atoi(trigger)
+	if err != nil || nth < 1 {
+		return d, fmt.Errorf("directive %q: trigger %q must be a 1-based count or point=I", raw, trigger)
+	}
+	d.nth = nth
+	return d, nil
+}
+
+// match returns the first directive firing for this worker at this
+// execution (nth = 1-based count of points the worker has begun, point
+// = global index), restricted to the given phase: crash/stall/exit act
+// before simulation, crash-after/torn act after the result exists.
+// A nil Schedule matches nothing.
+func (s *Schedule) match(worker, nth, point int, after bool) *directive {
+	if s == nil {
+		return nil
+	}
+	for i := range s.ds {
+		d := &s.ds[i]
+		if d.worker >= 0 && d.worker != worker {
+			continue
+		}
+		if d.nth > 0 && d.nth != nth {
+			continue
+		}
+		if d.point >= 0 && d.point != point {
+			continue
+		}
+		isAfter := d.action == actCrashAfter || d.action == actTorn
+		if isAfter != after {
+			continue
+		}
+		return d
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package workerpool
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScheduleGrammar(t *testing.T) {
+	sched, err := ParseSchedule("w0:crash@1; w3:torn@2 ;stall@point=4;exit=7@3;crash-after@point=0")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	if len(sched.ds) != 5 {
+		t.Fatalf("parsed %d directives, want 5", len(sched.ds))
+	}
+	want := []directive{
+		{worker: 0, action: actCrash, nth: 1, point: -1},
+		{worker: 3, action: actTorn, nth: 2, point: -1},
+		{worker: -1, action: actStall, nth: 0, point: 4},
+		{worker: -1, action: actExit, code: 7, nth: 3, point: -1},
+		{worker: -1, action: actCrashAfter, nth: 0, point: 0},
+	}
+	for i, w := range want {
+		if sched.ds[i] != w {
+			t.Errorf("directive %d = %+v, want %+v", i, sched.ds[i], w)
+		}
+	}
+	if s, err := ParseSchedule(""); err != nil || len(s.ds) != 0 {
+		t.Errorf("empty schedule: %v, %d directives", err, len(s.ds))
+	}
+	if s, err := ParseSchedule("exit@1"); err != nil || s.ds[0].code != ExitDefault {
+		t.Errorf("bare exit: err=%v code=%d, want default %d", err, s.ds[0].code, ExitDefault)
+	}
+}
+
+func TestParseScheduleRejectsNonsense(t *testing.T) {
+	bad := map[string]string{
+		"explode@1":    "unknown action",
+		"crash":        "want action@trigger",
+		"crash@0":      "must be a 1-based count",
+		"crash@-1":     "must be a 1-based count",
+		"crash@point=": "bad point index",
+		"wx:crash@1":   "bad worker scope",
+		"w-2:crash@1":  "bad worker scope",
+		"exit=0@1":     "must be 1..255",
+		"exit=256@1":   "must be 1..255",
+	}
+	for input, want := range bad {
+		if _, err := ParseSchedule(input); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseSchedule(%q) err = %v, want %q", input, err, want)
+		}
+	}
+}
+
+func TestScheduleMatchScopesAndPhases(t *testing.T) {
+	sched, err := ParseSchedule("w2:crash@1;torn@point=5;crash-after@3")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	// Scoped crash: only worker 2 at its first executed point, and only
+	// in the before-simulation phase.
+	if d := sched.match(2, 1, 0, false); d == nil || d.action != actCrash {
+		t.Errorf("worker 2 nth 1 before: %+v, want crash", d)
+	}
+	if d := sched.match(1, 1, 0, false); d != nil {
+		t.Errorf("worker 1 matched a w2-scoped directive: %+v", d)
+	}
+	if d := sched.match(2, 2, 0, false); d != nil {
+		t.Errorf("worker 2 nth 2 matched a @1 directive: %+v", d)
+	}
+	if d := sched.match(2, 1, 0, true); d != nil {
+		t.Errorf("crash matched in the after phase: %+v", d)
+	}
+	// Point-indexed torn fires for any worker reaching point 5, after
+	// simulation only.
+	if d := sched.match(7, 9, 5, true); d == nil || d.action != actTorn {
+		t.Errorf("point 5 after: %+v, want torn", d)
+	}
+	if d := sched.match(7, 9, 4, true); d != nil && d.action == actTorn {
+		t.Errorf("point 4 matched a point=5 directive: %+v", d)
+	}
+	// Unscoped crash-after on every worker's third execution.
+	if d := sched.match(0, 3, 1, true); d == nil || d.action != actCrashAfter {
+		t.Errorf("nth 3 after: %+v, want crash-after", d)
+	}
+	// Nil schedule matches nothing.
+	var nilSched *Schedule
+	if d := nilSched.match(0, 1, 0, false); d != nil {
+		t.Errorf("nil schedule matched: %+v", d)
+	}
+}

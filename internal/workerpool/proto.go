@@ -1,0 +1,148 @@
+// Package workerpool runs a campaign's sweep points in supervised
+// worker subprocesses. The daemon side (Run, fleet.go) partitions the
+// compiled grid into leases and dispatches them to `tocttoud -worker`
+// children over an NDJSON stdin/stdout protocol; the worker side
+// (RunWorker, worker.go) re-compiles the same spec, verifies the sweep
+// fingerprint, and executes leased points through core.RunSweepSubset.
+//
+// The whole design leans on one fact: every point is a pure function of
+// its scenario and seed, so a lease re-executed after a worker crash
+// commits bit-identical results. That turns supervision — heartbeat
+// deadlines, restart with backoff, exactly-once requeue, poison-point
+// quarantine — into mechanisms whose correctness is checkable (the
+// chaos soak diffs the final report against an in-process run) rather
+// than hoped for.
+package workerpool
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"tocttou/internal/core"
+)
+
+// Message types. The daemon sends load then leases; the worker answers
+// loaded, then per lease a point message per committed result followed
+// by one ack. Heartbeats flow worker→daemon on a timer; error is a
+// worker's dying words before a self-inflicted exit. Closing the
+// worker's stdin is the quit signal.
+const (
+	MsgLoad      = "load"
+	MsgLoaded    = "loaded"
+	MsgLease     = "lease"
+	MsgPoint     = "point"
+	MsgAck       = "ack"
+	MsgHeartbeat = "heartbeat"
+	MsgError     = "error"
+)
+
+// Message is the protocol envelope, one JSON object per line. Fields
+// group by message type; unused ones stay zero and omitted.
+type Message struct {
+	Type string `json:"type"`
+
+	// load (daemon → worker): Spec and Filename re-compile the campaign
+	// in the worker; Fingerprint must match the worker's own
+	// core.SweepFingerprint of the compiled points (a version-skewed
+	// binary fails loudly instead of committing wrong results);
+	// HeartbeatMS paces the worker's heartbeats.
+	Filename    string `json:"filename,omitempty"`
+	Spec        []byte `json:"spec,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	HeartbeatMS int    `json:"heartbeat_ms,omitempty"`
+
+	// loaded (worker → daemon): the compiled grid size, echoed so the
+	// daemon can cross-check partitioning.
+	NumPoints int `json:"num_points,omitempty"`
+
+	// lease (daemon → worker) and ack (worker → daemon): a lease id and
+	// the global point indices it covers.
+	Lease  int   `json:"lease,omitempty"`
+	Points []int `json:"points,omitempty"`
+
+	// point (worker → daemon): one committed result. FP is the point's
+	// core.PointFingerprint — the key the supervisor verifies before
+	// folding or deduplicating the result.
+	Point  int                  `json:"point,omitempty"`
+	FP     string               `json:"fp,omitempty"`
+	Result *core.CampaignResult `json:"result,omitempty"`
+
+	// error (worker → daemon).
+	Error string `json:"error,omitempty"`
+}
+
+// lineReader reads complete newline-terminated protocol lines. A final
+// line missing its newline — torn by a worker killed mid-write — is
+// discarded and reported as io.EOF, the same torn-tail discipline as
+// the daemon's event log: a result is either wholly on the wire or it
+// never happened.
+type lineReader struct {
+	br *bufio.Reader
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// next returns the next complete message; io.EOF means the stream ended
+// (cleanly, or with a torn partial line that was dropped).
+func (lr *lineReader) next() (*Message, error) {
+	for {
+		line, err := lr.br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var m Message
+		if jerr := json.Unmarshal([]byte(line), &m); jerr != nil {
+			return nil, fmt.Errorf("workerpool: malformed message %.80q: %w", line, jerr)
+		}
+		return &m, nil
+	}
+}
+
+// msgWriter serializes concurrent protocol writes: in the worker the
+// heartbeat loop and the lease loop share one stdout.
+type msgWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (mw *msgWriter) send(m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	_, err = mw.w.Write(append(data, '\n'))
+	return err
+}
+
+// sendTorn writes half of the message and stops mid-line — the chaos
+// layer's torn-result-write, which the reader on the other end must
+// drop wholesale.
+func (mw *msgWriter) sendTorn(m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	_, err = mw.w.Write(data[:len(data)/2])
+	return err
+}
+
+// fpString renders a fingerprint the way job ids render: fixed-width
+// hex, comparable as a string.
+func fpString(fp uint64) string { return fmt.Sprintf("%016x", fp) }

@@ -14,6 +14,11 @@
 # uninterrupted local run of the same scenario file — bit-identical
 # resume. A re-submission of the finished campaign must be a cache hit.
 #
+# Phase 3 (fleet drain): run the same campaign under -workers 3, SIGTERM
+# the daemon mid-campaign, assert the drain reaped every worker process
+# (no orphans), restart, and require the resumed report bit-identical to
+# the same uninterrupted local reference.
+#
 # Logs land in $SERVE_CHECK_LOGS (default: a fresh temp dir, printed on
 # failure); CI uploads that directory as an artifact when the job fails.
 set -u -o pipefail
@@ -39,12 +44,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# start_daemon <logfile>: launches tocttoud over $DATA on an ephemeral
-# port, waits for the address file, and sets DAEMON_PID and SERVER.
+# start_daemon <logfile> [flags...]: launches tocttoud over $DATA on an
+# ephemeral port with any extra flags, waits for the address file, and
+# sets DAEMON_PID and SERVER.
 start_daemon() {
     local logfile="$1"
+    shift
     rm -f "$WORK/addr.txt"
-    "$WORK/tocttoud" -listen 127.0.0.1:0 -data "$DATA" -addr-file "$WORK/addr.txt" \
+    "$WORK/tocttoud" -listen 127.0.0.1:0 -data "$DATA" -addr-file "$WORK/addr.txt" "$@" \
         >>"$LOGS/$logfile" 2>&1 &
     DAEMON_PID=$!
     for _ in $(seq 1 100); do
@@ -134,6 +141,50 @@ RESUBMIT=$("$WORK/tocttou" -server "$SERVER" -submit examples/scenarios/service-
 echo "$RESUBMIT" | grep -q "cached" || fail "resubmit was not served from the completed store: $RESUBMIT"
 echo "$RESUBMIT" | awk '{print $1}' | grep -qx "$KILL_ID" || fail "resubmit minted a new job id: $RESUBMIT"
 echo "serve-check: identical resubmission is a cache hit"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+
+# ---- Phase 3: fleet mode — SIGTERM drain reaps workers, resume is exact ----
+DATA="$WORK/data-fleet"
+start_daemon tocttoud-phase3.log -workers 3 -heartbeat-interval 25ms
+
+SUBMIT=$("$WORK/tocttou" -server "$SERVER" -submit examples/scenarios/service-kill.yaml) \
+    || fail "submitting service-kill to the fleet daemon"
+FLEET_ID=$(echo "$SUBMIT" | awk '{print $1}')
+echo "serve-check: fleet service-kill submitted as $FLEET_ID"
+
+DONE=0
+for _ in $(seq 1 600); do
+    DONE=$(committed "$FLEET_ID")
+    DONE=${DONE:-0}
+    [ "$DONE" -ge 2 ] && break
+    sleep 0.05
+done
+[ "$DONE" -ge 2 ] || fail "fleet committed no points within 30s (see $LOGS/tocttoud-phase3.log)"
+[ "$DONE" -lt "$TOTAL" ] || fail "fleet campaign finished before the drain; grow service-kill.yaml's rounds"
+echo "serve-check: draining fleet daemon with $DONE/$TOTAL points committed"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+
+# The drain must have reaped every worker subprocess: nothing running
+# -worker may survive the daemon.
+if command -v pgrep >/dev/null 2>&1; then
+    if ORPHANS=$(pgrep -f "tocttoud .*-worker" 2>/dev/null) && [ -n "$ORPHANS" ]; then
+        fail "orphaned worker processes survived the drain: $ORPHANS"
+    fi
+    echo "serve-check: no orphaned workers after the drain"
+fi
+
+start_daemon tocttoud-phase3b.log -workers 3 -heartbeat-interval 25ms
+"$WORK/tocttou" -server "$SERVER" -watch "$FLEET_ID" \
+    >"$LOGS/fleet-watched.txt" 2>"$LOGS/fleet-progress.txt" \
+    || fail "watching resumed fleet campaign (see $LOGS/fleet-progress.txt)"
+diff -u "$WORK/golden/service-kill.txt" "$LOGS/fleet-watched.txt" \
+    || fail "fleet drain/resume report is not bit-identical to the uninterrupted local run"
+echo "serve-check: fleet drain/resume report is bit-identical to the uninterrupted local run"
 
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" 2>/dev/null
